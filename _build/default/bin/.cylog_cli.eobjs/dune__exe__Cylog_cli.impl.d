@@ -1,0 +1,1 @@
+bin/cylog_cli.ml: Arg Buffer Cmd Cmdliner Cylog Format Game In_channel List Option Printf Reldb String Term

@@ -1,0 +1,1 @@
+bin/cylog_cli.mli:

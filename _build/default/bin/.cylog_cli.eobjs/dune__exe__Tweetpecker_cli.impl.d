@@ -1,0 +1,1 @@
+bin/tweetpecker_cli.ml: Arg Cmd Cmdliner Crowd Cylog Format List Printf Reldb String Term Tweetpecker Tweets

@@ -1,0 +1,1 @@
+bin/tweetpecker_cli.mli:

@@ -1,0 +1,274 @@
+(* cylog — run CyLog programs from the command line.
+
+   Subcommands:
+     run FILE       load a program, run the machine, answer open tuples
+                    interactively on stdin, print the database at fixpoint
+     check FILE     parse and report errors
+     graph FILE     print the rule precedence graph (Figure 14 style)
+     classify FILE  print the game class (G_N or G_star) of the program
+     pretty FILE    parse and pretty-print the program *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path =
+  match Cylog.Parser.parse (read_file path) with
+  | Ok program -> Ok program
+  | Error e -> Error (Format.asprintf "%s: %a" path Cylog.Parser.pp_error e)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CyLog source file")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* --- run ----------------------------------------------------------------- *)
+
+let prompt_value attr =
+  Printf.printf "  %s = %!" attr;
+  match In_channel.input_line stdin with Some line -> String.trim line | None -> ""
+
+let answer_interactively engine (o : Cylog.Engine.open_tuple) =
+  Format.printf "@.open tuple %d on %s %a" o.id o.relation Reldb.Tuple.pp o.bound;
+  (match o.asked with
+  | Some w -> Format.printf " (worker %s)" (Reldb.Value.to_display w)
+  | None -> ());
+  Format.printf "@.";
+  (* Show the worker-facing presentation when the program declares one. *)
+  (match Cylog.Engine.task_view engine o with
+  | Some rendered -> Format.printf "%s@." rendered
+  | None -> ());
+  let worker = Option.value o.asked ~default:(Reldb.Value.String "console") in
+  if o.existence then begin
+    Printf.printf "  should this tuple exist? [y/n/skip] %!";
+    match In_channel.input_line stdin with
+    | Some ("y" | "Y" | "yes") ->
+        ignore (Cylog.Engine.answer_existence engine o.id ~worker true)
+    | Some ("n" | "N" | "no") ->
+        ignore (Cylog.Engine.answer_existence engine o.id ~worker false)
+    | _ -> Cylog.Engine.decline engine o.id
+  end
+  else begin
+    let values =
+      List.map (fun attr -> (attr, Reldb.Value.String (prompt_value attr))) o.open_attrs
+    in
+    match Cylog.Engine.supply engine o.id ~worker values with
+    | Ok _ -> ()
+    | Error e -> Printf.printf "  rejected: %s\n%!" e
+  end
+
+let run_cmd interactive max_steps path =
+  let program = or_die (parse_file path) in
+  let engine = Cylog.Engine.load program in
+  let rec loop () =
+    let steps = Cylog.Engine.run engine ~max_steps in
+    if steps >= max_steps then Format.printf "stopped after %d machine steps@." steps;
+    match Cylog.Engine.pending engine with
+    | [] -> ()
+    | pending when interactive ->
+        List.iter (answer_interactively engine) pending;
+        if Cylog.Engine.pending engine <> pending then loop ()
+    | pending ->
+        Format.printf "@.%d open tuples await human input (use --interactive):@."
+          (List.length pending);
+        List.iter
+          (fun (o : Cylog.Engine.open_tuple) ->
+            Format.printf "  %s%a awaiting %s@." o.relation Reldb.Tuple.pp o.bound
+              (String.concat ", " o.open_attrs))
+          pending
+  in
+  loop ();
+  Format.printf "@.database at fixpoint:@.%a@." Reldb.Database.pp
+    (Cylog.Engine.database engine);
+  match Cylog.Engine.payoffs engine with
+  | [] -> ()
+  | payoffs ->
+      Format.printf "@.payoffs:@.";
+      List.iter
+        (fun (p, s) ->
+          Format.printf "  %s: %s@." (Reldb.Value.to_display p) (Reldb.Value.to_display s))
+        payoffs
+
+let check_cmd path =
+  let program = or_die (parse_file path) in
+  Format.printf "%s: %d statements, %d schema declarations, %d games — OK@." path
+    (List.length program.Cylog.Ast.statements)
+    (List.length program.Cylog.Ast.schemas)
+    (List.length program.Cylog.Ast.games)
+
+let graph_cmd path =
+  let program = or_die (parse_file path) in
+  let engine = Cylog.Engine.load program in
+  let statements = List.map fst (Cylog.Engine.statements engine) in
+  let g = Cylog.Precedence.build statements in
+  Format.printf "%a@." Cylog.Precedence.pp g;
+  Format.printf "@.stratified: %b@." (Cylog.Precedence.stratified g)
+
+let classify_cmd path =
+  let program = or_die (parse_file path) in
+  Format.printf "%a@." Game.Classes.pp (Game.Classes.classify program)
+
+let pretty_cmd path =
+  let program = or_die (parse_file path) in
+  print_endline (Cylog.Pretty.program_to_string program)
+
+(* --- repl ----------------------------------------------------------------- *)
+
+let repl_help () =
+  print_string
+    "Enter CyLog statements terminated by ';' (multi-line input is fine).\n\
+     Commands:\n\
+    \  :db                  show the database\n\
+    \  :pending             show open tuples awaiting humans\n\
+    \  :answer ID a=v ...   valuate an open tuple (string values)\n\
+    \  :yes ID / :no ID     answer an existence question\n\
+    \  :trace               show the firing log\n\
+    \  :help                this message\n\
+    \  :quit                leave\n"
+
+let repl_cmd file =
+  let engine =
+    match file with
+    | Some path ->
+        let program = or_die (parse_file path) in
+        Cylog.Engine.load program
+    | None -> Cylog.Engine.load Cylog.Ast.empty_program
+  in
+  let show_pending () =
+    match Cylog.Engine.pending engine with
+    | [] -> print_endline "no pending open tuples"
+    | pending ->
+        List.iter
+          (fun (o : Cylog.Engine.open_tuple) ->
+            Format.printf "  #%d %s%a awaiting %s%s@." o.id o.relation Reldb.Tuple.pp
+              o.bound
+              (if o.existence then "yes/no" else String.concat ", " o.open_attrs)
+              (match o.asked with
+              | Some w -> Printf.sprintf " (worker %s)" (Reldb.Value.to_display w)
+              | None -> ""))
+          pending
+  in
+  let run_machine () =
+    let before = Cylog.Engine.clock engine in
+    ignore (Cylog.Engine.run engine);
+    let fired = Cylog.Engine.clock engine - before in
+    if fired > 0 then Format.printf "(%d statements fired)@." fired;
+    if Cylog.Engine.pending engine <> [] then show_pending ()
+  in
+  run_machine ();
+  let parse_assignments words =
+    List.map
+      (fun w ->
+        match String.index_opt w '=' with
+        | Some i ->
+            ( String.sub w 0 i,
+              Reldb.Value.String (String.sub w (i + 1) (String.length w - i - 1)) )
+        | None -> (w, Reldb.Value.Null))
+      words
+  in
+  let handle_command line =
+    match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+    | [ ":quit" ] | [ ":q" ] -> `Quit
+    | [ ":help" ] -> repl_help (); `Continue
+    | [ ":db" ] ->
+        Format.printf "%a@." Reldb.Database.pp (Cylog.Engine.database engine);
+        `Continue
+    | [ ":pending" ] -> show_pending (); `Continue
+    | [ ":trace" ] ->
+        List.iter
+          (fun (e : Cylog.Engine.event) ->
+            Format.printf "  %d: stmt %s%s@." e.clock
+              (Option.value e.label ~default:(string_of_int e.statement))
+              (if e.fired then "" else " (rejected)"))
+          (Cylog.Engine.events engine);
+        `Continue
+    | ":answer" :: id :: rest -> (
+        match int_of_string_opt id with
+        | Some id -> (
+            match Cylog.Engine.find_open engine id with
+            | Some o -> (
+                let worker = Option.value o.asked ~default:(Reldb.Value.String "console") in
+                match Cylog.Engine.supply engine id ~worker (parse_assignments rest) with
+                | Ok _ -> run_machine (); `Continue
+                | Error e -> print_endline e; `Continue)
+            | None -> print_endline "no such open tuple"; `Continue)
+        | None -> print_endline "usage: :answer ID attr=value ..."; `Continue)
+    | [ (":yes" | ":no") as verdict; id ] -> (
+        match (int_of_string_opt id, Cylog.Engine.find_open engine (int_of_string id)) with
+        | Some id, Some o -> (
+            let worker = Option.value o.asked ~default:(Reldb.Value.String "console") in
+            match Cylog.Engine.answer_existence engine id ~worker (verdict = ":yes") with
+            | Ok _ -> run_machine (); `Continue
+            | Error e -> print_endline e; `Continue)
+        | _ -> print_endline "no such open tuple"; `Continue)
+    | _ -> print_endline "unknown command (:help)"; `Continue
+  in
+  let buffer = Buffer.create 256 in
+  print_endline "CyLog REPL — :help for commands";
+  let rec loop () =
+    Printf.printf (if Buffer.length buffer = 0 then "cylog> " else "  ...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line when Buffer.length buffer = 0 && String.length (String.trim line) > 0
+                     && (String.trim line).[0] = ':' -> (
+        match handle_command (String.trim line) with `Quit -> () | `Continue -> loop ())
+    | Some line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' || String.contains line '}' then begin
+          Buffer.clear buffer;
+          (match Cylog.Parser.parse_statements text with
+          | Ok statements -> (
+              try
+                List.iter (Cylog.Engine.add_statement engine) statements;
+                run_machine ()
+              with Cylog.Engine.Runtime_error m -> print_endline m)
+          | Error e -> Format.printf "%a@." Cylog.Parser.pp_error e);
+          loop ()
+        end
+        else loop ()
+  in
+  loop ()
+
+(* --- command wiring ------------------------------------------------------- *)
+
+let interactive_flag =
+  Arg.(value & flag & info [ "i"; "interactive" ] ~doc:"Answer open tuples on stdin.")
+
+let max_steps_arg =
+  Arg.(value & opt int 1_000_000 & info [ "max-steps" ] ~doc:"Machine step budget.")
+
+let cmds =
+  [ Cmd.v (Cmd.info "run" ~doc:"Execute a CyLog program")
+      Term.(const run_cmd $ interactive_flag $ max_steps_arg $ file_arg);
+    Cmd.v (Cmd.info "check" ~doc:"Parse a CyLog program")
+      Term.(const check_cmd $ file_arg);
+    Cmd.v (Cmd.info "graph" ~doc:"Print the rule precedence graph")
+      Term.(const graph_cmd $ file_arg);
+    Cmd.v (Cmd.info "classify" ~doc:"Print the game class (G_N / G_*)")
+      Term.(const classify_cmd $ file_arg);
+    Cmd.v (Cmd.info "pretty" ~doc:"Pretty-print a CyLog program")
+      Term.(const pretty_cmd $ file_arg);
+    Cmd.v (Cmd.info "repl" ~doc:"Interactive CyLog session (optionally preloading FILE)")
+      Term.(
+        const repl_cmd
+        $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program to preload")) ]
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "cylog" ~version:"1.0.0"
+             ~doc:"CyLog: a declarative language for crowdsourced data management")
+          cmds))

@@ -1,0 +1,122 @@
+(* tweetpecker — run the paper's experiment variants from the command line.
+
+   Examples:
+     tweetpecker run --variant=vrei --tweets=100 --seed=3
+     tweetpecker table1
+     tweetpecker source --variant=vei --tweets=2 *)
+
+open Cmdliner
+
+let variant_conv =
+  let parse = function
+    | "ve" -> Ok Tweetpecker.Programs.VE
+    | "vei" | "ve/i" -> Ok Tweetpecker.Programs.VEI
+    | "vre" -> Ok Tweetpecker.Programs.VRE
+    | "vrei" | "vre/i" -> Ok Tweetpecker.Programs.VREI
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S (ve|vei|vre|vrei)" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Tweetpecker.Programs.variant_name v) in
+  Arg.conv (parse, print)
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv Tweetpecker.Programs.VREI
+    & info [ "variant" ] ~docv:"VARIANT" ~doc:"ve, vei, vre or vrei.")
+
+let tweets_arg =
+  Arg.(
+    value
+    & opt int Tweets.Generator.default_count
+    & info [ "tweets" ] ~docv:"N" ~doc:"Corpus size (default 463, as in the paper).")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let corpus n = if n = Tweets.Generator.default_count then Tweets.Generator.corpus () else Tweets.Generator.generate n
+
+let print_outcome o =
+  let q = Tweetpecker.Metrics.row_a o in
+  Format.printf "variant            %s@." (Tweetpecker.Programs.variant_name o.Tweetpecker.Runner.variant);
+  Format.printf "completion         %.1f%%@." (100.0 *. Tweetpecker.Runner.completion o);
+  Format.printf "rounds             %d@." o.sim.rounds;
+  Format.printf "agreed values      %d@." (List.length o.agreed);
+  Format.printf "quality (A)        %a@." Tweetpecker.Metrics.pp_quality q;
+  (match Tweetpecker.Metrics.row_b o with
+  | Some b -> Format.printf "rule confidence(B) %.1f%%@." (100.0 *. b)
+  | None -> ());
+  (match Tweetpecker.Metrics.row_c o with
+  | Some c -> Format.printf "rule support (C)   %.2f%%@." (100.0 *. c)
+  | None -> ());
+  Format.printf "rules entered      %d@." (List.length o.rules_entered);
+  Format.printf "machine extracts   %d@." (List.length o.extracts);
+  Format.printf "payoffs            %s@."
+    (String.concat ", " (List.map (fun (p, s) -> Printf.sprintf "%s:%d" p s) o.payoffs))
+
+let run_cmd variant n seed export =
+  let o = Tweetpecker.Runner.run ~seed ~corpus:(corpus n) variant in
+  match export with
+  | None -> print_outcome o
+  | Some relation -> (
+      (* Machine-readable mode: dump one relation of the final database as
+         CSV on stdout. *)
+      match Reldb.Database.find (Cylog.Engine.database o.engine) relation with
+      | Some rel -> print_string (Reldb.Csv.export rel)
+      | None ->
+          Printf.eprintf "no relation %S in the final database (try %s)\n" relation
+            (String.concat ", " (Reldb.Database.names (Cylog.Engine.database o.engine)));
+          exit 1)
+
+let table1_cmd n seed =
+  let c = corpus n in
+  Format.printf "%-28s" "Technique";
+  List.iter
+    (fun v -> Format.printf "%10s" (Tweetpecker.Programs.variant_name v))
+    Tweetpecker.Programs.all;
+  Format.printf "@.";
+  let outcomes = List.map (fun v -> Tweetpecker.Runner.run ~seed ~corpus:c v) Tweetpecker.Programs.all in
+  let row label f =
+    Format.printf "%-28s" label;
+    List.iter (fun o -> Format.printf "%10s" (f o)) outcomes;
+    Format.printf "@."
+  in
+  let pct x = Printf.sprintf "%.1f%%" (100.0 *. x) in
+  row "A: Agreed correct" (fun o -> pct (Tweetpecker.Metrics.row_a o).correct);
+  row "   Agreed incorrect" (fun o -> pct (Tweetpecker.Metrics.row_a o).incorrect);
+  row "   Agreed neither" (fun o -> pct (Tweetpecker.Metrics.row_a o).neither);
+  row "B: Avg rule confidence" (fun o ->
+      match Tweetpecker.Metrics.row_b o with Some b -> pct b | None -> "-");
+  row "C: Avg rule support" (fun o ->
+      match Tweetpecker.Metrics.row_c o with
+      | Some c -> Printf.sprintf "%.2f%%" (100.0 *. c)
+      | None -> "-")
+
+let source_cmd variant n =
+  let c = corpus n in
+  print_string
+    (Tweetpecker.Programs.source variant ~corpus:c
+       ~workers:(List.map (fun (w : Crowd.Worker.profile) -> w.name)
+                   (Tweetpecker.Runner.default_workers variant)))
+
+let export_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~docv:"RELATION"
+        ~doc:"Print the named relation of the final database as CSV (e.g. Agreed, Rules, Extracts, Inputs).")
+
+let cmds =
+  [ Cmd.v (Cmd.info "run" ~doc:"Run one variant and print its metrics")
+      Term.(const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg);
+    Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
+      Term.(const table1_cmd $ tweets_arg $ seed_arg);
+    Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")
+      Term.(const source_cmd $ variant_arg $ tweets_arg) ]
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "tweetpecker" ~version:"1.0.0"
+             ~doc:"Game-style crowdsourced extraction of structured data from tweets")
+          cmds))

@@ -1,0 +1,1 @@
+examples/esp_game.ml: Cylog Format Game List Option Reldb String

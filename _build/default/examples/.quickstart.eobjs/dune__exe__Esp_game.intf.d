@@ -1,0 +1,1 @@
+examples/esp_game.mli:

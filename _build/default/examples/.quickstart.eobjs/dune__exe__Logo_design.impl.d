@@ -1,0 +1,1 @@
+examples/logo_design.ml: Cylog Format Game List Option Reldb

@@ -1,0 +1,1 @@
+examples/logo_design.mli:

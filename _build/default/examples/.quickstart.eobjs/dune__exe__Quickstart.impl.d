@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cylog Format List Option Reldb String

@@ -1,0 +1,1 @@
+examples/turing_demo.ml: Cylog Format Game List String Turing

@@ -1,0 +1,1 @@
+examples/tweet_extraction.ml: Array Format List Tweetpecker Tweets

@@ -1,0 +1,1 @@
+examples/tweet_extraction.mli:

@@ -1,0 +1,1 @@
+examples/verbosity_game.ml: Cylog Format List Option Reldb

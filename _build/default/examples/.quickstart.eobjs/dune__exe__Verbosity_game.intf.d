@@ -1,0 +1,1 @@
+examples/verbosity_game.mli:

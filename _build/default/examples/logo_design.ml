@@ -1,0 +1,101 @@
+(* The two-phase logo-design game of Section 9.4 — a member of class G_2:
+   in phase one designers are shown a concept and asked to submit logos; in
+   phase two voters are shown the submitted logos and vote. Designers are
+   paid per vote their logo receives; voters are paid when another voter
+   chose the same logo (majority-style coordination).
+
+   The program has two open statements, the second depending on the output
+   of the first — exactly the two bounded interaction phases of
+   Definition 1.
+
+   Run with: dune exec examples/logo_design.exe *)
+
+let program =
+  {|
+  rules:
+    Concept(text:"open data for everyone");
+    Designer(pid:"mika");
+    Designer(pid:"taro");
+    Voter(pid:"yuki");
+    Voter(pid:"ken");
+    Voter(pid:"nana");
+    D: Logo(concept, image, p)/open[p] <- Concept(text:concept), Designer(pid:p);
+    V: Vote(image, voter)/open[voter] <- Logo(concept, image, p), Voter(pid:voter);
+
+  games:
+    game LOGO() {
+      path:
+        L1: Path(player:p, action:["design", image]) <- Logo(concept, image, p);
+        L2: Path(player:voter, action:["vote", image]) <- Vote(image, voter);
+      payoff:
+        /* a designer earns 1 per vote their logo receives */
+        P1: Payoff[p += 1] <- Logo(concept, image, p), Vote(image, voter);
+        /* voters earn 1 per other voter who chose the same logo */
+        P2: Payoff[v1 += 1, v2 += 1] <- Vote(image, voter:v1), Vote(image, voter:v2), v1 != v2;
+    }
+  |}
+
+let () =
+  let parsed = Cylog.Parser.parse_exn program in
+  Format.printf "game class: %a (two bounded phases of interaction)@." Game.Classes.pp
+    (Game.Classes.classify parsed);
+
+  let engine = Cylog.Engine.load parsed in
+  ignore (Cylog.Engine.run engine);
+
+  (* Phase 1: designers answer their design tasks. *)
+  let supply o values =
+    match
+      Cylog.Engine.supply engine o.Cylog.Engine.id
+        ~worker:(Option.get o.Cylog.Engine.asked) values
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let designs = [ ("mika", "sunrise-over-grid"); ("taro", "open-book-bird") ] in
+  List.iter
+    (fun (o : Cylog.Engine.open_tuple) ->
+      if o.relation = "Logo" then begin
+        let who = Reldb.Value.to_display (Option.get o.asked) in
+        let image = List.assoc who designs in
+        Format.printf "phase 1: %s submits %S@." who image;
+        supply o [ ("image", Reldb.Value.String image) ]
+      end)
+    (Cylog.Engine.pending engine);
+  ignore (Cylog.Engine.run engine);
+
+  (* Phase 2: the machine derived one vote task per (logo, voter); voters
+     vote — two for the sunrise, one for the bird. *)
+  let votes = [ ("yuki", "sunrise-over-grid"); ("ken", "sunrise-over-grid");
+                ("nana", "open-book-bird") ] in
+  List.iter
+    (fun (o : Cylog.Engine.open_tuple) ->
+      if o.relation = "Vote" && o.existence then begin
+        (* Vote tasks arrive fully bound: an existence question per
+           (logo, voter). Answer yes only for the voter's choice. *)
+        let who = Reldb.Value.to_display (Option.get o.asked) in
+        let image = Reldb.Value.to_display (Reldb.Tuple.get_or_null o.bound "image") in
+        let yes = List.assoc who votes = image in
+        if yes then Format.printf "phase 2: %s votes for %S@." who image;
+        match Cylog.Engine.answer_existence engine o.id ~worker:(Option.get o.asked) yes with
+        | Ok _ -> ()
+        | Error e -> failwith e
+      end)
+    (Cylog.Engine.pending engine);
+  ignore (Cylog.Engine.run engine);
+
+  Format.printf "@.payoffs:@.";
+  List.iter
+    (fun (player, score) ->
+      Format.printf "  %-6s %s@."
+        (Reldb.Value.to_display player)
+        (Reldb.Value.to_display score))
+    (Cylog.Engine.payoffs engine);
+
+  Format.printf "@.play of the LOGO game instance:@.";
+  match Cylog.Engine.game_instances engine "LOGO" with
+  | params :: _ ->
+      List.iter
+        (fun t -> Format.printf "  %a@." Reldb.Tuple.pp t)
+        (Cylog.Engine.path_table engine "LOGO" ~params:(Reldb.Tuple.to_list params))
+  | [] -> Format.printf "  (none)@."

@@ -1,0 +1,84 @@
+(* Quickstart: write a CyLog program with an open predicate and a game
+   aspect, run the machine part, play the human part, and read the results.
+
+   This is the paper's running example at its smallest: one tweet, two
+   workers, the VE/I coordination game.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let program =
+  {|
+  rules:
+    Pre1: TweetOriginal(tw:"It rains in London", loc:"London");
+    Pre2: ValidCity(cname:"London");
+    Pre3: Tweet(tw) <- TweetOriginal(tw, loc), ValidCity(cname:loc);
+    Pre4: Worker(pid:1, name:"Shun");
+    Pre5: Worker(pid:2, name:"Ken");
+    VE1: Input(tw, attr:"weather", value, p)/open[p] <- Tweet(tw), Worker(pid:p);
+    VE2: Output(tw, weather:value) <- Input(tw, attr:"weather", value, p:p1),
+                                      Input(tw, attr:"weather", value, p:p2), p1 != p2;
+
+  games:
+    game VEI(tw, attr) {
+      path:
+        VEI1: Path(player:p, action:["value", value]) <- Input(tw, attr, value, p);
+      payoff:
+        VEI2: Path(player:p1, action:["value", v]) {
+          VEI2.1: Payoff[p1 += 1, p2 += 1] <- Path(player:p2, action:["value", v]), p1 != p2;
+        }
+    }
+  |}
+
+let () =
+  (* 1. Parse and load. *)
+  let engine = Cylog.Engine.load (Cylog.Parser.parse_exn program) in
+
+  (* 2. Run the machine: facts fire, Pre3 validates the tweet, VE1 creates
+     one open tuple per (tweet, worker) and suspends. *)
+  let steps = Cylog.Engine.run engine in
+  Format.printf "machine fired %d statements, then suspended on humans@." steps;
+
+  List.iter
+    (fun (o : Cylog.Engine.open_tuple) ->
+      Format.printf "  open tuple %d: %s%a awaits %s from worker %s@." o.id o.relation
+        Reldb.Tuple.pp o.bound
+        (String.concat ", " o.open_attrs)
+        (match o.asked with Some w -> Reldb.Value.to_display w | None -> "anyone"))
+    (Cylog.Engine.pending engine);
+
+  (* 3. Play the humans: both workers enter the same term — the solution of
+     the coordination game the game aspect defines. *)
+  List.iter
+    (fun (o : Cylog.Engine.open_tuple) ->
+      let worker = Option.get o.asked in
+      match
+        Cylog.Engine.supply engine o.id ~worker
+          [ ("value", Reldb.Value.String "rainy") ]
+      with
+      | Ok _ -> Format.printf "  worker %s enters \"rainy\"@." (Reldb.Value.to_display worker)
+      | Error e -> failwith e)
+    (Cylog.Engine.pending engine);
+
+  (* 4. Run the machine again: VE2 sees the agreement; the game aspect
+     records the path and pays both players. *)
+  ignore (Cylog.Engine.run engine);
+
+  let db = Cylog.Engine.database engine in
+  Format.printf "@.Output relation:@.%a@." Reldb.Relation.pp
+    (Reldb.Database.find_exn db "Output");
+
+  Format.printf "@.Path table of the game instance (Figure 6):@.";
+  (match Cylog.Engine.game_instances engine "VEI" with
+  | params :: _ ->
+      List.iter
+        (fun t -> Format.printf "  %a@." Reldb.Tuple.pp t)
+        (Cylog.Engine.path_table engine "VEI" ~params:(Reldb.Tuple.to_list params))
+  | [] -> Format.printf "  (no game instance)@.");
+
+  Format.printf "@.Payoffs:@.";
+  List.iter
+    (fun (player, score) ->
+      Format.printf "  %s: %s@."
+        (Reldb.Value.to_display player)
+        (Reldb.Value.to_display score))
+    (Cylog.Engine.payoffs engine)

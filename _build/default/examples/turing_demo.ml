@@ -1,0 +1,37 @@
+(* Theorem 4 live: a Turing machine running as three CyLog rules
+   (Figure 16), checked against the direct implementation, plus the
+   interactive machine that talks to a human at every step — the shape of
+   class G_*.
+
+   Run with: dune exec examples/turing_demo.exe *)
+
+let show_machine (m : Turing.Machine.t) input =
+  Format.printf "@.=== %s on [%s] ===@." m.name (String.concat "" input);
+  (match Turing.Machine.run m ~input with
+  | Ok (final, steps) ->
+      Format.printf "direct:        halts in %s after %d steps, tape %S@." final.state
+        steps
+        (Turing.Machine.tape_string final)
+  | Error _ -> Format.printf "direct: did not halt@.");
+  let r = Turing.Cylog_tm.run m ~input in
+  Format.printf "CyLog (Fig 16): halts in %s after %d engine steps, tape %S@." r.state
+    r.engine_steps
+    (String.concat "" (List.map snd r.tape));
+  Format.printf "agreement: %b@." (Turing.Cylog_tm.agrees_with_direct m ~input)
+
+let () =
+  Format.printf "The CyLog encoding of a Turing machine (Figure 16):@.@.%s@."
+    (Turing.Cylog_tm.to_source Turing.Machine.successor ~input:[ "1"; "1" ]);
+
+  show_machine Turing.Machine.successor [ "1"; "1" ];
+  show_machine Turing.Machine.binary_increment [ "1"; "0"; "1"; "1" ];
+  show_machine Turing.Machine.parity [ "1"; "1"; "1" ];
+
+  Format.printf "@.=== interactive machine (class G_*) ===@.";
+  Format.printf
+    "the machine asks the human what to write at every step — the number of@.";
+  Format.printf "interaction phases cannot be bounded in advance:@.";
+  let tape = Turing.Cylog_tm.Interactive.run ~answers:[ "c"; "y"; "l"; "o"; "g" ] in
+  Format.printf "  human dictates c y l o g .  ->  tape %S@." tape;
+  Format.printf "game class of the interactive program: %a@." Game.Classes.pp
+    (Game.Classes.classify (Cylog.Parser.parse_exn Turing.Cylog_tm.Interactive.source))

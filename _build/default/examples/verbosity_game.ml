@@ -1,0 +1,105 @@
+(* Verbosity (von Ahn et al.), the game-with-a-purpose the paper cites as
+   "Verbose": a describer gives clues about a hidden word using fixed
+   sentence templates ("it is a kind of ...", "it is used for ..."), a
+   guesser tries to name the word, and every confirmed clue is harvested as
+   a commonsense fact.
+
+   As a CyLog program the harvesting logic is three rules; the incentive
+   (both players score when the guess matches the hidden word) is once
+   again a coordination-style game aspect — the same separation of
+   concerns as TweetPecker and the ESP game.
+
+   Run with: dune exec examples/verbosity_game.exe *)
+
+let program =
+  {|
+  schema:
+    Facts(word key, relation key, clue key);
+
+  rules:
+    Round(word:"umbrella", describer:"dana", guesser:"gus");
+    Round(word:"piano", describer:"gus", guesser:"dana");
+
+    /* The describer fills clue templates for the hidden word. */
+    C1: Clue(word, relation:"is used for", clue, p)/open[p]
+          <- Round(word, describer:p, guesser);
+    C2: Clue(word, relation:"is a kind of", clue, p)/open[p]
+          <- Round(word, describer:p, guesser);
+
+    /* The guesser, shown only the clues, names a word. */
+    G1: Guess(word, answer, p)/open[p] <- Round(word, describer, guesser:p),
+                                          Clue(word, relation, clue, p:d);
+
+    /* A correct guess validates the round's clues into the fact base. */
+    H1: Facts(word, relation, clue) <- Guess(word, answer, p), answer = word,
+                                       Clue(word, relation, clue, p:d);
+
+  games:
+    game VERBOSITY(word) {
+      path:
+        V1: Path(player:p, action:["clue", relation, clue]) <- Clue(word, relation, clue, p);
+        V2: Path(player:p, action:["guess", answer]) <- Guess(word, answer, p);
+      payoff:
+        /* both players score when the guess hits the hidden word */
+        V3: Payoff[d += 5, g += 5] <- Round(word, describer:d, guesser:g),
+                                      Guess(word, answer:word, p:g);
+    }
+  |}
+
+let () =
+  let engine = Cylog.Engine.load (Cylog.Parser.parse_exn program) in
+  ignore (Cylog.Engine.run engine);
+
+  let clues =
+    [ (("umbrella", "is used for"), "keeping dry in rain");
+      (("umbrella", "is a kind of"), "portable shelter");
+      (("piano", "is used for"), "playing music");
+      (("piano", "is a kind of"), "keyboard instrument") ]
+  in
+  let guesses = [ ("umbrella", "umbrella"); ("piano", "accordion") ] in
+
+  let rec play () =
+    let acted = ref false in
+    List.iter
+      (fun (o : Cylog.Engine.open_tuple) ->
+        let word = Reldb.Value.to_display (Reldb.Tuple.get_or_null o.bound "word") in
+        let worker = Option.get o.asked in
+        match o.relation with
+        | "Clue" ->
+            let relation =
+              Reldb.Value.to_display (Reldb.Tuple.get_or_null o.bound "relation")
+            in
+            let clue = List.assoc (word, relation) clues in
+            Format.printf "%s describes %s: \"%s %s\"@."
+              (Reldb.Value.to_display worker) word relation clue;
+            (match
+               Cylog.Engine.supply engine o.id ~worker
+                 [ ("clue", Reldb.Value.String clue) ]
+             with
+            | Ok _ -> acted := true
+            | Error e -> failwith e)
+        | "Guess" ->
+            let answer = List.assoc word guesses in
+            Format.printf "%s guesses: %s@." (Reldb.Value.to_display worker) answer;
+            (match
+               Cylog.Engine.supply engine o.id ~worker
+                 [ ("answer", Reldb.Value.String answer) ]
+             with
+            | Ok _ -> acted := true
+            | Error e -> failwith e)
+        | _ -> ())
+      (Cylog.Engine.pending engine);
+    ignore (Cylog.Engine.run engine);
+    if !acted then play ()
+  in
+  play ();
+
+  let db = Cylog.Engine.database engine in
+  Format.printf "@.commonsense facts harvested (only confirmed rounds):@.%a@."
+    Reldb.Relation.pp
+    (Reldb.Database.find_exn db "Facts");
+  Format.printf "@.scores (the piano round paid nobody):@.";
+  List.iter
+    (fun (p, s) ->
+      Format.printf "  %s: %s@." (Reldb.Value.to_display p) (Reldb.Value.to_display s))
+    (Cylog.Engine.payoffs engine)

@@ -1,0 +1,1 @@
+lib/crowd/simulator.ml: Array Cylog List Random Reldb

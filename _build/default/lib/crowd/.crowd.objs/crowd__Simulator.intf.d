@@ -1,0 +1,1 @@
+lib/crowd/simulator.mli: Cylog Random Reldb

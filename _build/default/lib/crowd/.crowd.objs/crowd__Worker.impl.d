@@ -1,0 +1,1 @@
+lib/crowd/worker.ml: List Printf

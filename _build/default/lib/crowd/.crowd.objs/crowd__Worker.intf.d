@@ -1,0 +1,1 @@
+lib/crowd/worker.mli:

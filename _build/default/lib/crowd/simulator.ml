@@ -1,0 +1,111 @@
+type action_kind = Enter_value | Select_value | Reject_value | Enter_rule
+
+type log_entry = {
+  round : int;
+  clock : int;
+  worker : Reldb.Value.t;
+  kind : action_kind;
+  relation : string;
+  values : (string * Reldb.Value.t) list;
+  progress : float;
+}
+
+type decision =
+  | Answer of Cylog.Engine.open_id * (string * Reldb.Value.t) list * action_kind
+  | Answer_existence of Cylog.Engine.open_id * bool
+  | Pass
+
+type policy =
+  Cylog.Engine.t -> worker:Reldb.Value.t -> rng:Random.State.t -> round:int -> decision
+
+type outcome = {
+  log : log_entry list;
+  rounds : int;
+  stop_reason : [ `Stopped | `Stalled | `Max_rounds ];
+}
+
+let shuffle rng xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ~stop ~workers
+    engine =
+  let rng = Random.State.make [| seed |] in
+  let log = ref [] in
+  let record round worker kind relation values p =
+    log :=
+      {
+        round;
+        clock = Cylog.Engine.clock engine;
+        worker;
+        kind;
+        relation;
+        values;
+        progress = p;
+      }
+      :: !log
+  in
+  ignore (Cylog.Engine.run engine);
+  (* A stall is only declared after several consecutive all-pass rounds:
+     low-diligence workers legitimately sit out whole rounds now and
+     then. *)
+  let idle_rounds = ref 0 in
+  let rec rounds n =
+    if n > max_rounds then `Max_rounds
+    else if stop engine then `Stopped
+    else begin
+      let acted = ref false in
+      List.iter
+        (fun (worker, policy) ->
+          if not (stop engine) then begin
+            let p = progress engine in
+            match policy engine ~worker ~rng ~round:n with
+            | Pass -> ()
+            | Answer (id, values, kind) -> (
+                let relation =
+                  match Cylog.Engine.find_open engine id with
+                  | Some o -> o.Cylog.Engine.relation
+                  | None -> ""
+                in
+                match Cylog.Engine.supply engine id ~worker values with
+                | Ok _ ->
+                    acted := true;
+                    record n worker kind relation values p;
+                    ignore (Cylog.Engine.run engine)
+                | Error _ -> ())
+            | Answer_existence (id, yes) -> (
+                let before = Cylog.Engine.find_open engine id in
+                match Cylog.Engine.answer_existence engine id ~worker yes with
+                | Ok _ ->
+                    acted := true;
+                    let relation, values =
+                      match before with
+                      | Some o ->
+                          (o.Cylog.Engine.relation, Reldb.Tuple.to_list o.Cylog.Engine.bound)
+                      | None -> ("", [])
+                    in
+                    record n worker
+                      (if yes then Select_value else Reject_value)
+                      relation values p;
+                    ignore (Cylog.Engine.run engine)
+                | Error _ -> ())
+          end)
+        (shuffle rng workers);
+      if stop engine then `Stopped
+      else begin
+        if !acted then idle_rounds := 0 else incr idle_rounds;
+        if !idle_rounds >= 5 then `Stalled else rounds (n + 1)
+      end
+    end
+  in
+  let stop_reason = rounds 1 in
+  let rounds_done =
+    match !log with [] -> 0 | { round; _ } :: _ -> round
+  in
+  { log = List.rev !log; rounds = rounds_done; stop_reason }

@@ -1,0 +1,56 @@
+(** The crowd simulation loop.
+
+    The engine computes machine consequences and suspends on open tuples;
+    the simulator plays the crowd: each round, workers take turns (in a
+    seeded random order) choosing which pending open tuple to answer and
+    with what values — exactly the two decisions the paper leaves to human
+    intelligence. Every action is logged with the logical clock and a
+    caller-supplied progress measure, which is what the Figure 11/12
+    analyses consume. *)
+
+type action_kind =
+  | Enter_value  (** typed a value into the form (Figure 2 (b)) *)
+  | Select_value  (** accepted a machine-extracted candidate (Figure 2 (c)) *)
+  | Reject_value  (** answered no to a candidate *)
+  | Enter_rule  (** submitted an extraction rule (Figure 2 bottom) *)
+
+type log_entry = {
+  round : int;
+  clock : int;  (** engine clock after the action *)
+  worker : Reldb.Value.t;
+  kind : action_kind;
+  relation : string;
+  values : (string * Reldb.Value.t) list;
+      (** supplied values; for selections, the bound tuple's bindings *)
+  progress : float;  (** caller-defined completion measure at action time *)
+}
+
+(** What a worker decides to do on their turn. *)
+type decision =
+  | Answer of Cylog.Engine.open_id * (string * Reldb.Value.t) list * action_kind
+  | Answer_existence of Cylog.Engine.open_id * bool
+  | Pass  (** nothing to do this turn *)
+
+(** A policy receives the engine (to inspect pending open tuples and the
+    database), its own worker identity, a seeded RNG, and the current
+    round; it returns one decision. *)
+type policy =
+  Cylog.Engine.t -> worker:Reldb.Value.t -> rng:Random.State.t -> round:int -> decision
+
+type outcome = {
+  log : log_entry list;  (** chronological *)
+  rounds : int;
+  stop_reason : [ `Stopped | `Stalled | `Max_rounds ];
+      (** [`Stopped]: the stop condition held; [`Stalled]: every worker
+          passed on a full round; [`Max_rounds]: safety bound hit *)
+}
+
+val run :
+  ?seed:int -> ?max_rounds:int -> ?progress:(Cylog.Engine.t -> float) ->
+  stop:(Cylog.Engine.t -> bool) ->
+  workers:(Reldb.Value.t * policy) list ->
+  Cylog.Engine.t -> outcome
+(** Drive the engine to quiescence, then let workers act one decision per
+    turn, re-running the machine after each action, until [stop] holds,
+    all workers pass, or [max_rounds] (default 10_000) elapses. [progress]
+    (default: constant 0) is sampled before each action. *)

@@ -1,0 +1,1 @@
+lib/cylog/ast.ml: List Reldb String

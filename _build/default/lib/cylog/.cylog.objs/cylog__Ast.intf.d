@@ -1,0 +1,1 @@
+lib/cylog/ast.mli: Reldb

@@ -1,0 +1,1 @@
+lib/cylog/binding.ml: Format Map Reldb String

@@ -1,0 +1,1 @@
+lib/cylog/binding.mli: Format Reldb

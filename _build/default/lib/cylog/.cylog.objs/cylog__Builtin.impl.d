@@ -1,0 +1,1 @@
+lib/cylog/builtin.ml: Float Hashtbl List Printf Regex Reldb String

@@ -1,0 +1,1 @@
+lib/cylog/builtin.mli: Reldb

@@ -1,0 +1,1 @@
+lib/cylog/engine.ml: Array Ast Binding Buffer Builtin Eval Format Fun Hashtbl List Logs Option Printf Reldb String Views

@@ -1,0 +1,1 @@
+lib/cylog/engine.mli: Ast Builtin Reldb

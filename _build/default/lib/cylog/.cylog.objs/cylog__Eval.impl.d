@@ -1,0 +1,1 @@
+lib/cylog/eval.ml: Ast Binding Builtin Format List Pretty Reldb

@@ -1,0 +1,1 @@
+lib/cylog/eval.mli: Ast Binding Builtin Reldb

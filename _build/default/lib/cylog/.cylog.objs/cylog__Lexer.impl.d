@@ -1,0 +1,1 @@
+lib/cylog/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/cylog/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/cylog/parser.ml: Array Ast Format Lexer List Printf Reldb Views

@@ -1,0 +1,1 @@
+lib/cylog/parser.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cylog/precedence.ml: Array Ast Format List Pretty Printf String

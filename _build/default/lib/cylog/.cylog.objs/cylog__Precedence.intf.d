@@ -1,0 +1,1 @@
+lib/cylog/precedence.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cylog/pretty.ml: Ast Format List Reldb

@@ -1,0 +1,1 @@
+lib/cylog/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cylog/semantics.ml: Ast Binding Builtin Engine Eval List Option Reldb String

@@ -1,0 +1,1 @@
+lib/cylog/semantics.mli: Ast Reldb

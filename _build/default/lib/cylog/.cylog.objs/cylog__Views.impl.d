@@ -1,0 +1,1 @@
+lib/cylog/views.ml: Ast Buffer List Reldb String

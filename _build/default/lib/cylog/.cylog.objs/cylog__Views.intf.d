@@ -1,0 +1,1 @@
+lib/cylog/views.mli: Ast Reldb

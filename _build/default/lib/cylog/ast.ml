@@ -1,0 +1,85 @@
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Const of Reldb.Value.t
+  | Var of string
+  | List of expr list
+  | Binop of binop * expr * expr
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type arg = { attr : string; bind : bind }
+and bind = Auto | Bound of expr
+
+type atom = { pred : string; args : arg list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of expr * cmpop * expr
+  | Call of string * expr list
+
+type head_kind = Assert | Open of expr option | Update | Delete
+
+type head =
+  | Head_atom of { atom : atom; kind : head_kind }
+  | Head_payoff of (string * expr) list
+
+type statement = { label : string option; heads : head list; body : literal list }
+
+type schema_decl = { rel_name : string; rel_attrs : (string * bool * bool) list }
+
+type game_decl = {
+  game_name : string;
+  game_params : string list;
+  path_rules : statement list;
+  payoff_rules : statement list;
+}
+
+type view = { view_name : string; template : string }
+
+type program = {
+  schemas : schema_decl list;
+  statements : statement list;
+  games : game_decl list;
+  views : view list;
+}
+
+let empty_program = { schemas = []; statements = []; games = []; views = [] }
+
+let rec expr_vars = function
+  | Const _ -> []
+  | Var v -> [ v ]
+  | List es -> List.concat_map expr_vars es
+  | Binop (_, a, b) -> expr_vars a @ expr_vars b
+
+let expr_vars e = List.sort_uniq String.compare (expr_vars e)
+
+let literal_positive_preds = function
+  | Pos { pred; _ } -> [ pred ]
+  | Neg _ | Cmp _ | Call _ -> []
+
+let body_preds body =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (function
+         | Pos { pred; _ } | Neg { pred; _ } -> [ pred ]
+         | Cmp _ | Call _ -> [])
+       body)
+
+let head_pred = function
+  | Head_atom { atom; _ } -> Some atom.pred
+  | Head_payoff _ -> None
+
+let statement_preds s =
+  List.sort_uniq String.compare (List.filter_map head_pred s.heads)
+
+let statement_is_fact s = s.body = []
+
+let statement_is_open s =
+  List.exists
+    (function
+      | Head_atom { kind = Open _; _ } -> true
+      | Head_atom _ | Head_payoff _ -> false)
+    s.heads
+

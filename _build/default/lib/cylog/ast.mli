@@ -1,0 +1,104 @@
+(** Abstract syntax of CyLog programs.
+
+    A program has a [schema] section (relation declarations), a [rules]
+    section (facts and rules in priority order — the order in the source
+    text is the evaluation priority), and a [games] section (game aspects:
+    one Skolem function plus path and payoff rules per game). The paper's
+    views section is presentation-only and not modelled. *)
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Const of Reldb.Value.t
+  | Var of string
+  | List of expr list
+  | Binop of binop * expr * expr
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+(** One attribute position of an atom. [Auto] is the bare-attribute form
+    [Tweet(tw)]: the attribute is associated with a variable of the same
+    name. [Bound e] is the explicit form [cname:loc] or [attr:"weather"]. *)
+type arg = { attr : string; bind : bind }
+
+and bind = Auto | Bound of expr
+
+type atom = { pred : string; args : arg list }
+
+(** A body element, evaluated left to right. *)
+type literal =
+  | Pos of atom  (** relation membership; branches over live tuples *)
+  | Neg of atom  (** [not R(...)]: no live tuple matches *)
+  | Cmp of expr * cmpop * expr
+      (** comparison; [v = e] with [v] unbound binds [v] to [e] *)
+  | Call of string * expr list  (** builtin such as [matches(cond, tw)] *)
+
+(** Head annotations. [Open (Some e)] is [/open[e]]: the worker denoted by
+    [e] is asked. [Update] merges the head's explicitly mentioned attributes
+    into the live tuple with the same key (inserting when absent); [Delete]
+    removes live tuples matching the head pattern. *)
+type head_kind = Assert | Open of expr option | Update | Delete
+
+type head =
+  | Head_atom of { atom : atom; kind : head_kind }
+  | Head_payoff of (string * expr) list
+      (** [Payoff[p1 += e1, p2 += e2]]: accumulate payoff deltas per
+          player variable — the paper's syntactic sugar *)
+
+type statement = {
+  label : string option;  (** [VE1:]-style label, for traces and analysis *)
+  heads : head list;
+      (** usually a single head; comma-separated heads (Figure 16's Turing
+          machine rule) apply atomically under one valuation *)
+  body : literal list;  (** empty body = fact *)
+}
+
+(** Relation declaration: attribute name, key flag, auto-increment flag. *)
+type schema_decl = {
+  rel_name : string;
+  rel_attrs : (string * bool * bool) list;
+}
+
+type game_decl = {
+  game_name : string;
+  game_params : string list;  (** Skolem-function parameters *)
+  path_rules : statement list;  (** heads target the [Path] table *)
+  payoff_rules : statement list;  (** heads are payoff accumulations *)
+}
+
+(** A worker-facing task template from the views section: raw markup with
+    [{{attr}}] placeholders, bound to the relation it presents. *)
+type view = { view_name : string; template : string }
+
+type program = {
+  schemas : schema_decl list;
+  statements : statement list;
+  games : game_decl list;
+  views : view list;
+}
+
+val empty_program : program
+(** Program with no declarations, statements or games. *)
+
+val expr_vars : expr -> string list
+(** Variables occurring in an expression, without duplicates. *)
+
+val literal_positive_preds : literal -> string list
+(** Relation names a literal reads positively ([Pos] atoms only). *)
+
+val body_preds : literal list -> string list
+(** All relation names a body reads, positive and negated, without
+    duplicates. *)
+
+val head_pred : head -> string option
+(** The relation a head writes, when it is an atom head. *)
+
+val statement_preds : statement -> string list
+(** Relations written by any of the statement's heads, without
+    duplicates. *)
+
+val statement_is_fact : statement -> bool
+(** True iff the body is empty. *)
+
+val statement_is_open : statement -> bool
+(** True iff some head carries [/open]. *)

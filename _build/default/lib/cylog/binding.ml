@@ -1,0 +1,17 @@
+module M = Map.Make (String)
+
+type t = Reldb.Value.t M.t
+
+let empty = M.empty
+let find env v = M.find_opt v env
+let bind env v value = M.add v value env
+let mem env v = M.mem v env
+let to_list env = M.bindings env
+
+let pp ppf env =
+  let binding ppf (v, value) = Format.fprintf ppf "%s=%a" v Reldb.Value.pp value in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") binding)
+    (to_list env)
+
+let to_string env = Format.asprintf "%a" pp env

@@ -1,0 +1,17 @@
+(** Variable valuations.
+
+    A valuation binds rule variables to values — the paper's "rule with a
+    valuation" is a rule instance. Immutable, so the enumerator backtracks
+    for free. *)
+
+type t
+
+val empty : t
+val find : t -> string -> Reldb.Value.t option
+val bind : t -> string -> Reldb.Value.t -> t
+val mem : t -> string -> bool
+val to_list : t -> (string * Reldb.Value.t) list
+(** Bindings sorted by variable name. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,814 @@
+type open_id = int
+
+type origin = Main | Game_path of string | Game_payoff of string
+
+type open_tuple = {
+  id : open_id;
+  statement : int;
+  label : string option;
+  relation : string;
+  bound : Reldb.Tuple.t;
+  open_attrs : string list;
+  asked : Reldb.Value.t option;
+  existence : bool;
+  repeatable : bool;
+  created_at : int;
+}
+
+type effect =
+  | Inserted of string * Reldb.Tuple.t
+  | Updated of string * Reldb.Tuple.t
+  | Deleted of string * int
+  | Awarded of (Reldb.Value.t * Reldb.Value.t) list
+  | Open_created of open_id
+  | No_effect
+
+type event = {
+  clock : int;
+  statement : int;
+  label : string option;
+  valuation : (string * Reldb.Value.t) list;
+  fired : bool;
+  effects : effect list;
+  by_human : Reldb.Value.t option;
+}
+
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Debug instrumentation: enable with Logs.Src.set_level on "cylog.engine". *)
+let log_src = Logs.Src.create "cylog.engine" ~doc:"CyLog evaluation engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type delta_state = {
+  mutable frontiers : int array;  (* per positive atom: processed watermark *)
+  mutable queue : Eval.matched list;  (* discovered, not yet fired; sorted *)
+}
+
+type stmt_info = {
+  stmt : Ast.statement;
+  origin : origin;
+  prefix : Ast.literal list;
+  tail : Ast.literal list;
+  pos_preds : string list;  (* positive-atom relations, in body order *)
+  body_rels : string list;
+  payoff_dedup : bool;  (* unordered-support memo (game payoff rules) *)
+  mutable exhausted_gen : int;  (* -1: never fully enumerated *)
+  delta : delta_state option;
+      (* Seminaive evaluation for statements whose body relations are
+         insert-only (no /update or /delete targets them anywhere in the
+         program) and whose negations sit in the tail: instead of
+         re-enumerating the whole join per step, only combinations
+         involving a new row are discovered, queued in row order and fired
+         one per step. Within one discovery batch the paper's
+         earliest-rows tie-break is preserved; across batches instances
+         fire in discovery order. *)
+}
+
+type t = {
+  db : Reldb.Database.t;
+  builtins : Builtin.registry;
+  use_delta : bool;
+  mutable infos : stmt_info array;
+  updatable : (string, unit) Hashtbl.t;
+  fired : (string, unit) Hashtbl.t;
+  open_tbl : (open_id, open_tuple) Hashtbl.t;
+  mutable open_order : open_id list;  (* reverse creation order *)
+  mutable next_open : open_id;
+  mutable clock : int;
+  mutable events : event list;  (* reverse chronological *)
+  path_rels : (string, string list) Hashtbl.t;  (* path relation -> params *)
+  views : Ast.view list;
+}
+
+let path_relation_name game = "Path@" ^ game
+
+(* --- Game-aspect desugaring -------------------------------------------- *)
+
+let rewrite_atom game params (atom : Ast.atom) =
+  if atom.pred <> "Path" then atom
+  else
+    {
+      Ast.pred = path_relation_name game;
+      args = List.map (fun p -> { Ast.attr = p; bind = Ast.Auto }) params @ atom.args;
+    }
+
+let rewrite_literal game params = function
+  | Ast.Pos a -> Ast.Pos (rewrite_atom game params a)
+  | Ast.Neg a -> Ast.Neg (rewrite_atom game params a)
+  | (Ast.Cmp _ | Ast.Call _) as l -> l
+
+let rewrite_head game params = function
+  | Ast.Head_atom { atom; kind } ->
+      Ast.Head_atom { atom = rewrite_atom game params atom; kind }
+  | Ast.Head_payoff _ as h -> h
+
+let rewrite_statement game params (s : Ast.statement) =
+  {
+    s with
+    Ast.heads = List.map (rewrite_head game params) s.heads;
+    body = List.map (rewrite_literal game params) s.body;
+  }
+
+let effective_statements (program : Ast.program) =
+  let main = List.map (fun s -> (s, Main)) program.statements in
+  let per_game (g : Ast.game_decl) =
+    List.map
+      (fun s -> (rewrite_statement g.game_name g.game_params s, Game_path g.game_name))
+      g.path_rules
+    @ List.map
+        (fun s ->
+          (rewrite_statement g.game_name g.game_params s, Game_payoff g.game_name))
+        g.payoff_rules
+  in
+  main @ List.concat_map per_game program.games
+
+(* --- Schema inference ---------------------------------------------------- *)
+
+let add_attr seen order pred attr =
+  let key = (pred, attr) in
+  if not (Hashtbl.mem seen key) then begin
+    Hashtbl.replace seen key ();
+    let prev = try Hashtbl.find order pred with Not_found -> [] in
+    Hashtbl.replace order pred (attr :: prev)
+  end
+
+let declare_relations db (program : Ast.program) statements path_rels =
+  let seen = Hashtbl.create 64 and order = Hashtbl.create 16 in
+  let scan_atom (a : Ast.atom) =
+    List.iter (fun (arg : Ast.arg) -> add_attr seen order a.pred arg.attr) a.args
+  in
+  let scan_literal = function
+    | Ast.Pos a | Ast.Neg a -> scan_atom a
+    | Ast.Cmp _ | Ast.Call _ -> ()
+  in
+  let scan_head = function
+    | Ast.Head_atom { atom; _ } -> scan_atom atom
+    | Ast.Head_payoff _ -> ()
+  in
+  (* Path relations start with their Skolem parameters plus the bookkeeping
+     columns of Figure 6. *)
+  Hashtbl.iter
+    (fun rel params ->
+      List.iter (add_attr seen order rel) params;
+      add_attr seen order rel "order";
+      add_attr seen order rel "date")
+    path_rels;
+  List.iter
+    (fun ((s : Ast.statement), _) ->
+      List.iter scan_head s.heads;
+      List.iter scan_literal s.body)
+    statements;
+  (* Explicit declarations win. *)
+  let explicit = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ast.schema_decl) ->
+      Hashtbl.replace explicit d.rel_name ();
+      let attrs = List.map (fun (a, _, _) -> a) d.rel_attrs in
+      let key = List.filter_map (fun (a, k, _) -> if k then Some a else None) d.rel_attrs in
+      let autos = List.filter_map (fun (a, _, au) -> if au then Some a else None) d.rel_attrs in
+      let auto_increment = match autos with [] -> None | [ a ] -> Some a | _ ->
+        runtime_error "relation %s declares several auto attributes" d.rel_name
+      in
+      try ignore (Reldb.Database.declare db (Reldb.Schema.make ~key ?auto_increment ~name:d.rel_name attrs))
+      with Invalid_argument m -> runtime_error "%s" m)
+    program.schemas;
+  (* Payoff bookkeeping. *)
+  if not (Hashtbl.mem explicit "Payoff") then
+    ignore
+      (Reldb.Database.declare db
+         (Reldb.Schema.make ~key:[ "player" ] ~name:"Payoff" [ "player"; "score" ]));
+  Hashtbl.replace explicit "Payoff" ();
+  (* Inferred relations: set semantics, no key; path relations auto-number
+     their [order] column. *)
+  Hashtbl.iter
+    (fun pred rev_attrs ->
+      if not (Hashtbl.mem explicit pred) then begin
+        let attrs = List.rev rev_attrs in
+        let auto_increment = if Hashtbl.mem path_rels pred then Some "order" else None in
+        try ignore (Reldb.Database.declare db (Reldb.Schema.make ?auto_increment ~name:pred attrs))
+        with Invalid_argument m -> runtime_error "%s" m
+      end)
+    order
+
+(* --- Loading -------------------------------------------------------------- *)
+
+let update_delete_targets (s : Ast.statement) =
+  List.filter_map
+    (function
+      | Ast.Head_atom { atom; kind = Ast.Update | Ast.Delete } -> Some atom.Ast.pred
+      | Ast.Head_atom _ | Ast.Head_payoff _ -> None)
+    s.heads
+
+let make_info ~use_delta ~updatable ((s : Ast.statement), origin) =
+  let prefix, tail = Eval.split_tail s.body in
+  let pos_preds =
+    List.filter_map (function Ast.Pos a -> Some a.Ast.pred | _ -> None) prefix
+  in
+  let delta_ok =
+    use_delta
+    && pos_preds <> []
+    && List.for_all (fun r -> not (Hashtbl.mem updatable r)) (Ast.body_preds s.body)
+    && List.for_all (function Ast.Neg _ -> false | _ -> true) prefix
+  in
+  {
+    stmt = s;
+    origin;
+    prefix;
+    tail;
+    pos_preds;
+    body_rels = Ast.body_preds s.body;
+    payoff_dedup =
+      (match origin with Game_payoff _ -> true | Main | Game_path _ -> false);
+    exhausted_gen = -1;
+    delta =
+      (if delta_ok then
+         Some { frontiers = Array.make (List.length pos_preds) 0; queue = [] }
+       else None);
+  }
+
+let load ?builtins ?(use_delta = true) (program : Ast.program) =
+  let builtins = match builtins with Some b -> b | None -> Builtin.default () in
+  let path_rels = Hashtbl.create 4 in
+  List.iter
+    (fun (g : Ast.game_decl) ->
+      Hashtbl.replace path_rels (path_relation_name g.game_name) g.game_params)
+    program.games;
+  let statements = effective_statements program in
+  let db = Reldb.Database.create () in
+  declare_relations db program statements path_rels;
+  (* Relations some statement updates or deletes: their rows mutate in
+     place, so statements reading them must re-enumerate (no delta). *)
+  let updatable = Hashtbl.create 8 in
+  List.iter
+    (fun ((s : Ast.statement), _) ->
+      List.iter (fun pred -> Hashtbl.replace updatable pred ()) (update_delete_targets s))
+    statements;
+  let infos = Array.of_list (List.map (make_info ~use_delta ~updatable) statements) in
+  {
+    db;
+    builtins;
+    use_delta;
+    infos;
+    updatable;
+    fired = Hashtbl.create 1024;
+    open_tbl = Hashtbl.create 64;
+    open_order = [];
+    next_open = 1;
+    clock = 0;
+    events = [];
+    path_rels;
+    views = program.views;
+  }
+
+let database t = t.db
+let statements t = Array.to_list (Array.map (fun i -> (i.stmt, i.origin)) t.infos)
+
+(* --- Incremental statements (REPL support) --------------------------------- *)
+
+let declare_for_statement t (s : Ast.statement) =
+  let atoms =
+    List.filter_map
+      (function
+        | Ast.Head_atom { atom; _ } -> Some atom
+        | Ast.Head_payoff _ -> None)
+      s.heads
+    @ List.filter_map
+        (function Ast.Pos a | Ast.Neg a -> Some a | Ast.Cmp _ | Ast.Call _ -> None)
+        s.body
+  in
+  List.iter
+    (fun (atom : Ast.atom) ->
+      match Reldb.Database.find t.db atom.pred with
+      | Some rel ->
+          let schema = Reldb.Relation.schema rel in
+          List.iter
+            (fun (arg : Ast.arg) ->
+              if not (Reldb.Schema.has_attribute schema arg.attr) then
+                runtime_error
+                  "relation %s has no attribute %s (schemas are fixed once declared)"
+                  atom.pred arg.attr)
+            atom.args
+      | None ->
+          let attrs =
+            List.fold_left
+              (fun acc (arg : Ast.arg) ->
+                if List.mem arg.attr acc then acc else acc @ [ arg.attr ])
+              [] atom.args
+          in
+          ignore (Reldb.Database.declare t.db (Reldb.Schema.make ~name:atom.pred attrs)))
+    atoms
+
+let add_statement t (s : Ast.statement) =
+  declare_for_statement t s;
+  (* A new update/delete target forces statements that read the relation
+     back to the rescan strategy: their delta queues are dropped, which is
+     safe because undischarged instances are not in the firing memo and
+     rescan rediscovers them. *)
+  let fresh_targets =
+    List.filter (fun p -> not (Hashtbl.mem t.updatable p)) (update_delete_targets s)
+  in
+  List.iter (fun p -> Hashtbl.replace t.updatable p ()) fresh_targets;
+  if fresh_targets <> [] then
+    t.infos <-
+      Array.map
+        (fun info ->
+          if
+            info.delta <> None
+            && List.exists (fun p -> List.mem p info.body_rels) fresh_targets
+          then make_info ~use_delta:false ~updatable:t.updatable (info.stmt, info.origin)
+          else info)
+        t.infos;
+  t.infos <-
+    Array.append t.infos
+      [| make_info ~use_delta:t.use_delta ~updatable:t.updatable (s, Main) |]
+
+let builtins t = t.builtins
+let clock t = t.clock
+let events t = List.rev t.events
+
+(* --- Memoisation ----------------------------------------------------------- *)
+
+let fingerprint idx info (support : (string * int * int) list) =
+  let support = if info.payoff_dedup then List.sort compare support else support in
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (string_of_int idx);
+  List.iter
+    (fun (pred, row, version) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf pred;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int row);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int version))
+    support;
+  Buffer.contents buf
+
+let body_generation t info =
+  List.fold_left
+    (fun acc rel ->
+      match Reldb.Database.find t.db rel with
+      | Some r -> acc + Reldb.Relation.generation r
+      | None -> acc)
+    0 info.body_rels
+
+(* --- Head application -------------------------------------------------------- *)
+
+let relation_of t pred =
+  match Reldb.Database.find t.db pred with
+  | Some r -> r
+  | None -> runtime_error "relation %s was never declared" pred
+
+let eval_head_args t env (atom : Ast.atom) =
+  (* Partition head arguments into evaluable bindings and open slots. *)
+  List.fold_left
+    (fun (bound, opens) (arg : Ast.arg) ->
+      let expr = match arg.bind with Ast.Auto -> Ast.Var arg.attr | Ast.Bound e -> e in
+      match Eval.try_eval_expr t.builtins env expr with
+      | Some v -> ((arg.attr, v) :: bound, opens)
+      | None -> (bound, arg.attr :: opens))
+    ([], []) atom.args
+  |> fun (bound, opens) -> (List.rev bound, List.rev opens)
+
+let stamp_path_date t pred bound =
+  (* Path tables record when each action happened (Figure 6). *)
+  if Hashtbl.mem t.path_rels pred && not (List.mem_assoc "date" bound) then
+    ("date", Reldb.Value.Int t.clock) :: bound
+  else bound
+
+let insert_tuple t pred bound =
+  let rel = relation_of t pred in
+  let bound = stamp_path_date t pred bound in
+  match Reldb.Relation.insert rel (Reldb.Tuple.of_list bound) with
+  | Reldb.Relation.Inserted i -> (
+      match Reldb.Relation.row rel i with
+      | Some tuple -> Inserted (pred, tuple)
+      | None -> No_effect)
+  | Reldb.Relation.Duplicate_tuple _ | Reldb.Relation.Duplicate_key _ -> No_effect
+
+let update_tuple t pred bound =
+  let rel = relation_of t pred in
+  let schema = Reldb.Relation.schema rel in
+  let key = Reldb.Schema.key schema in
+  List.iter
+    (fun k ->
+      if not (List.mem_assoc k bound) then
+        runtime_error "update of %s does not determine key attribute %s" pred k)
+    key;
+  (* /update only overwrites the attributes the head mentions; the rest of
+     an existing tuple is preserved (Figure 16's tape-extension rule relies
+     on this). *)
+  let merged =
+    match Reldb.Relation.find_by_key rel (Reldb.Tuple.of_list bound) with
+    | Some (_, existing) ->
+        List.fold_left (fun acc (a, v) -> Reldb.Tuple.set acc a v) existing bound
+    | None -> Reldb.Tuple.of_list bound
+  in
+  match Reldb.Relation.update rel merged with
+  | Reldb.Relation.Replaced i | Reldb.Relation.Upserted i -> (
+      match Reldb.Relation.row rel i with
+      | Some tuple -> Updated (pred, tuple)
+      | None -> No_effect)
+  | Reldb.Relation.Unchanged _ -> No_effect
+
+let delete_tuples t pred bound =
+  let rel = relation_of t pred in
+  let n = Reldb.Relation.delete_where rel (fun tuple -> Reldb.Tuple.matches tuple bound) in
+  Deleted (pred, n)
+
+let award_payoffs t env updates =
+  let rel = relation_of t "Payoff" in
+  let deltas =
+    List.map
+      (fun (player_var, delta_expr) ->
+        let player =
+          match Binding.find env player_var with
+          | Some v -> v
+          | None -> runtime_error "payoff player variable %s is unbound" player_var
+        in
+        let delta = Eval.eval_expr t.builtins env delta_expr in
+        (player, delta))
+      updates
+  in
+  List.iter
+    (fun (player, delta) ->
+      let current =
+        match Reldb.Relation.find_by_key rel (Reldb.Tuple.of_list [ ("player", player) ]) with
+        | Some (_, tuple) -> (
+            match Reldb.Tuple.get_or_null tuple "score" with
+            | Reldb.Value.Null -> Reldb.Value.Int 0
+            | v -> v)
+        | None -> Reldb.Value.Int 0
+      in
+      let score =
+        try Reldb.Value.add current delta
+        with Invalid_argument m -> runtime_error "payoff accumulation: %s" m
+      in
+      ignore
+        (Reldb.Relation.update rel
+           (Reldb.Tuple.of_list [ ("player", player); ("score", score) ])))
+    deltas;
+  Awarded deltas
+
+let create_open t idx (info : stmt_info) env (atom : Ast.atom) worker_expr bound opens =
+  let asked =
+    match worker_expr with
+    | Some e -> Some (Eval.eval_expr t.builtins env e)
+    | None -> None
+  in
+  (* Auto-increment attributes are machine-assigned at insertion time, not
+     asked of the worker; an unmentioned auto key also makes the question a
+     standing task (each answer yields a distinct tuple). *)
+  let auto =
+    Reldb.Schema.auto_increment (Reldb.Relation.schema (relation_of t atom.pred))
+  in
+  let opens, repeatable =
+    match auto with
+    | Some a when List.mem a opens -> (List.filter (fun x -> x <> a) opens, true)
+    | Some _ | None -> (opens, false)
+  in
+  let id = t.next_open in
+  t.next_open <- t.next_open + 1;
+  let open_tuple =
+    {
+      id;
+      statement = idx;
+      label = info.stmt.Ast.label;
+      relation = atom.pred;
+      bound = Reldb.Tuple.of_list bound;
+      open_attrs = opens;
+      asked;
+      existence = opens = [];
+      repeatable;
+      created_at = t.clock;
+    }
+  in
+  Hashtbl.replace t.open_tbl id open_tuple;
+  t.open_order <- id :: t.open_order;
+  Open_created id
+
+let apply_head t idx info env head =
+  match head with
+  | Ast.Head_payoff updates -> award_payoffs t env updates
+  | Ast.Head_atom { atom; kind } -> (
+      let bound, opens = eval_head_args t env atom in
+      match kind with
+      | Ast.Assert ->
+          if opens <> [] then
+            runtime_error "statement %s: head %s has unbound attributes %s (use /open)"
+              (Option.value info.stmt.Ast.label ~default:(string_of_int idx))
+              atom.pred (String.concat ", " opens)
+          else insert_tuple t atom.pred bound
+      | Ast.Open worker -> create_open t idx info env atom worker bound opens
+      | Ast.Update ->
+          if opens <> [] then
+            runtime_error "update of %s leaves attributes %s unbound" atom.pred
+              (String.concat ", " opens)
+          else update_tuple t atom.pred bound
+      | Ast.Delete -> delete_tuples t atom.pred bound)
+
+(* --- Stepping ------------------------------------------------------------- *)
+
+let record_event t event = t.events <- event :: t.events
+
+let check_tail t env tail =
+  let rec loop env = function
+    | [] -> Some env
+    | lit :: rest -> (
+        match Eval.check_filter t.builtins t.db env lit with
+        | `Pass env' -> loop env' rest
+        | `Fail -> None)
+  in
+  loop env tail
+
+let fire t idx (info : stmt_info) (m : Eval.matched) fp =
+  Hashtbl.replace t.fired fp ();
+  t.clock <- t.clock + 1;
+  Log.debug (fun k ->
+      k "clock %d: firing statement %s with %s" t.clock
+        (Option.value info.stmt.Ast.label ~default:(string_of_int idx))
+        (Binding.to_string m.env));
+  match check_tail t m.env info.tail with
+  | None ->
+      let event =
+        {
+          clock = t.clock;
+          statement = idx;
+          label = info.stmt.Ast.label;
+          valuation = Binding.to_list m.env;
+          fired = false;
+          effects = [];
+          by_human = None;
+        }
+      in
+      record_event t event;
+      event
+  | Some env ->
+      let effects = List.map (apply_head t idx info env) info.stmt.Ast.heads in
+      let event =
+        {
+          clock = t.clock;
+          statement = idx;
+          label = info.stmt.Ast.label;
+          valuation = Binding.to_list env;
+          fired = true;
+          effects;
+          by_human = None;
+        }
+      in
+      record_event t event;
+      event
+
+(* Seminaive discovery: every prefix valuation involving at least one row
+   at or above an atom's frontier is found exactly once — a combination
+   with new rows at positions S is discovered at position [min S], where
+   earlier atoms are restricted below their frontiers and later atoms are
+   unrestricted. *)
+let delta_scan t idx (info : stmt_info) (ds : delta_state) =
+  let n_atoms = Array.length ds.frontiers in
+  let highs =
+    Array.of_list
+      (List.map
+         (fun pred ->
+           match Reldb.Database.find t.db pred with
+           | Some rel -> Reldb.Relation.high_water rel
+           | None -> 0)
+         info.pos_preds)
+  in
+  let discovered = ref [] in
+  (try
+     for i = 0 to n_atoms - 1 do
+       for r = ds.frontiers.(i) to highs.(i) - 1 do
+         let plan j =
+           if j < i then Eval.Below ds.frontiers.(j)
+           else if j = i then Eval.Exactly r
+           else Eval.All
+         in
+         Eval.enumerate ~plan t.builtins t.db info.prefix ~init:Binding.empty
+           ~f:(fun m ->
+             discovered := m :: !discovered;
+             `Continue)
+       done
+     done
+   with Eval.Error msg ->
+     runtime_error "statement %s: %s"
+       (Option.value info.stmt.Ast.label ~default:(string_of_int idx))
+       msg);
+  ds.frontiers <- highs;
+  if !discovered <> [] then begin
+    let key (m : Eval.matched) = List.map (fun (_, row, ver) -> (row, ver)) m.support in
+    let batch =
+      List.sort (fun a b -> compare (key a) (key b)) (List.rev !discovered)
+    in
+    ds.queue <- ds.queue @ batch
+  end
+
+(* Pop the first queued instance that has not fired yet. *)
+let rec pop_unfired t idx info (ds : delta_state) =
+  match ds.queue with
+  | [] -> None
+  | m :: rest ->
+      let fp = fingerprint idx info m.Eval.support in
+      ds.queue <- rest;
+      if Hashtbl.mem t.fired fp then pop_unfired t idx info ds else Some (m, fp)
+
+let step t =
+  let n = Array.length t.infos in
+  let rec try_stmt i =
+    if i >= n then None
+    else
+      let info = t.infos.(i) in
+      match info.delta with
+      | Some ds -> (
+          if ds.queue = [] then delta_scan t i info ds;
+          match pop_unfired t i info ds with
+          | None -> try_stmt (i + 1)
+          | Some (m, fp) -> (
+              try Some (fire t i info m fp)
+              with Eval.Error msg ->
+                runtime_error "statement %s: %s"
+                  (Option.value info.stmt.Ast.label ~default:(string_of_int i))
+                  msg))
+      | None ->
+          let gen = body_generation t info in
+          if info.exhausted_gen = gen then try_stmt (i + 1)
+          else begin
+            let found = ref None in
+            (try
+               Eval.enumerate t.builtins t.db info.prefix ~init:Binding.empty
+                 ~f:(fun m ->
+                   let fp = fingerprint i info m.support in
+                   if Hashtbl.mem t.fired fp then `Continue
+                   else begin
+                     found := Some (m, fp);
+                     `Stop
+                   end)
+             with Eval.Error msg ->
+               runtime_error "statement %s: %s"
+                 (Option.value info.stmt.Ast.label ~default:(string_of_int i))
+                 msg);
+            match !found with
+            | None ->
+                info.exhausted_gen <- gen;
+                try_stmt (i + 1)
+            | Some (m, fp) -> (
+                try Some (fire t i info m fp)
+                with Eval.Error msg ->
+                  runtime_error "statement %s: %s"
+                    (Option.value info.stmt.Ast.label ~default:(string_of_int i))
+                    msg)
+          end
+  in
+  try_stmt 0
+
+let run ?(max_steps = 1_000_000) t =
+  let rec loop steps =
+    if steps >= max_steps then steps
+    else match step t with Some _ -> loop (steps + 1) | None -> steps
+  in
+  loop 0
+
+(* --- Open tuples ------------------------------------------------------------ *)
+
+let pending t =
+  List.rev_map (fun id -> Hashtbl.find_opt t.open_tbl id) t.open_order
+  |> List.filter_map Fun.id
+
+let pending_for t worker =
+  List.filter
+    (fun o -> match o.asked with None -> true | Some w -> Reldb.Value.equal w worker)
+    (pending t)
+
+let task_view t (o : open_tuple) =
+  Views.render_open t.views ~relation:o.relation ~bound:o.bound ~open_attrs:o.open_attrs
+
+let pending_since t ~after =
+  (* open_order is in reverse creation order with strictly decreasing ids,
+     so the new opens form a prefix. *)
+  let rec take acc = function
+    | id :: rest when id > after -> (
+        match Hashtbl.find_opt t.open_tbl id with
+        | Some o -> take (o :: acc) rest
+        | None -> take acc rest)
+    | _ -> acc
+  in
+  take [] t.open_order
+
+let find_open t id = Hashtbl.find_opt t.open_tbl id
+
+let resolve t id = Hashtbl.remove t.open_tbl id
+
+let decline t id = resolve t id
+
+let human_event t (o : open_tuple) worker effects valuation =
+  Log.debug (fun k ->
+      k "human %s answers open tuple %d on %s" (Reldb.Value.to_display worker) o.id
+        o.relation);
+  t.clock <- t.clock + 1;
+  let event =
+    {
+      clock = t.clock;
+      statement = o.statement;
+      label = o.label;
+      valuation;
+      fired = true;
+      effects;
+      by_human = Some worker;
+    }
+  in
+  record_event t event;
+  event
+
+let check_worker o worker =
+  match o.asked with
+  | Some w when not (Reldb.Value.equal w worker) ->
+      Error
+        (Format.asprintf "open tuple %d is designated for worker %a" o.id Reldb.Value.pp w)
+  | Some _ | None -> Ok ()
+
+let supply t id ~worker values =
+  match find_open t id with
+  | None -> Error (Printf.sprintf "no pending open tuple with id %d" id)
+  | Some o -> (
+      if o.existence then
+        Error (Printf.sprintf "open tuple %d is an existence question" id)
+      else
+        match check_worker o worker with
+        | Error _ as e -> e
+        | Ok () ->
+            let expected = List.sort String.compare o.open_attrs in
+            let given = List.sort String.compare (List.map fst values) in
+            if expected <> given then
+              Error
+                (Printf.sprintf "open tuple %d expects values for %s" id
+                   (String.concat ", " o.open_attrs))
+            else begin
+              let bound = Reldb.Tuple.to_list o.bound @ values in
+              let effect = insert_tuple t o.relation bound in
+              if not o.repeatable then resolve t id;
+              Ok (human_event t o worker [ effect ] values)
+            end)
+
+let answer_existence t id ~worker yes =
+  match find_open t id with
+  | None -> Error (Printf.sprintf "no pending open tuple with id %d" id)
+  | Some o -> (
+      if not o.existence then
+        Error (Printf.sprintf "open tuple %d expects attribute values" id)
+      else
+        match check_worker o worker with
+        | Error _ as e -> e
+        | Ok () ->
+            let effects =
+              if yes then [ insert_tuple t o.relation (Reldb.Tuple.to_list o.bound) ]
+              else [ No_effect ]
+            in
+            resolve t id;
+            Ok (human_event t o worker effects []))
+
+(* --- Payoffs ------------------------------------------------------------------ *)
+
+let payoffs t =
+  match Reldb.Database.find t.db "Payoff" with
+  | None -> []
+  | Some rel ->
+      List.map
+        (fun tuple ->
+          (Reldb.Tuple.get_or_null tuple "player", Reldb.Tuple.get_or_null tuple "score"))
+        (Reldb.Relation.tuples rel)
+
+let payoff_of t player =
+  match List.find_opt (fun (p, _) -> Reldb.Value.equal p player) (payoffs t) with
+  | Some (_, score) -> score
+  | None -> Reldb.Value.Int 0
+
+(* --- Path tables --------------------------------------------------------------- *)
+
+let game_instances t game =
+  let rel_name = path_relation_name game in
+  match (Reldb.Database.find t.db rel_name, Hashtbl.find_opt t.path_rels rel_name) with
+  | Some rel, Some params ->
+      let seen = Hashtbl.create 16 in
+      Reldb.Relation.fold
+        (fun acc _ tuple ->
+          let key = Reldb.Tuple.project tuple params in
+          if Hashtbl.mem seen key then acc
+          else begin
+            Hashtbl.replace seen key ();
+            key :: acc
+          end)
+        [] rel
+      |> List.rev
+  | _ -> []
+
+let path_table t game ~params =
+  let rel_name = path_relation_name game in
+  match Reldb.Database.find t.db rel_name with
+  | None -> []
+  | Some rel ->
+      let rows = Reldb.Relation.filter (fun tuple -> Reldb.Tuple.matches tuple params) rel in
+      List.mapi
+        (fun i tuple -> Reldb.Tuple.set tuple "order" (Reldb.Value.Int (i + 1)))
+        rows

@@ -1,0 +1,162 @@
+(** The CyLog execution engine.
+
+    The engine owns a database and an effective statement list (the
+    program's rules followed by the desugared game-aspect rules) and fires
+    one statement instance per {!step}, following the paper's conflict
+    resolution: statements are prioritised by their position in the code,
+    and among the valuations of one statement the instance valued by tuples
+    at the earliest rows fires first (a closed-loop hierarchical linear
+    strategy).
+
+    Open-headed instances do not insert; they create {e open tuples} that
+    suspend until a human supplies values through {!supply} (or answers an
+    existence question through {!answer_existence}). Which pending open
+    tuple is answered first — and with what values — is exactly the
+    human half of the computation; the engine never chooses.
+
+    Every fired or evaluated instance is memoised on the identity (row and
+    update-version) of its supporting tuples, so an instance fires at most
+    once per arrival of its support, reproducing the trace of Figure 13
+    and the dataflow semantics of Section 9.1. *)
+
+type t
+
+type open_id = int
+
+type origin = Main | Game_path of string | Game_payoff of string
+
+type open_tuple = {
+  id : open_id;
+  statement : int;  (** index into {!statements} *)
+  label : string option;
+  relation : string;
+  bound : Reldb.Tuple.t;  (** attributes already determined by logic *)
+  open_attrs : string list;  (** attributes awaiting human values *)
+  asked : Reldb.Value.t option;  (** designated worker ([/open[p]]), if any *)
+  existence : bool;
+      (** all attributes bound: the human is asked whether the tuple should
+          exist (footnote 5 of the paper) *)
+  repeatable : bool;
+      (** the target relation auto-increments an unmentioned key (e.g.
+          [Rules.rid]), so every answer creates a distinct tuple: the open
+          tuple is a standing task that stays pending after {!supply} —
+          how VRE lets workers enter unboundedly many extraction rules *)
+  created_at : int;  (** engine clock at creation *)
+}
+
+type effect =
+  | Inserted of string * Reldb.Tuple.t
+  | Updated of string * Reldb.Tuple.t
+  | Deleted of string * int  (** relation, how many tuples *)
+  | Awarded of (Reldb.Value.t * Reldb.Value.t) list  (** player, delta *)
+  | Open_created of open_id
+  | No_effect  (** e.g. duplicate insertion *)
+
+type event = {
+  clock : int;
+  statement : int;
+  label : string option;
+  valuation : (string * Reldb.Value.t) list;
+  fired : bool;  (** false: a trailing filter rejected the instance *)
+  effects : effect list;
+  by_human : Reldb.Value.t option;  (** worker for human-caused events *)
+}
+
+exception Runtime_error of string
+
+val load : ?builtins:Builtin.registry -> ?use_delta:bool -> Ast.program -> t
+(** Build an engine: declare schemas (inferring schemas of undeclared
+    relations from usage), desugar game aspects into path/payoff statements,
+    and declare the [Payoff] relation and per-game path tables.
+
+    [use_delta] (default [true]) enables seminaive evaluation for
+    statements over insert-only relations; with [false] every statement
+    re-enumerates its whole join per step (the reference strategy —
+    asymptotically slower but useful for differential testing and
+    ablation).
+    @raise Runtime_error on inconsistent declarations. *)
+
+val database : t -> Reldb.Database.t
+(** The live database (shared, not a copy). *)
+
+val statements : t -> (Ast.statement * origin) list
+(** Effective statements in priority order. *)
+
+val add_statement : t -> Ast.statement -> unit
+(** Append a statement at the lowest priority — the REPL building block.
+    Relations it mentions for the first time are declared by inference;
+    using an unknown attribute of an existing relation is an error. A new
+    [/update]/[/delete] target downgrades delta-evaluated readers of that
+    relation to the rescan strategy. Game aspects cannot be added
+    incrementally. @raise Runtime_error on schema conflicts. *)
+
+val builtins : t -> Builtin.registry
+(** The builtin registry in use. *)
+
+val clock : t -> int
+(** Logical clock: one tick per machine step or human answer. *)
+
+val step : t -> event option
+(** Fire (or evaluate-and-reject) the single highest-priority new instance;
+    [None] when no machine work remains. *)
+
+val run : ?max_steps:int -> t -> int
+(** Step until quiescent; returns the number of steps taken. Stops early at
+    [max_steps] (default 1_000_000). *)
+
+val pending : t -> open_tuple list
+(** Unresolved open tuples, oldest first. *)
+
+val pending_for : t -> Reldb.Value.t -> open_tuple list
+(** Pending open tuples a given worker may answer (designated for them or
+    undesignated). *)
+
+val pending_since : t -> after:open_id -> open_tuple list
+(** Pending open tuples with id strictly greater than [after], ascending —
+    lets a polling client ingest new work incrementally instead of
+    rescanning the whole pool. *)
+
+val find_open : t -> open_id -> open_tuple option
+(** Look up a pending open tuple. *)
+
+val task_view : t -> open_tuple -> string option
+(** Worker-facing presentation of an open tuple, rendered from the
+    program's views section (Figure 2's forms); [None] when the relation
+    declares no view. *)
+
+val supply : t -> open_id -> worker:Reldb.Value.t ->
+  (string * Reldb.Value.t) list -> (event, string) result
+(** [supply t id ~worker values] valuates a pending open tuple: the human
+    consequence. [values] must bind exactly the open attributes; the
+    designated worker (if any) must match. On success the completed tuple
+    is inserted and machine evaluation may resume. Auto-increment
+    attributes are filled by the machine, never asked. A {!field-repeatable}
+    open tuple stays pending; others resolve. *)
+
+val answer_existence : t -> open_id -> worker:Reldb.Value.t -> bool ->
+  (event, string) result
+(** Answer an existence question: [true] inserts the bound tuple, [false]
+    just resolves the open tuple. *)
+
+val decline : t -> open_id -> unit
+(** Drop a pending open tuple without an answer (e.g. end of campaign). *)
+
+val payoffs : t -> (Reldb.Value.t * Reldb.Value.t) list
+(** Accumulated payoff per player, from the [Payoff] relation. *)
+
+val payoff_of : t -> Reldb.Value.t -> Reldb.Value.t
+(** One player's payoff; [Int 0] if they never received any. *)
+
+val events : t -> event list
+(** All events, chronological. *)
+
+val game_instances : t -> string -> Reldb.Tuple.t list
+(** Distinct Skolem-parameter tuples for which a game instance has a
+    non-empty path, in first-play order. *)
+
+val path_table : t -> string -> params:(string * Reldb.Value.t) list -> Reldb.Tuple.t list
+(** The path table of one game instance, in play order, with the per-
+    instance [order] column renumbered from 1 as in Figure 6. *)
+
+val path_relation_name : string -> string
+(** Name of the internal relation backing a game's path tables. *)

@@ -1,0 +1,277 @@
+type token =
+  | IDENT of string
+  | UIDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | ARROW
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | PLUSEQ
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st message = raise (Error { line = st.line; col = st.col; message })
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex_ident st =
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        advance st;
+        loop ()
+    | Some '.' -> (
+        (* Inner dots support rule labels such as [VE2.1]. *)
+        match peek2 st with
+        | Some c when is_ident_char c ->
+            advance st;
+            advance st;
+            loop ()
+        | _ -> ())
+    | _ -> ()
+  in
+  loop ();
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        loop ()
+    | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+        is_float := true;
+        advance st;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+
+let lex_string st =
+  (* Called at the opening quote. *)
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some c -> error st (Printf.sprintf "unknown string escape \\%c" c)
+        | None -> error st "unterminated string literal");
+        advance st;
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+let skip_block_comment st =
+  (* Called just after consuming "/*". *)
+  let rec loop () =
+    match (peek st, peek2 st) with
+    | Some '*', Some '/' ->
+        advance st;
+        advance st
+    | Some _, _ ->
+        advance st;
+        loop ()
+    | None, _ -> error st "unterminated comment"
+  in
+  loop ()
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit token line col = tokens := { token; line; col } :: !tokens in
+  let rec loop () =
+    let line = st.line and col = st.col in
+    match peek st with
+    | None -> emit EOF line col
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance st;
+        loop ()
+    | Some '/' -> (
+        match peek2 st with
+        | Some '/' ->
+            while peek st <> None && peek st <> Some '\n' do
+              advance st
+            done;
+            loop ()
+        | Some '*' ->
+            advance st;
+            advance st;
+            skip_block_comment st;
+            loop ()
+        | _ ->
+            advance st;
+            emit SLASH line col;
+            loop ())
+    | Some '"' ->
+        emit (lex_string st) line col;
+        loop ()
+    | Some c when is_digit c ->
+        emit (lex_number st) line col;
+        loop ()
+    | Some c when is_ident_start c ->
+        let text = lex_ident st in
+        let tok =
+          if c >= 'A' && c <= 'Z' then UIDENT text else IDENT text
+        in
+        emit tok line col;
+        loop ()
+    | Some '<' -> (
+        advance st;
+        match peek st with
+        | Some '-' ->
+            advance st;
+            emit ARROW line col;
+            loop ()
+        | Some '=' ->
+            advance st;
+            emit LE line col;
+            loop ()
+        | _ ->
+            emit LT line col;
+            loop ())
+    | Some '>' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            emit GE line col;
+            loop ()
+        | _ ->
+            emit GT line col;
+            loop ())
+    | Some '!' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            emit NEQ line col;
+            loop ()
+        | _ ->
+            (* The paper writes [p1!p2] for inequality. *)
+            emit NEQ line col;
+            loop ())
+    | Some '+' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            emit PLUSEQ line col;
+            loop ()
+        | _ ->
+            emit PLUS line col;
+            loop ())
+    | Some c ->
+        advance st;
+        let tok =
+          match c with
+          | '(' -> LPAREN
+          | ')' -> RPAREN
+          | '[' -> LBRACKET
+          | ']' -> RBRACKET
+          | '{' -> LBRACE
+          | '}' -> RBRACE
+          | ',' -> COMMA
+          | ';' -> SEMI
+          | ':' -> COLON
+          | '=' -> EQ
+          | '-' -> MINUS
+          | '*' -> STAR
+          | _ -> error st (Printf.sprintf "unexpected character %C" c)
+        in
+        emit tok line col;
+        loop ()
+  in
+  loop ();
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | UIDENT s -> Format.fprintf ppf "name %s" s
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | INT i -> Format.fprintf ppf "integer %d" i
+  | FLOAT f -> Format.fprintf ppf "float %g" f
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | ARROW -> Format.pp_print_string ppf "'<-'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | EQ -> Format.pp_print_string ppf "'='"
+  | NEQ -> Format.pp_print_string ppf "'!='"
+  | LT -> Format.pp_print_string ppf "'<'"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | GT -> Format.pp_print_string ppf "'>'"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | PLUSEQ -> Format.pp_print_string ppf "'+='"
+  | EOF -> Format.pp_print_string ppf "end of input"

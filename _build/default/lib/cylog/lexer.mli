@@ -1,0 +1,42 @@
+(** Hand-written lexer for CyLog source text. *)
+
+type token =
+  | IDENT of string  (** lowercase-initial identifier: variables, builtins *)
+  | UIDENT of string  (** uppercase-initial identifier: relations, labels *)
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | ARROW  (** [<-] *)
+  | SLASH  (** introduces head annotations: [/open], [/update], [/delete] *)
+  | EQ
+  | NEQ  (** [!=] or the paper's [!] shorthand *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | PLUSEQ  (** [+=] in payoff heads *)
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> located list
+(** Lex a whole source text. Identifiers may contain inner dots
+    ([VE2.1]), [//] starts a line comment and [(* *)]-free C-style
+    [/* ... */] comments are supported. @raise Error on bad input. *)
+
+val pp_token : Format.formatter -> token -> unit
+(** Token rendering for error messages. *)

@@ -1,0 +1,540 @@
+type error = { line : int; col : int; message : string }
+
+exception Fail of error
+
+type state = { tokens : Lexer.located array; mutable pos : int }
+
+let current st = st.tokens.(st.pos)
+let peek st = (current st).token
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.tokens then Some st.tokens.(st.pos + 1).token
+  else None
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let fail st message =
+  let { Lexer.line; col; _ } = current st in
+  raise (Fail { line; col; message })
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    fail st
+      (Format.asprintf "expected %a but found %a" Lexer.pp_token token Lexer.pp_token
+         (peek st))
+
+let eat_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Format.asprintf "expected an identifier, found %a" Lexer.pp_token t)
+
+(* --- Expressions ------------------------------------------------------ *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let left = parse_multiplicative st in
+  match peek st with
+  | Lexer.PLUS ->
+      advance st;
+      Ast.Binop (Ast.Add, left, parse_additive st)
+  | Lexer.MINUS ->
+      advance st;
+      Ast.Binop (Ast.Sub, left, parse_additive st)
+  | _ -> left
+
+and parse_multiplicative st =
+  let left = parse_factor st in
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      Ast.Binop (Ast.Mul, left, parse_multiplicative st)
+  | Lexer.SLASH ->
+      advance st;
+      Ast.Binop (Ast.Div, left, parse_multiplicative st)
+  | _ -> left
+
+and parse_factor st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Ast.Const (Reldb.Value.Int i)
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Const (Reldb.Value.Float f)
+  | Lexer.STRING s ->
+      advance st;
+      Ast.Const (Reldb.Value.String s)
+  | Lexer.MINUS ->
+      advance st;
+      (match parse_factor st with
+      | Ast.Const (Reldb.Value.Int i) -> Ast.Const (Reldb.Value.Int (-i))
+      | Ast.Const (Reldb.Value.Float f) -> Ast.Const (Reldb.Value.Float (-.f))
+      | e -> Ast.Binop (Ast.Sub, Ast.Const (Reldb.Value.Int 0), e))
+  | Lexer.IDENT "null" ->
+      advance st;
+      Ast.Const Reldb.Value.Null
+  | Lexer.IDENT "true" ->
+      advance st;
+      Ast.Const (Reldb.Value.Bool true)
+  | Lexer.IDENT "false" ->
+      advance st;
+      Ast.Const (Reldb.Value.Bool false)
+  | Lexer.IDENT v ->
+      advance st;
+      Ast.Var v
+  | Lexer.LBRACKET ->
+      advance st;
+      let rec elements acc =
+        if peek st = Lexer.RBRACKET then List.rev acc
+        else
+          let e = parse_expr st in
+          if peek st = Lexer.COMMA then begin
+            advance st;
+            elements (e :: acc)
+          end
+          else List.rev (e :: acc)
+      in
+      let es = elements [] in
+      expect st Lexer.RBRACKET;
+      Ast.List es
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | t -> fail st (Format.asprintf "expected an expression, found %a" Lexer.pp_token t)
+
+(* --- Atoms ------------------------------------------------------------ *)
+
+let parse_arg st =
+  let attr = eat_ident st in
+  match peek st with
+  | Lexer.COLON ->
+      advance st;
+      { Ast.attr; bind = Ast.Bound (parse_expr st) }
+  | _ -> { Ast.attr; bind = Ast.Auto }
+
+let parse_atom st name =
+  expect st Lexer.LPAREN;
+  let rec args acc =
+    match peek st with
+    | Lexer.RPAREN -> List.rev acc
+    | _ ->
+        let a = parse_arg st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          args (a :: acc)
+        end
+        else List.rev (a :: acc)
+  in
+  let args = args [] in
+  expect st Lexer.RPAREN;
+  { Ast.pred = name; args }
+
+(* --- Body literals ----------------------------------------------------- *)
+
+let cmpop_of_token = function
+  | Lexer.EQ -> Some Ast.Eq
+  | Lexer.NEQ -> Some Ast.Neq
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | _ -> None
+
+let parse_literal st =
+  match peek st with
+  | Lexer.IDENT "not" ->
+      advance st;
+      (match peek st with
+      | Lexer.UIDENT name ->
+          advance st;
+          Ast.Neg (parse_atom st name)
+      | t -> fail st (Format.asprintf "expected a relation after 'not', found %a" Lexer.pp_token t))
+  | Lexer.UIDENT name ->
+      advance st;
+      Ast.Pos (parse_atom st name)
+  | Lexer.IDENT name when peek2 st = Some Lexer.LPAREN ->
+      advance st;
+      advance st;
+      let rec exprs acc =
+        match peek st with
+        | Lexer.RPAREN -> List.rev acc
+        | _ ->
+            let e = parse_expr st in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              exprs (e :: acc)
+            end
+            else List.rev (e :: acc)
+      in
+      let args = exprs [] in
+      expect st Lexer.RPAREN;
+      Ast.Call (name, args)
+  | _ -> (
+      let left = parse_expr st in
+      match cmpop_of_token (peek st) with
+      | Some op ->
+          advance st;
+          Ast.Cmp (left, op, parse_expr st)
+      | None ->
+          fail st
+            (Format.asprintf "expected a comparison operator, found %a" Lexer.pp_token
+               (peek st)))
+
+let parse_body st =
+  let rec loop acc =
+    let l = parse_literal st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      loop (l :: acc)
+    end
+    else List.rev (l :: acc)
+  in
+  loop []
+
+(* --- Statements -------------------------------------------------------- *)
+
+(* A statement-level element: before we know whether we are looking at a
+   rule head list or at a block prefix, we parse comma-separated elements
+   generically. *)
+type element =
+  | E_atom of Ast.atom * Ast.head_kind option  (* kind set iff /open etc. seen *)
+  | E_payoff of (string * Ast.expr) list
+  | E_literal of Ast.literal
+
+let parse_head_kind st =
+  (* Called after SLASH. *)
+  match peek st with
+  | Lexer.IDENT "open" ->
+      advance st;
+      if peek st = Lexer.LBRACKET then begin
+        advance st;
+        let e = parse_expr st in
+        expect st Lexer.RBRACKET;
+        Ast.Open (Some e)
+      end
+      else Ast.Open None
+  | Lexer.IDENT "update" ->
+      advance st;
+      Ast.Update
+  | Lexer.IDENT "delete" ->
+      advance st;
+      Ast.Delete
+  | t -> fail st (Format.asprintf "expected open/update/delete after '/', found %a" Lexer.pp_token t)
+
+let parse_payoff_updates st =
+  (* Called after '['. *)
+  let rec loop acc =
+    let player = eat_ident st in
+    expect st Lexer.PLUSEQ;
+    let delta = parse_expr st in
+    let acc = (player, delta) :: acc in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      loop acc
+    end
+    else List.rev acc
+  in
+  let updates = loop [] in
+  expect st Lexer.RBRACKET;
+  updates
+
+let parse_element st =
+  match peek st with
+  | Lexer.UIDENT name when peek2 st = Some Lexer.LBRACKET ->
+      advance st;
+      advance st;
+      if name <> "Payoff" then
+        fail st (Printf.sprintf "only Payoff accepts [player += delta] syntax, not %s" name);
+      E_payoff (parse_payoff_updates st)
+  | Lexer.UIDENT name ->
+      advance st;
+      let atom = parse_atom st name in
+      if peek st = Lexer.SLASH then begin
+        advance st;
+        E_atom (atom, Some (parse_head_kind st))
+      end
+      else E_atom (atom, None)
+  | _ -> E_literal (parse_literal st)
+
+let element_to_head st = function
+  | E_atom (atom, Some kind) -> Ast.Head_atom { atom; kind }
+  | E_atom (atom, None) -> Ast.Head_atom { atom; kind = Ast.Assert }
+  | E_payoff updates -> Ast.Head_payoff updates
+  | E_literal _ -> fail st "comparisons cannot appear in a rule head"
+
+let element_to_literal st = function
+  | E_atom (atom, None) -> Ast.Pos atom
+  | E_atom (_, Some _) -> fail st "head annotations cannot appear in a block prefix"
+  | E_payoff _ -> fail st "payoff updates cannot appear in a block prefix"
+  | E_literal l -> l
+
+(* [parse_items st ~stop] parses labelled statements and blocks until the
+   [stop] predicate holds, threading the inherited block prefix. *)
+let rec parse_items st ~prefix ~stop acc =
+  if stop st then List.rev acc
+  else
+    let label =
+      match (peek st, peek2 st) with
+      | (Lexer.UIDENT name | Lexer.IDENT name), Some Lexer.COLON
+        when name <> "path" && name <> "payoff" ->
+          advance st;
+          advance st;
+          Some name
+      | _ -> None
+    in
+    let rec elements acc =
+      let e = parse_element st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        elements (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let elements = elements [] in
+    match peek st with
+    | Lexer.LBRACE ->
+        advance st;
+        let block_prefix = List.map (element_to_literal st) elements in
+        let inner =
+          parse_items st ~prefix:(prefix @ block_prefix)
+            ~stop:(fun st -> peek st = Lexer.RBRACE)
+            []
+        in
+        expect st Lexer.RBRACE;
+        (* Inner statements already carry the extended prefix. A label on
+           the block itself names the first inner statement when that one
+           is unlabelled. *)
+        let inner =
+          match (label, inner) with
+          | Some l, ({ Ast.label = None; _ } as s) :: rest ->
+              { s with Ast.label = Some l } :: rest
+          | _ -> inner
+        in
+        parse_items st ~prefix ~stop (List.rev_append inner acc)
+    | Lexer.ARROW ->
+        advance st;
+        let body = parse_body st in
+        expect st Lexer.SEMI;
+        let heads = List.map (element_to_head st) elements in
+        parse_items st ~prefix ~stop
+          ({ Ast.label; heads; body = prefix @ body } :: acc)
+    | Lexer.SEMI ->
+        advance st;
+        let heads = List.map (element_to_head st) elements in
+        parse_items st ~prefix ~stop ({ Ast.label; heads; body = prefix } :: acc)
+    | Lexer.RBRACE ->
+        (* A closing brace may end the last statement of a block without an
+           explicit semicolon (Figure 16 style). *)
+        let heads = List.map (element_to_head st) elements in
+        parse_items st ~prefix ~stop ({ Ast.label; heads; body = prefix } :: acc)
+    | t ->
+        fail st
+          (Format.asprintf "expected '<-', ';' or '{' after statement head, found %a"
+             Lexer.pp_token t)
+
+(* --- Schema section ----------------------------------------------------- *)
+
+let parse_schema_decl st name =
+  expect st Lexer.LPAREN;
+  let rec attrs acc =
+    let attr = eat_ident st in
+    let key = ref false and auto = ref false in
+    let rec flags () =
+      match peek st with
+      | Lexer.IDENT "key" ->
+          advance st;
+          key := true;
+          flags ()
+      | Lexer.IDENT "auto" ->
+          advance st;
+          auto := true;
+          flags ()
+      | _ -> ()
+    in
+    flags ();
+    let acc = (attr, !key, !auto) :: acc in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      attrs acc
+    end
+    else List.rev acc
+  in
+  let rel_attrs = attrs [] in
+  expect st Lexer.RPAREN;
+  expect st Lexer.SEMI;
+  { Ast.rel_name = name; rel_attrs }
+
+(* --- Games section ------------------------------------------------------ *)
+
+let is_section_keyword = function
+  | "schema" | "rules" | "games" | "views" -> true
+  | _ -> false
+
+let at_section st =
+  match (peek st, peek2 st) with
+  | Lexer.IDENT k, Some Lexer.COLON when is_section_keyword k -> true
+  | Lexer.EOF, _ -> true
+  | _ -> false
+
+let parse_game st =
+  (* Called after the 'game' keyword. *)
+  let name =
+    match peek st with
+    | Lexer.UIDENT n ->
+        advance st;
+        n
+    | t -> fail st (Format.asprintf "expected a game name, found %a" Lexer.pp_token t)
+  in
+  expect st Lexer.LPAREN;
+  let rec params acc =
+    match peek st with
+    | Lexer.RPAREN -> List.rev acc
+    | _ ->
+        let p = eat_ident st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          params (p :: acc)
+        end
+        else List.rev (p :: acc)
+  in
+  let game_params = params [] in
+  expect st Lexer.RPAREN;
+  expect st Lexer.LBRACE;
+  let stop_at_subsection st =
+    match (peek st, peek2 st) with
+    | Lexer.RBRACE, _ -> true
+    | Lexer.IDENT ("path" | "payoff"), Some Lexer.COLON -> true
+    | _ -> false
+  in
+  let path_rules = ref [] and payoff_rules = ref [] in
+  let rec sections () =
+    match (peek st, peek2 st) with
+    | Lexer.IDENT "path", Some Lexer.COLON ->
+        advance st;
+        advance st;
+        path_rules := !path_rules @ parse_items st ~prefix:[] ~stop:stop_at_subsection [];
+        sections ()
+    | Lexer.IDENT "payoff", Some Lexer.COLON ->
+        advance st;
+        advance st;
+        payoff_rules := !payoff_rules @ parse_items st ~prefix:[] ~stop:stop_at_subsection [];
+        sections ()
+    | Lexer.RBRACE, _ -> advance st
+    | (t, _) ->
+        fail st
+          (Format.asprintf "expected 'path:', 'payoff:' or '}' in game body, found %a"
+             Lexer.pp_token t)
+  in
+  sections ();
+  { Ast.game_name = name; game_params; path_rules = !path_rules;
+    payoff_rules = !payoff_rules }
+
+(* --- Views section (skipped) -------------------------------------------- *)
+
+let skip_views st =
+  (* Skip balanced tokens until the next top-level section keyword. *)
+  let depth = ref 0 in
+  let rec loop () =
+    if !depth = 0 && at_section st then ()
+    else begin
+      (match peek st with
+      | Lexer.LBRACE | Lexer.LPAREN | Lexer.LBRACKET -> incr depth
+      | Lexer.RBRACE | Lexer.RPAREN | Lexer.RBRACKET -> decr depth
+      | _ -> ());
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- Program ------------------------------------------------------------ *)
+
+let parse_program views st =
+  let schemas = ref [] and statements = ref [] and games = ref [] in
+  let rec sections () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT "schema" when peek2 st = Some Lexer.COLON ->
+        advance st;
+        advance st;
+        let rec decls () =
+          match peek st with
+          | Lexer.UIDENT name ->
+              advance st;
+              schemas := !schemas @ [ parse_schema_decl st name ];
+              decls ()
+          | _ -> ()
+        in
+        decls ();
+        sections ()
+    | Lexer.IDENT "rules" when peek2 st = Some Lexer.COLON ->
+        advance st;
+        advance st;
+        statements := !statements @ parse_items st ~prefix:[] ~stop:at_section [];
+        sections ()
+    | Lexer.IDENT "games" when peek2 st = Some Lexer.COLON ->
+        advance st;
+        advance st;
+        let rec decls () =
+          match peek st with
+          | Lexer.IDENT "game" ->
+              advance st;
+              games := !games @ [ parse_game st ];
+              decls ()
+          | _ -> ()
+        in
+        decls ();
+        sections ()
+    | Lexer.IDENT "views" when peek2 st = Some Lexer.COLON ->
+        advance st;
+        advance st;
+        skip_views st;
+        sections ()
+    | t ->
+        fail st
+          (Format.asprintf
+             "expected a section header (schema:/rules:/games:/views:), found %a"
+             Lexer.pp_token t)
+  in
+  sections ();
+  { Ast.schemas = !schemas; statements = !statements; games = !games; views }
+
+let with_state src f =
+  try
+    let tokens = Array.of_list (Lexer.tokenize src) in
+    let st = { tokens; pos = 0 } in
+    Ok (f st)
+  with
+  | Fail e -> Error e
+  | Lexer.Error { line; col; message } -> Error { line; col; message }
+
+let parse src =
+  (* View templates are raw markup, carved out before lexing. *)
+  match Views.split src with
+  | exception Views.Error { line; message } -> Error { line; col = 1; message }
+  | cleaned, views -> with_state cleaned (parse_program views)
+
+let parse_statements src =
+  with_state src (fun st ->
+      let items = parse_items st ~prefix:[] ~stop:(fun st -> peek st = Lexer.EOF) [] in
+      expect st Lexer.EOF;
+      items)
+
+let pp_error ppf { line; col; message } =
+  Format.fprintf ppf "parse error at line %d, column %d: %s" line col message
+
+let parse_exn src =
+  match parse src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)
+
+let parse_statements_exn src =
+  match parse_statements src with
+  | Ok s -> s
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,51 @@
+(** Recursive-descent parser for CyLog programs.
+
+    Concrete syntax (see the README for the full grammar):
+
+    {v
+    schema:
+      Rules(rid key auto, cond, attr, value, p);
+      Extracts(tw key, attr key, value key, rid);
+
+    rules:
+      Pre1: TweetOriginal(tw:"It rains in London", loc:"London");
+      Pre3: Tweet(tw) <- TweetOriginal(tw, loc), ValidCity(cname:loc);
+      VE1:  Input(tw, attr:"weather", value, p)/open[p]
+              <- Tweet(tw), Worker(pid:p);
+      VE2:  Output(tw, weather:value) <- Input(tw, attr:"weather", value, p:p1),
+              Input(tw, attr:"weather", value, p:p2), p1 != p2;
+
+    games:
+      game VEI(tw, attr) {
+        path:
+          VEI1: Path(player:p, action:["value", value])
+                  <- Input(tw, attr, value, p);
+        payoff:
+          VEI2: Path(player:p1, action:["value", v]) {
+            VEI2.1: Payoff[p1 += 1, p2 += 1]
+                      <- Path(player:p2, action:["value", v]), p1 != p2;
+          }
+      }
+    v}
+
+    Block style [P1, P2 { S1; S2; }] desugars by prepending the prefix
+    literals to each inner statement's body; blocks nest. Comma-separated
+    heads form a single multi-head statement. A [views:] section is accepted
+    and skipped (presentation only). *)
+
+type error = { line : int; col : int; message : string }
+
+val parse : string -> (Ast.program, error) result
+(** Parse a whole program. *)
+
+val parse_exn : string -> Ast.program
+(** Like {!parse}. @raise Invalid_argument with a located message. *)
+
+val parse_statements : string -> (Ast.statement list, error) result
+(** Parse bare statements (no section headers) — convenient in tests. *)
+
+val parse_statements_exn : string -> Ast.statement list
+(** Like {!parse_statements}. @raise Invalid_argument on errors. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** Human-readable message with position. *)

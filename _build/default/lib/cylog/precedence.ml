@@ -1,0 +1,127 @@
+type edge = { src : int; dst : int; via : string; forward : bool }
+
+type t = {
+  statements : Ast.statement array;
+  edges : edge list;
+  (* reach.(q) holds the set of vertices i such that q depends on i. *)
+  reach : bool array array;
+}
+
+let neg_preds body =
+  List.sort_uniq String.compare
+    (List.filter_map (function Ast.Neg a -> Some a.Ast.pred | _ -> None) body)
+
+let build statements =
+  let stmts = Array.of_list statements in
+  let n = Array.length stmts in
+  let writes i = Ast.statement_preds stmts.(i) in
+  let update_delete_preds i =
+    List.filter_map
+      (function
+        | Ast.Head_atom { atom; kind = Ast.Update | Ast.Delete } -> Some atom.Ast.pred
+        | Ast.Head_atom _ | Ast.Head_payoff _ -> None)
+      stmts.(i).Ast.heads
+  in
+  let edges = ref [] in
+  for q = 0 to n - 1 do
+    let body_rels = Ast.body_preds stmts.(q).Ast.body in
+    for i = 0 to n - 1 do
+      if i <> q then begin
+        (* Dataflow through a body read. *)
+        List.iter
+          (fun r ->
+            if List.mem r (writes i) then
+              edges := { src = i; dst = q; via = r; forward = i < q } :: !edges)
+          body_rels;
+        (* An update/delete of R in q consumes earlier writes of R. *)
+        List.iter
+          (fun r ->
+            if i < q && List.mem r (writes i) then
+              edges := { src = i; dst = q; via = r; forward = true } :: !edges)
+          (update_delete_preds q)
+      end
+    done
+  done;
+  let edges =
+    List.sort_uniq compare !edges |> List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst))
+  in
+  (* Transitive closure by repeated relaxation (graphs here are tiny). *)
+  let reach = Array.make_matrix n n false in
+  List.iter (fun e -> reach.(e.dst).(e.src) <- true) edges;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to n - 1 do
+      for mid = 0 to n - 1 do
+        if reach.(q).(mid) then
+          for i = 0 to n - 1 do
+            if reach.(mid).(i) && not reach.(q).(i) then begin
+              reach.(q).(i) <- true;
+              changed := true
+            end
+          done
+      done
+    done
+  done;
+  { statements = stmts; edges; reach }
+
+let size g = Array.length g.statements
+let edges g = g.edges
+let depends_on g q i = q >= 0 && q < size g && i >= 0 && i < size g && g.reach.(q).(i)
+
+let data_complete g q =
+  let n = size g in
+  let rec loop i = i >= n || ((i < q || not (depends_on g q i)) && loop (i + 1)) in
+  q >= 0 && q < n && loop q
+
+let parallelizable g a b = not (depends_on g a b) && not (depends_on g b a)
+
+let parallel_groups g =
+  let n = size g in
+  let assigned = Array.make n false in
+  let rec build start acc =
+    if start >= n then List.rev acc
+    else if assigned.(start) then build (start + 1) acc
+    else begin
+      (* Greedily extend the group with later statements independent of
+         everything already in it. *)
+      let group = ref [ start ] in
+      assigned.(start) <- true;
+      for j = start + 1 to n - 1 do
+        if (not assigned.(j)) && List.for_all (fun i -> parallelizable g i j) !group
+        then begin
+          group := j :: !group;
+          assigned.(j) <- true
+        end
+      done;
+      build (start + 1) (List.rev !group :: acc)
+    end
+  in
+  build 0 []
+
+let stratified g =
+  let n = size g in
+  let rec loop q =
+    q >= n
+    || ((neg_preds g.statements.(q).Ast.body = [] || data_complete g q) && loop (q + 1))
+  in
+  loop 0
+
+let vertex_name g i =
+  let preds = Ast.statement_preds g.statements.(i) in
+  let name = match preds with [] -> "Payoff" | p :: _ -> p in
+  Printf.sprintf "%s_%d" name (i + 1)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>vertices:";
+  for i = 0 to size g - 1 do
+    Format.fprintf ppf "@,  %s: %a" (vertex_name g i) Pretty.pp_statement g.statements.(i)
+  done;
+  Format.fprintf ppf "@,edges:";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  %s %s %s (via %s)" (vertex_name g e.src)
+        (if e.forward then "->" else "-->")
+        (vertex_name g e.dst) e.via)
+    g.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Rule precedence graphs (Section 9.1, Figure 14).
+
+    Each statement is a vertex (identified by its priority index). An edge
+    runs from statement [i] to statement [q] when the result of [q] depends
+    on that of [i]:
+
+    - [q]'s body reads (positively or under negation) a relation that some
+      head of [i] writes;
+    - [q] updates or deletes a relation that some head of [i] writes, with
+      [i < q].
+
+    An edge with [i < q] is a {e forward} precedence (solid arrow in the
+    paper); [i >= q] is {e backward} (dotted): tuples from [i] reach [q]
+    only after [q]'s first evaluation. *)
+
+type t
+
+type edge = {
+  src : int;
+  dst : int;
+  via : string;  (** the relation carrying the dataflow *)
+  forward : bool;
+}
+
+val build : Ast.statement list -> t
+(** Build the graph of a statement list (priorities are list positions). *)
+
+val size : t -> int
+(** Number of vertices. *)
+
+val edges : t -> edge list
+(** All edges, sorted by (src, dst). *)
+
+val depends_on : t -> int -> int -> bool
+(** [depends_on g q i] is true iff there is a direct or composite dataflow
+    from statement [i] to statement [q]. *)
+
+val data_complete : t -> int -> bool
+(** [data_complete g q]: no statement [i >= q] feeds [q] directly or
+    indirectly — every computation affecting [q] finishes before [q] first
+    fires, so negation in [q] agrees with the final-set semantics (the
+    paper's link to stratified Datalog). *)
+
+val parallelizable : t -> int -> int -> bool
+(** True iff neither statement depends on the other, so they may be
+    evaluated in parallel (the paper's remark about rules 3 and 4). *)
+
+val parallel_groups : t -> int list list
+(** A greedy partition of the statements into groups of mutually
+    independent statements, in priority order — a schedule in which each
+    group could evaluate in parallel. Statements never move ahead of a
+    statement they depend on. *)
+
+val stratified : t -> bool
+(** True iff every statement whose body uses negation is data complete. *)
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering listing vertices ([R_q] style) and edges with their
+    direction, as in Figure 14. *)

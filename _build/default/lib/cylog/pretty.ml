@@ -1,0 +1,109 @@
+let comma ppf () = Format.fprintf ppf ", "
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/")
+
+let rec pp_expr ppf = function
+  | Ast.Const v -> Reldb.Value.pp ppf v
+  | Ast.Var v -> Format.pp_print_string ppf v
+  | Ast.List es ->
+      Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:comma pp_expr) es
+  | Ast.Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %a %a)" pp_expr a pp_binop op pp_expr b
+
+let pp_arg ppf { Ast.attr; bind } =
+  match bind with
+  | Ast.Auto -> Format.pp_print_string ppf attr
+  | Ast.Bound e -> Format.fprintf ppf "%s:%a" attr pp_expr e
+
+let pp_atom ppf { Ast.pred; args } =
+  Format.fprintf ppf "%s(%a)" pred (Format.pp_print_list ~pp_sep:comma pp_arg) args
+
+let pp_cmpop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Ast.Eq -> "="
+    | Ast.Neq -> "!="
+    | Ast.Lt -> "<"
+    | Ast.Le -> "<="
+    | Ast.Gt -> ">"
+    | Ast.Ge -> ">=")
+
+let pp_literal ppf = function
+  | Ast.Pos a -> pp_atom ppf a
+  | Ast.Neg a -> Format.fprintf ppf "not %a" pp_atom a
+  | Ast.Cmp (a, op, b) -> Format.fprintf ppf "%a %a %a" pp_expr a pp_cmpop op pp_expr b
+  | Ast.Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f (Format.pp_print_list ~pp_sep:comma pp_expr) args
+
+let pp_head ppf = function
+  | Ast.Head_atom { atom; kind } -> (
+      pp_atom ppf atom;
+      match kind with
+      | Ast.Assert -> ()
+      | Ast.Open None -> Format.pp_print_string ppf "/open"
+      | Ast.Open (Some e) -> Format.fprintf ppf "/open[%a]" pp_expr e
+      | Ast.Update -> Format.pp_print_string ppf "/update"
+      | Ast.Delete -> Format.pp_print_string ppf "/delete")
+  | Ast.Head_payoff updates ->
+      let update ppf (player, delta) =
+        Format.fprintf ppf "%s += %a" player pp_expr delta
+      in
+      Format.fprintf ppf "Payoff[%a]"
+        (Format.pp_print_list ~pp_sep:comma update)
+        updates
+
+let pp_statement ppf { Ast.label; heads; body } =
+  (match label with Some l -> Format.fprintf ppf "%s: " l | None -> ());
+  Format.pp_print_list ~pp_sep:comma pp_head ppf heads;
+  (match body with
+  | [] -> ()
+  | _ ->
+      Format.fprintf ppf " <- %a" (Format.pp_print_list ~pp_sep:comma pp_literal) body);
+  Format.pp_print_string ppf ";"
+
+let pp_schema_decl ppf { Ast.rel_name; rel_attrs } =
+  let attr ppf (a, key, auto) =
+    Format.pp_print_string ppf a;
+    if key then Format.pp_print_string ppf " key";
+    if auto then Format.pp_print_string ppf " auto"
+  in
+  Format.fprintf ppf "%s(%a);" rel_name (Format.pp_print_list ~pp_sep:comma attr) rel_attrs
+
+let pp_game ppf { Ast.game_name; game_params; path_rules; payoff_rules } =
+  Format.fprintf ppf "@[<v 2>game %s(%a) {" game_name
+    (Format.pp_print_list ~pp_sep:comma Format.pp_print_string)
+    game_params;
+  Format.fprintf ppf "@,@[<v 2>path:";
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_statement s) path_rules;
+  Format.fprintf ppf "@]@,@[<v 2>payoff:";
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_statement s) payoff_rules;
+  Format.fprintf ppf "@]@]@,}"
+
+let pp_program ppf { Ast.schemas; statements; games; views } =
+  if schemas <> [] then begin
+    Format.fprintf ppf "@[<v 2>schema:";
+    List.iter (fun s -> Format.fprintf ppf "@,%a" pp_schema_decl s) schemas;
+    Format.fprintf ppf "@]@,@,"
+  end;
+  Format.fprintf ppf "@[<v 2>rules:";
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_statement s) statements;
+  Format.fprintf ppf "@]";
+  if games <> [] then begin
+    Format.fprintf ppf "@,@,@[<v 2>games:";
+    List.iter (fun g -> Format.fprintf ppf "@,%a" pp_game g) games;
+    Format.fprintf ppf "@]"
+  end;
+  if views <> [] then begin
+    (* Raw templates: emitted verbatim (they are extracted again before
+       lexing on re-parse). *)
+    Format.fprintf ppf "@,@,views:";
+    List.iter
+      (fun (v : Ast.view) ->
+        Format.fprintf ppf "@,view %s {@,%s@,}" v.view_name v.template)
+      views
+  end
+
+let statement_to_string s = Format.asprintf "%a" pp_statement s
+let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p

@@ -1,0 +1,16 @@
+(** Pretty-printing of CyLog ASTs back to concrete syntax.
+
+    [Parser.parse_exn] of a printed program yields a structurally equal
+    program (the printer always emits flat style, so block-style sugar is
+    not preserved — the desugared rules are). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_atom : Format.formatter -> Ast.atom -> unit
+val pp_literal : Format.formatter -> Ast.literal -> unit
+val pp_head : Format.formatter -> Ast.head -> unit
+val pp_statement : Format.formatter -> Ast.statement -> unit
+val pp_game : Format.formatter -> Ast.game_decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val statement_to_string : Ast.statement -> string
+val program_to_string : Ast.program -> string

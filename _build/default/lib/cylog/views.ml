@@ -1,0 +1,208 @@
+exception Error of { line : int; message : string }
+
+(* A light character-level scanner: views hold raw HTML, so they must be
+   carved out of the source before the lexer sees it. The scanner respects
+   // and /* */ comments and string literals while looking for section
+   markers and braces. *)
+
+type scanner = { src : string; mutable pos : int; mutable line : int }
+
+let peek sc = if sc.pos < String.length sc.src then Some sc.src.[sc.pos] else None
+
+let peek2 sc =
+  if sc.pos + 1 < String.length sc.src then Some sc.src.[sc.pos + 1] else None
+
+let advance sc =
+  (match peek sc with Some '\n' -> sc.line <- sc.line + 1 | _ -> ());
+  sc.pos <- sc.pos + 1
+
+let skip_string sc =
+  (* Called at the opening quote. *)
+  advance sc;
+  let rec loop () =
+    match peek sc with
+    | Some '"' -> advance sc
+    | Some '\\' ->
+        advance sc;
+        advance sc;
+        loop ()
+    | Some _ ->
+        advance sc;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let skip_comment sc =
+  (* Called at '/'; consumes the comment if there is one. *)
+  match peek2 sc with
+  | Some '/' ->
+      while peek sc <> None && peek sc <> Some '\n' do
+        advance sc
+      done
+  | Some '*' ->
+      advance sc;
+      advance sc;
+      let rec loop () =
+        match (peek sc, peek2 sc) with
+        | Some '*', Some '/' ->
+            advance sc;
+            advance sc
+        | Some _, _ ->
+            advance sc;
+            loop ()
+        | None, _ -> ()
+      in
+      loop ()
+  | _ -> advance sc
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+(* Does the word starting at [pos] equal [word] (with a word boundary)? *)
+let word_at sc word =
+  let n = String.length word in
+  sc.pos + n <= String.length sc.src
+  && String.sub sc.src sc.pos n = word
+  && (sc.pos = 0 || not (is_ident_char sc.src.[sc.pos - 1]))
+  && (sc.pos + n >= String.length sc.src || not (is_ident_char sc.src.[sc.pos + n]))
+
+let skip_ws sc =
+  while
+    match peek sc with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance sc;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect_char sc c what =
+  skip_ws sc;
+  match peek sc with
+  | Some c' when c' = c -> advance sc
+  | _ -> raise (Error { line = sc.line; message = "expected " ^ what })
+
+let read_ident sc =
+  skip_ws sc;
+  let start = sc.pos in
+  while (match peek sc with Some c -> is_ident_char c | None -> false) do
+    advance sc
+  done;
+  if sc.pos = start then
+    raise (Error { line = sc.line; message = "expected a view name" });
+  String.sub sc.src start (sc.pos - start)
+
+(* Read a raw view body: everything between balanced braces, verbatim. *)
+let read_body sc =
+  expect_char sc '{' "'{' opening the view body";
+  let start = sc.pos in
+  let depth = ref 1 in
+  while !depth > 0 do
+    match peek sc with
+    | None -> raise (Error { line = sc.line; message = "unterminated view body" })
+    | Some '{' ->
+        incr depth;
+        advance sc
+    | Some '}' ->
+        decr depth;
+        advance sc
+    | Some _ -> advance sc
+  done;
+  String.trim (String.sub sc.src start (sc.pos - start - 1))
+
+let at_section_end sc =
+  word_at sc "schema" || word_at sc "rules" || word_at sc "games" || word_at sc "views"
+
+let blank_out src from_pos to_pos =
+  String.mapi
+    (fun i c -> if i >= from_pos && i < to_pos && c <> '\n' then ' ' else c)
+    src
+
+let split source =
+  let sc = { src = source; pos = 0; line = 1 } in
+  let views = ref [] in
+  let cleaned = ref source in
+  let rec scan () =
+    match peek sc with
+    | None -> ()
+    | Some '"' ->
+        skip_string sc;
+        scan ()
+    | Some '/' ->
+        skip_comment sc;
+        scan ()
+    | Some 'v' when word_at sc "views" ->
+        let section_start = sc.pos in
+        sc.pos <- sc.pos + String.length "views";
+        skip_ws sc;
+        if peek sc = Some ':' then begin
+          advance sc;
+          (* Parse view declarations until the next section keyword. *)
+          let rec decls () =
+            skip_ws sc;
+            if word_at sc "view" then begin
+              sc.pos <- sc.pos + String.length "view";
+              let view_name = read_ident sc in
+              let template = read_body sc in
+              views := { Ast.view_name; template } :: !views;
+              decls ()
+            end
+          in
+          decls ();
+          skip_ws sc;
+          if not (peek sc = None || at_section_end sc) then
+            raise
+              (Error { line = sc.line; message = "expected 'view' or a section header" });
+          cleaned := blank_out !cleaned section_start sc.pos;
+          scan ()
+        end
+        else scan ()
+    | Some _ ->
+        advance sc;
+        scan ()
+  in
+  scan ();
+  (!cleaned, List.rev !views)
+
+let find views name =
+  List.find_opt (fun (v : Ast.view) -> String.equal v.view_name name) views
+
+let render (v : Ast.view) tuple =
+  let buf = Buffer.create (String.length v.template) in
+  let n = String.length v.template in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && v.template.[i] = '{' && v.template.[i + 1] = '{' then begin
+      match String.index_from_opt v.template (i + 2) '}' with
+      | Some j when j + 1 < n && v.template.[j + 1] = '}' ->
+          let attr = String.trim (String.sub v.template (i + 2) (j - i - 2)) in
+          (match Reldb.Tuple.get tuple attr with
+          | Some value when not (Reldb.Value.is_null value) ->
+              Buffer.add_string buf (Reldb.Value.to_display value)
+          | _ -> Buffer.add_string buf "____");
+          go (j + 2)
+      | _ ->
+          Buffer.add_char buf v.template.[i];
+          go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf v.template.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let render_open views ~relation ~bound ~open_attrs =
+  match find views relation with
+  | None -> None
+  | Some v ->
+      let body = render v bound in
+      let asking =
+        match open_attrs with
+        | [] -> "\n[confirm: should this tuple exist?]"
+        | attrs -> "\n[please provide: " ^ String.concat ", " attrs ^ "]"
+      in
+      Some (body ^ asking)

@@ -1,0 +1,42 @@
+(** The views section: worker-facing task presentation.
+
+    The paper's programs carry a views section describing, in HTML, the
+    interface through which workers answer open tuples (Figure 2's forms).
+    Here a view is a named template bound to a relation; rendering an open
+    tuple substitutes its bound attributes into [{{attr}}] placeholders and
+    lists the attributes still to fill:
+
+    {v
+    views:
+      view Input {
+        <p>Tweet: {{tw}}</p>
+        <input name="value" placeholder="weather term"/>
+      }
+    v}
+
+    Because templates are raw text (quotes, apostrophes, angle brackets),
+    the views sections are split out of the source {e before} lexing;
+    {!split} is called by [Parser.parse] and the extracted templates travel
+    in [Ast.program]. *)
+
+exception Error of { line : int; message : string }
+
+val split : string -> string * Ast.view list
+(** [split source] removes every [views:] section (replacing it with blank
+    lines so positions in error messages stay meaningful) and returns the
+    remaining source plus the extracted views. Understands line and block
+    comments and string literals; view bodies end at their balanced
+    closing brace. @raise Error on an unterminated view body. *)
+
+val find : Ast.view list -> string -> Ast.view option
+(** View for a relation name, if declared. *)
+
+val render : Ast.view -> Reldb.Tuple.t -> string
+(** Substitute [{{attr}}] placeholders by the tuple's display values;
+    unbound attributes render as [____] (the input the worker must fill). *)
+
+val render_open : Ast.view list -> relation:string -> bound:Reldb.Tuple.t ->
+  open_attrs:string list -> string option
+(** Render the task presentation of an open tuple: the relation's view with
+    bound attributes substituted, followed by a line listing the attributes
+    the worker is asked for. [None] when the relation has no view. *)

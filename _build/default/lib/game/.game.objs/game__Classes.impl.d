@@ -1,0 +1,1 @@
+lib/game/classes.ml: Array Cylog Format Fun Hashtbl List Reldb String

@@ -1,0 +1,1 @@
+lib/game/classes.mli: Cylog Format

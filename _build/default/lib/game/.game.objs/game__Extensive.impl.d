@@ -1,0 +1,1 @@
+lib/game/extensive.ml: Array Format Hashtbl List Matrix Option Printf String

@@ -1,0 +1,1 @@
+lib/game/extensive.mli: Format Matrix

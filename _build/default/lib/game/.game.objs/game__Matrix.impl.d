@@ -1,0 +1,1 @@
+lib/game/matrix.ml: Array Format Fun List Printf

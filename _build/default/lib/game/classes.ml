@@ -1,0 +1,100 @@
+type t = Bounded of int | Unbounded
+
+(* Variables a body determines: attribute-named variables of positive
+   atoms, aliases, and [v = expr] bindings. A head argument whose variables
+   all appear here is machine-determined; the rest are open slots. *)
+let bound_vars body =
+  List.concat_map
+    (function
+      | Cylog.Ast.Pos { Cylog.Ast.args; _ } ->
+          List.concat_map
+            (fun (arg : Cylog.Ast.arg) ->
+              match arg.bind with
+              | Cylog.Ast.Auto -> [ arg.attr ]
+              | Cylog.Ast.Bound (Cylog.Ast.Var v) -> [ v; arg.attr ]
+              | Cylog.Ast.Bound _ -> [ arg.attr ])
+            args
+      | Cylog.Ast.Cmp (Cylog.Ast.Var v, Cylog.Ast.Eq, _) | Cylog.Ast.Cmp (_, Cylog.Ast.Eq, Cylog.Ast.Var v) -> [ v ]
+      | Cylog.Ast.Neg _ | Cylog.Ast.Cmp _ | Cylog.Ast.Call _ -> [])
+    body
+  |> List.sort_uniq String.compare
+
+let open_slots (s : Cylog.Ast.statement) (atom : Cylog.Ast.atom) =
+  let bound = bound_vars s.body in
+  List.filter_map
+    (fun (arg : Cylog.Ast.arg) ->
+      let vars =
+        match arg.bind with Cylog.Ast.Auto -> [ arg.attr ] | Cylog.Ast.Bound e -> Cylog.Ast.expr_vars e
+      in
+      if List.for_all (fun v -> List.mem v bound) vars then None else Some arg.attr)
+    atom.args
+
+let open_heads (s : Cylog.Ast.statement) =
+  List.filter_map
+    (function
+      | Cylog.Ast.Head_atom { atom; kind = Cylog.Ast.Open _ } -> Some atom
+      | Cylog.Ast.Head_atom _ | Cylog.Ast.Head_payoff _ -> None)
+    s.heads
+
+let classify (program : Cylog.Ast.program) =
+  let engine = Cylog.Engine.load program in
+  let statements = List.map fst (Cylog.Engine.statements engine) in
+  let db = Cylog.Engine.database engine in
+  let arr = Array.of_list statements in
+  let n = Array.length arr in
+  let opens =
+    List.filter (fun i -> open_heads arr.(i) <> []) (List.init n Fun.id)
+  in
+  (* Standing tasks: an open head whose relation auto-increments a key the
+     statement leaves open — unboundedly many answers. *)
+  let standing =
+    List.exists
+      (fun i ->
+        List.exists
+          (fun (atom : Cylog.Ast.atom) ->
+            match Reldb.Database.find db atom.Cylog.Ast.pred with
+            | None -> false
+            | Some rel -> (
+                match Reldb.Schema.auto_increment (Reldb.Relation.schema rel) with
+                | Some auto -> List.mem auto (open_slots arr.(i) atom)
+                | None -> false))
+          (open_heads arr.(i)))
+      opens
+  in
+  if standing then Unbounded
+  else begin
+    let g = Cylog.Precedence.build statements in
+    (* A self-dependent open statement re-arms itself: unbounded phases. *)
+    if List.exists (fun i -> Cylog.Precedence.depends_on g i i) opens then Unbounded
+    else begin
+      (* Longest chain of open statements linked by (transitive) dataflow. *)
+      let chain = Hashtbl.create 16 in
+      let rec longest i =
+        match Hashtbl.find_opt chain i with
+        | Some v -> v
+        | None ->
+            let feeders =
+              List.filter (fun j -> j <> i && Cylog.Precedence.depends_on g i j) opens
+            in
+            let v = 1 + List.fold_left (fun acc j -> max acc (longest j)) 0 feeders in
+            Hashtbl.replace chain i v;
+            v
+      in
+      Bounded (List.fold_left (fun acc i -> max acc (longest i)) 0 opens)
+    end
+  end
+
+let open_phase_chain program =
+  match classify program with
+  | Bounded n -> n
+  | Unbounded -> invalid_arg "Classes.open_phase_chain: program is in G_*"
+
+let subsumes a b =
+  match (a, b) with
+  | Unbounded, _ -> true
+  | Bounded _, Unbounded -> false
+  | Bounded n, Bounded m -> n >= m
+
+let pp ppf = function
+  | Bounded n -> Format.fprintf ppf "G_%d" n
+  | Unbounded -> Format.pp_print_string ppf "G_*"

@@ -1,0 +1,42 @@
+(** The game classes of Section 9.4.
+
+    [G_N] (Definition 1) bounds the number of interaction phases by a known
+    [N]; [G_*] (Definition 2) does not — each interaction step is generated
+    by a μ-recursive function of past answers, so the sequence can be
+    unbounded. VE/I lives in [G_1]; the logo-design game in [G_2]; VRE/I in
+    [G_*] (the number of extraction rules workers may enter cannot be
+    bounded in advance).
+
+    {!classify} decides where a CyLog program sits by static analysis of
+    its open-headed statements:
+
+    - an open statement writing through an unmentioned auto-increment key
+      is a standing task — unbounded answers — so the program is in [G_*];
+    - an open statement inside a dependency cycle (its input relations
+      depend, transitively, on its own output) re-arms itself, also [G_*];
+    - otherwise the phases are bounded: [N] is the length of the longest
+      dependency chain of open statements (an open statement whose input
+      depends on another open statement's output starts a later phase). *)
+
+type t =
+  | Bounded of int  (** [G_N] with the inferred [N] *)
+  | Unbounded  (** [G_*] *)
+
+val classify : Cylog.Ast.program -> t
+(** Classify a program (its game aspects' path/payoff rules are part of the
+    analysis: they run on the machine side and do not add phases, but they
+    can carry dependencies between open statements). *)
+
+val open_phase_chain : Cylog.Ast.program -> int
+(** Longest chain of open statements linked by dataflow — the [N] reported
+    by {!classify} when bounded (0 when the program asks humans nothing).
+    @raise Invalid_argument on [G_*] programs. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b]: every game implementable in class [b] is implementable
+    in class [a]. [Unbounded] subsumes everything; [Bounded n] subsumes
+    [Bounded m] iff [n >= m] (the paper: [G_*] is strictly larger than
+    [G_N]). *)
+
+val pp : Format.formatter -> t -> unit
+(** ["G_2"] / ["G_*"] rendering. *)

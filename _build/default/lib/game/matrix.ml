@@ -1,0 +1,176 @@
+type t = {
+  players : string array;
+  actions : string array array;
+  payoff : int array -> float array;
+}
+
+let make ~players ~actions ~payoff =
+  if players = [] then invalid_arg "Matrix.make: no players";
+  if List.length players <> List.length actions then
+    invalid_arg "Matrix.make: |actions| must equal |players|";
+  List.iter (fun a -> if a = [] then invalid_arg "Matrix.make: empty action set") actions;
+  {
+    players = Array.of_list players;
+    actions = Array.of_list (List.map Array.of_list actions);
+    payoff;
+  }
+
+let of_bimatrix ~row_player ~col_player ~rows ~cols cells =
+  let n_rows = List.length rows and n_cols = List.length cols in
+  if Array.length cells <> n_rows then invalid_arg "Matrix.of_bimatrix: row count";
+  Array.iter
+    (fun row -> if Array.length row <> n_cols then invalid_arg "Matrix.of_bimatrix: col count")
+    cells;
+  make ~players:[ row_player; col_player ] ~actions:[ rows; cols ]
+    ~payoff:(fun profile ->
+      let a, b = cells.(profile.(0)).(profile.(1)) in
+      [| a; b |])
+
+let coordination ~players:(pa, pb) ~values ~reward =
+  make ~players:[ pa; pb ] ~actions:[ values; values ]
+    ~payoff:(fun profile ->
+      if profile.(0) = profile.(1) then [| reward; reward |] else [| 0.0; 0.0 |])
+
+let players g = Array.to_list g.players
+let actions g i = Array.to_list g.actions.(i)
+let payoff g profile = g.payoff profile
+
+let profiles g =
+  let n = Array.length g.players in
+  let rec build i =
+    if i = n then [ [] ]
+    else
+      let rest = build (i + 1) in
+      List.concat_map
+        (fun a -> List.map (fun tail -> a :: tail) rest)
+        (List.init (Array.length g.actions.(i)) Fun.id)
+  in
+  List.map Array.of_list (build 0)
+
+let best_responses g ~player ~profile =
+  let try_action a =
+    let p = Array.copy profile in
+    p.(player) <- a;
+    (g.payoff p).(player)
+  in
+  let n = Array.length g.actions.(player) in
+  let best = ref neg_infinity in
+  for a = 0 to n - 1 do
+    let v = try_action a in
+    if v > !best then best := v
+  done;
+  List.filter (fun a -> try_action a = !best) (List.init n Fun.id)
+
+let is_pure_nash g profile =
+  let n = Array.length g.players in
+  let rec ok i =
+    i >= n || (List.mem profile.(i) (best_responses g ~player:i ~profile) && ok (i + 1))
+  in
+  ok 0
+
+let pure_nash g = List.filter (is_pure_nash g) (profiles g)
+
+let pure_nash_named g =
+  List.map
+    (fun profile ->
+      List.mapi (fun i a -> g.actions.(i).(a)) (Array.to_list profile))
+    (pure_nash g)
+
+let strictly_dominated g ~player =
+  (* Action [a] is strictly dominated by [b] iff [b] does strictly better
+     against every profile of the other players. *)
+  let others =
+    List.filter (fun p -> p.(player) = 0) (profiles g)
+  in
+  let beats b a =
+    List.for_all
+      (fun profile ->
+        let pa = Array.copy profile and pb = Array.copy profile in
+        pa.(player) <- a;
+        pb.(player) <- b;
+        (g.payoff pb).(player) > (g.payoff pa).(player))
+      others
+  in
+  let n = Array.length g.actions.(player) in
+  List.filter
+    (fun a -> List.exists (fun b -> b <> a && beats b a) (List.init n Fun.id))
+    (List.init n Fun.id)
+
+let iterated_elimination g =
+  (* Work over shrinking action-index sets; rebuild dominance over the
+     restricted profiles each round. *)
+  let n = Array.length g.players in
+  let alive = Array.map (fun acts -> List.init (Array.length acts) Fun.id) g.actions in
+  let restricted_profiles () =
+    let rec build i =
+      if i = n then [ [] ]
+      else
+        let rest = build (i + 1) in
+        List.concat_map (fun a -> List.map (fun tail -> a :: tail) rest) alive.(i)
+    in
+    List.map Array.of_list (build 0)
+  in
+  let dominated player =
+    let profs = restricted_profiles () in
+    let beats b a =
+      List.for_all
+        (fun profile ->
+          profile.(player) <> a
+          ||
+          let pb = Array.copy profile in
+          pb.(player) <- b;
+          (g.payoff pb).(player) > (g.payoff profile).(player))
+        profs
+    in
+    List.filter
+      (fun a -> List.exists (fun b -> b <> a && beats b a) alive.(player))
+      alive.(player)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for p = 0 to n - 1 do
+      if List.length alive.(p) > 1 then begin
+        let dead = dominated p in
+        if dead <> [] then begin
+          alive.(p) <- List.filter (fun a -> not (List.mem a dead)) alive.(p);
+          changed := true
+        end
+      end
+    done
+  done;
+  Array.to_list (Array.mapi (fun p acts -> List.map (fun a -> g.actions.(p).(a)) acts) alive)
+
+let is_symmetric g =
+  Array.length g.players = 2
+  && g.actions.(0) = g.actions.(1)
+  &&
+  let n = Array.length g.actions.(0) in
+  let rec check i j =
+    if i >= n then true
+    else if j >= n then check (i + 1) 0
+    else
+      let fwd = g.payoff [| i; j |] and bwd = g.payoff [| j; i |] in
+      fwd.(0) = bwd.(1) && fwd.(1) = bwd.(0) && check i (j + 1)
+  in
+  check 0 0
+
+let pp_bimatrix ppf g =
+  if Array.length g.players <> 2 then
+    Format.fprintf ppf "<%d-player game>" (Array.length g.players)
+  else begin
+    let rows = g.actions.(0) and cols = g.actions.(1) in
+    let width = 12 in
+    Format.fprintf ppf "@[<v>%-*s" width (g.players.(0) ^ "\\" ^ g.players.(1));
+    Array.iter (fun c -> Format.fprintf ppf "%*s" width c) cols;
+    Array.iteri
+      (fun i r ->
+        Format.fprintf ppf "@,%-*s" width r;
+        Array.iteri
+          (fun j _ ->
+            let p = g.payoff [| i; j |] in
+            Format.fprintf ppf "%*s" width (Printf.sprintf "(%g, %g)" p.(0) p.(1)))
+          cols)
+      rows;
+    Format.fprintf ppf "@]"
+  end

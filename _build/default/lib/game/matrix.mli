@@ -1,0 +1,64 @@
+(** Normal-form (strategic) games.
+
+    The game aspect describes incentive structures "in terms taken from
+    game theory"; this module provides those terms on the analysis side:
+    payoff matrices (Figure 4 left), best responses, pure-strategy Nash
+    equilibria, dominance. Games are finite n-player with payoffs as
+    floats. *)
+
+type t
+
+val make :
+  players:string list -> actions:string list list ->
+  payoff:(int array -> float array) -> t
+(** [make ~players ~actions ~payoff] builds a game; [actions] gives each
+    player's action names in player order, [payoff profile] returns one
+    payoff per player for a profile of action indices.
+    @raise Invalid_argument on empty players or mismatched lengths. *)
+
+val of_bimatrix :
+  row_player:string -> col_player:string -> rows:string list ->
+  cols:string list -> (float * float) array array -> t
+(** Two-player game from a payoff bimatrix ([cell.(i).(j)] = payoffs of the
+    row and column player when row action [i] meets column action [j]). *)
+
+val coordination : players:string * string -> values:string list -> reward:float -> t
+(** The paper's Figure 4 game: both players pick a term; each receives
+    [reward] iff the terms match, else 0. *)
+
+val players : t -> string list
+val actions : t -> int -> string list
+(** Action names of one player. *)
+
+val payoff : t -> int array -> float array
+(** Payoffs for a profile of action indices. *)
+
+val profiles : t -> int array list
+(** All pure profiles, row-major. *)
+
+val best_responses : t -> player:int -> profile:int array -> int list
+(** Actions of [player] maximising their payoff against the others' choices
+    in [profile]. *)
+
+val is_pure_nash : t -> int array -> bool
+(** True iff no player can profitably deviate unilaterally. *)
+
+val pure_nash : t -> int array list
+(** All pure-strategy Nash equilibria. *)
+
+val pure_nash_named : t -> string list list
+(** Equilibria as action names, one list per equilibrium. *)
+
+val strictly_dominated : t -> player:int -> int list
+(** Actions strictly dominated by some other pure action of the player. *)
+
+val iterated_elimination : t -> string list list
+(** Surviving action names per player after iterated elimination of
+    strictly dominated pure strategies. *)
+
+val is_symmetric : t -> bool
+(** Two-player check: same action sets and payoff matrix symmetric under
+    swapping players. *)
+
+val pp_bimatrix : Format.formatter -> t -> unit
+(** Figure 4-style matrix rendering (two-player games only). *)

@@ -1,0 +1,1 @@
+lib/quality/aggregate.ml: Float Fun Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/regex/engine.ml: Buffer Char Format List Nfa Parse String Syntax

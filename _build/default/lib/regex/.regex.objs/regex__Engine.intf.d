@@ -1,0 +1,1 @@
+lib/regex/engine.mli: Parse

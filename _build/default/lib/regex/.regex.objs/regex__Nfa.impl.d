@@ -1,0 +1,1 @@
+lib/regex/nfa.ml: Array Format List Printf String Syntax

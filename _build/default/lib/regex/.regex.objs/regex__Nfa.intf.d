@@ -1,0 +1,1 @@
+lib/regex/nfa.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/regex/parse.ml: Char Format List Printf String Syntax

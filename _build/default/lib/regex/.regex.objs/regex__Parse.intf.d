@@ -1,0 +1,1 @@
+lib/regex/parse.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/regex/syntax.ml: Buffer Format List

@@ -1,0 +1,1 @@
+lib/regex/syntax.mli: Format

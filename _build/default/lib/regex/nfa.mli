@@ -1,0 +1,38 @@
+(** Thompson construction and the Pike-style NFA virtual machine.
+
+    The AST compiles into a flat instruction program executed breadth-first
+    over the input: every input position carries a set of live threads, so
+    matching runs in O(program size × input length) with no backtracking
+    blow-up regardless of the pattern. *)
+
+type inst =
+  | Char of char
+  | Any
+  | Class of bool * (char * char) list  (** negated?, inclusive ranges *)
+  | Split of int * int  (** fork to both targets *)
+  | Jmp of int
+  | Bol  (** succeeds only at input start *)
+  | Eol  (** succeeds only at input end *)
+  | Accept
+
+type program = inst array
+
+exception Too_large
+(** Raised when expansion of bounded repetitions exceeds the instruction
+    budget. *)
+
+val compile : Syntax.t -> program
+(** Compile an AST. Bounded repetitions [{m,n}] are expanded by copying.
+    @raise Too_large if the program would exceed 100_000 instructions. *)
+
+val run_at : program -> string -> int -> int option
+(** [run_at prog s start] runs the program anchored at [start] and returns
+    the end offset of the longest accepting run, if any. *)
+
+val search_from : program -> string -> int -> (int * int) option
+(** [search_from prog s start] finds the leftmost match beginning at or
+    after [start], returning its (start, end) span with the longest end for
+    that start. *)
+
+val pp_program : Format.formatter -> program -> unit
+(** Disassembly listing, for debugging. *)

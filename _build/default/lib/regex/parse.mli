@@ -1,0 +1,13 @@
+(** Parser for the concrete regex syntax. *)
+
+type error = { position : int; message : string }
+
+val parse : string -> (Syntax.t, error) result
+(** [parse pattern] parses the pattern into an AST. Errors carry the byte
+    position at which parsing failed. *)
+
+val parse_exn : string -> Syntax.t
+(** Like {!parse}. @raise Invalid_argument on malformed patterns. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** Human-readable error rendering. *)

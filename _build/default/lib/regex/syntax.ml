@@ -1,0 +1,131 @@
+type t =
+  | Empty
+  | Char of char
+  | Any
+  | Class of char_class
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option
+  | Bol
+  | Eol
+
+and char_class = { negated : bool; ranges : (char * char) list }
+
+let rec equal a b =
+  match (a, b) with
+  | Empty, Empty | Any, Any | Bol, Bol | Eol, Eol -> true
+  | Char x, Char y -> x = y
+  | Class x, Class y -> x.negated = y.negated && x.ranges = y.ranges
+  | Seq (x1, x2), Seq (y1, y2) | Alt (x1, x2), Alt (y1, y2) ->
+      equal x1 y1 && equal x2 y2
+  | Star x, Star y | Plus x, Plus y | Opt x, Opt y -> equal x y
+  | Repeat (x, ml, mh), Repeat (y, nl, nh) -> ml = nl && mh = nh && equal x y
+  | ( ( Empty | Char _ | Any | Class _ | Seq _ | Alt _ | Star _ | Plus _ | Opt _
+      | Repeat _ | Bol | Eol ),
+      _ ) ->
+      false
+
+let escape_char buf c =
+  match c with
+  | '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' ->
+      Buffer.add_char buf '\\';
+      Buffer.add_char buf c
+  | _ -> Buffer.add_char buf c
+
+let class_to_buf buf { negated; ranges } =
+  Buffer.add_char buf '[';
+  if negated then Buffer.add_char buf '^';
+  List.iter
+    (fun (lo, hi) ->
+      let add c =
+        match c with
+        | ']' | '\\' | '^' | '-' ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c
+        | _ -> Buffer.add_char buf c
+      in
+      if lo = hi then add lo
+      else begin
+        add lo;
+        Buffer.add_char buf '-';
+        add hi
+      end)
+    ranges;
+  Buffer.add_char buf ']'
+
+(* Precedence levels: 0 = alternation, 1 = concatenation, 2 = repetition
+   operand. Parenthesise whenever the child binds looser than the
+   context. *)
+let to_pattern re =
+  let buf = Buffer.create 32 in
+  let rec go level re =
+    match re with
+    | Empty -> if level >= 2 then Buffer.add_string buf "()"
+    | Char c -> escape_char buf c
+    | Any -> Buffer.add_char buf '.'
+    | Class cc -> class_to_buf buf cc
+    | Bol -> Buffer.add_char buf '^'
+    | Eol -> Buffer.add_char buf '$'
+    | Seq (a, b) ->
+        paren (level > 1) (fun () ->
+            go 1 a;
+            go 1 b)
+    | Alt (a, b) ->
+        paren (level > 0) (fun () ->
+            go 0 a;
+            Buffer.add_char buf '|';
+            go 0 b)
+    | Star a ->
+        go 2 a;
+        Buffer.add_char buf '*'
+    | Plus a ->
+        go 2 a;
+        Buffer.add_char buf '+'
+    | Opt a ->
+        go 2 a;
+        Buffer.add_char buf '?'
+    | Repeat (a, lo, hi) ->
+        go 2 a;
+        Buffer.add_char buf '{';
+        Buffer.add_string buf (string_of_int lo);
+        (match hi with
+        | Some h when h = lo -> ()
+        | Some h ->
+            Buffer.add_char buf ',';
+            Buffer.add_string buf (string_of_int h)
+        | None -> Buffer.add_char buf ',');
+        Buffer.add_char buf '}'
+  and paren needed body =
+    if needed then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  go 0 re;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Empty -> Format.pp_print_string ppf "Empty"
+  | Char c -> Format.fprintf ppf "Char %C" c
+  | Any -> Format.pp_print_string ppf "Any"
+  | Class { negated; ranges } ->
+      Format.fprintf ppf "Class(%s%a)"
+        (if negated then "^" else "")
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf (a, b) -> Format.fprintf ppf "%C-%C" a b))
+        ranges
+  | Seq (a, b) -> Format.fprintf ppf "Seq(%a, %a)" pp a pp b
+  | Alt (a, b) -> Format.fprintf ppf "Alt(%a, %a)" pp a pp b
+  | Star a -> Format.fprintf ppf "Star(%a)" pp a
+  | Plus a -> Format.fprintf ppf "Plus(%a)" pp a
+  | Opt a -> Format.fprintf ppf "Opt(%a)" pp a
+  | Repeat (a, lo, hi) ->
+      Format.fprintf ppf "Repeat(%a, %d, %s)" pp a lo
+        (match hi with Some h -> string_of_int h | None -> "inf")
+  | Bol -> Format.pp_print_string ppf "Bol"
+  | Eol -> Format.pp_print_string ppf "Eol"

@@ -1,0 +1,35 @@
+(** Abstract syntax of the regular expressions accepted in extraction-rule
+    conditions (Section 6.1.1 of the paper allows regular expressions in the
+    condition part). The dialect is the classical core: literals, [.],
+    character classes, grouping, alternation, [*], [+], [?], bounded
+    repetition [{m,n}], anchors, and the escapes [\d \w \s] (and their
+    complements). *)
+
+type t =
+  | Empty  (** matches the empty string *)
+  | Char of char  (** a literal character *)
+  | Any  (** [.] — any character *)
+  | Class of char_class  (** [[a-z0-9]] or [[^...]] *)
+  | Seq of t * t  (** concatenation *)
+  | Alt of t * t  (** alternation *)
+  | Star of t  (** zero or more *)
+  | Plus of t  (** one or more *)
+  | Opt of t  (** zero or one *)
+  | Repeat of t * int * int option  (** [{m,n}]; [None] = unbounded *)
+  | Bol  (** [^] — beginning of input *)
+  | Eol  (** [$] — end of input *)
+
+and char_class = {
+  negated : bool;
+  ranges : (char * char) list;  (** inclusive ranges; singletons are (c, c) *)
+}
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering of the AST. *)
+
+val to_pattern : t -> string
+(** Render back to concrete regex syntax. Parsing the result yields an
+    equivalent AST. *)

@@ -1,0 +1,1 @@
+lib/relation/csv.ml: Buffer Database List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/csv.mli: Database Relation Value

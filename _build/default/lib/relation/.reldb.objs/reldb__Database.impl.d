@@ -1,0 +1,1 @@
+lib/relation/database.ml: Format Hashtbl List Printf Relation Schema

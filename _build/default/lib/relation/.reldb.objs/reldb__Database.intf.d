@@ -1,0 +1,1 @@
+lib/relation/database.mli: Format Relation Schema

@@ -1,0 +1,1 @@
+lib/relation/ops.ml: Hashtbl List String Tuple Value

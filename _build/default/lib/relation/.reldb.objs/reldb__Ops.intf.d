@@ -1,0 +1,1 @@
+lib/relation/ops.mli: Tuple Value

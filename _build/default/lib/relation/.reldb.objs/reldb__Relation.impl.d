@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Dynarray Format Hashtbl List Option Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Format List Printf String

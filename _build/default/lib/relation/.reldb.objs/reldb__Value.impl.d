@@ -1,0 +1,1 @@
+lib/relation/value.ml: Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,106 @@
+exception Error of string
+
+let parse text =
+  let n = String.length text in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if !fields <> [] || Buffer.length buf > 0 then flush_record ())
+    else
+      match text.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+          flush_record ();
+          plain (i + 2)
+      | '\n' ->
+          flush_record ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then raise (Error "unterminated quoted field")
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !records
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let print_field s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let print records =
+  String.concat ""
+    (List.map (fun r -> String.concat "," (List.map print_field r) ^ "\n") records)
+
+let typed_value field =
+  match field with
+  | "" | "null" -> Value.Null
+  | "true" -> Value.Bool true
+  | "false" -> Value.Bool false
+  | _ -> (
+      match int_of_string_opt field with
+      | Some i -> Value.Int i
+      | None -> (
+          match float_of_string_opt field with
+          | Some f -> Value.Float f
+          | None -> Value.String field))
+
+let import db ~name csv =
+  match parse csv with
+  | [] -> raise (Error "empty CSV input")
+  | header :: rows ->
+      if header = [] then raise (Error "empty header row");
+      let schema =
+        try Schema.make ~name header
+        with Invalid_argument m -> raise (Error m)
+      in
+      let rel =
+        try Database.declare db schema with Invalid_argument m -> raise (Error m)
+      in
+      List.iteri
+        (fun i row ->
+          if List.length row <> List.length header then
+            raise (Error (Printf.sprintf "row %d has %d fields, expected %d" (i + 1)
+                            (List.length row) (List.length header)));
+          let tuple = Tuple.of_list (List.combine header (List.map typed_value row)) in
+          ignore (Relation.insert rel tuple))
+        rows;
+      rel
+
+let export rel =
+  let attrs = Schema.attributes (Relation.schema rel) in
+  let row tuple =
+    List.map
+      (fun a ->
+        match Tuple.get_or_null tuple a with
+        | Value.Null -> "null"
+        | v -> Value.to_display v)
+      attrs
+  in
+  print (attrs :: List.map row (Relation.tuples rel))

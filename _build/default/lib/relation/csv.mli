@@ -1,0 +1,30 @@
+(** CSV import/export for relations.
+
+    A pragmatic RFC-4180 dialect: comma-separated, double-quoted fields
+    with doubled inner quotes, LF or CRLF records. Import reads a header
+    row of attribute names and types each field by shape ([null], [true]/
+    [false], integer, float, otherwise string); export writes the schema's
+    attributes in declaration order. *)
+
+val parse : string -> string list list
+(** Raw records. Empty trailing line ignored; fields may span lines when
+    quoted. *)
+
+val print : string list list -> string
+(** Render records, quoting any field containing commas, quotes or
+    newlines. *)
+
+val typed_value : string -> Value.t
+(** The import typing heuristic for one field. *)
+
+exception Error of string
+
+val import : Database.t -> name:string -> string -> Relation.t
+(** [import db ~name csv] declares (or reuses) a keyless relation named
+    [name] whose attributes come from the header row, and inserts one tuple
+    per record. @raise Error on an empty input, ragged rows, or a schema
+    conflict with an existing relation. *)
+
+val export : Relation.t -> string
+(** Header plus one record per live tuple, in row order. Values render via
+    {!Value.to_display}, except [Null] which exports as [null]. *)

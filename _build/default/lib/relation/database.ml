@@ -1,0 +1,50 @@
+type t = {
+  by_name : (string, Relation.t) Hashtbl.t;
+  mutable order : string list;  (* reverse declaration order *)
+}
+
+let create () = { by_name = Hashtbl.create 16; order = [] }
+
+let declare db schema =
+  let n = Schema.name schema in
+  match Hashtbl.find_opt db.by_name n with
+  | Some r ->
+      if Schema.equal (Relation.schema r) schema then r
+      else
+        invalid_arg
+          (Printf.sprintf "Database.declare: %s already declared with schema %s" n
+             (Format.asprintf "%a" Schema.pp (Relation.schema r)))
+  | None ->
+      let r = Relation.create schema in
+      Hashtbl.replace db.by_name n r;
+      db.order <- n :: db.order;
+      r
+
+let find db n = Hashtbl.find_opt db.by_name n
+
+let find_exn db n =
+  match find db n with Some r -> r | None -> raise Not_found
+
+let mem db n = Hashtbl.mem db.by_name n
+let names db = List.rev db.order
+let relations db = List.map (fun n -> Hashtbl.find db.by_name n) (names db)
+
+let total_tuples db =
+  List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 (relations db)
+
+let generation db =
+  List.fold_left (fun acc r -> acc + Relation.generation r) 0 (relations db)
+
+let copy db =
+  let fresh = create () in
+  List.iter
+    (fun n ->
+      Hashtbl.replace fresh.by_name n (Relation.copy (Hashtbl.find db.by_name n)))
+    (names db);
+  fresh.order <- db.order;
+  fresh
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") Relation.pp)
+    (relations db)

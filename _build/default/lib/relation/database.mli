@@ -1,0 +1,40 @@
+(** A named collection of relations — the store a CyLog program runs
+    against. *)
+
+type t
+
+val create : unit -> t
+(** Empty database. *)
+
+val declare : t -> Schema.t -> Relation.t
+(** [declare db s] creates an empty relation for [s] and registers it.
+    @raise Invalid_argument if a relation with the same name exists with a
+    different schema; returns the existing relation when the schema is
+    identical. *)
+
+val find : t -> string -> Relation.t option
+(** Relation by name, if declared. *)
+
+val find_exn : t -> string -> Relation.t
+(** Relation by name. @raise Not_found when undeclared. *)
+
+val mem : t -> string -> bool
+(** True iff a relation with this name is declared. *)
+
+val relations : t -> Relation.t list
+(** All relations in declaration order. *)
+
+val names : t -> string list
+(** Relation names in declaration order. *)
+
+val total_tuples : t -> int
+(** Sum of live cardinalities over all relations. *)
+
+val generation : t -> int
+(** Sum of relation generations: changes whenever any relation changes. *)
+
+val copy : t -> t
+(** Deep copy of every relation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render every relation. *)

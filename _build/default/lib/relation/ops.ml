@@ -1,0 +1,96 @@
+let select p ts = List.filter p ts
+let select_eq a v ts = List.filter (fun t -> Value.equal (Tuple.get_or_null t a) v) ts
+
+let distinct ts =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.replace seen t ();
+        true
+      end)
+    ts
+
+let project attrs ts = distinct (List.map (fun t -> Tuple.project t attrs) ts)
+
+let rename mapping ts =
+  let rename_one t =
+    List.fold_left
+      (fun acc (a, v) ->
+        let a' = match List.assoc_opt a mapping with Some n -> n | None -> a in
+        Tuple.set acc a' v)
+      Tuple.empty (Tuple.to_list t)
+  in
+  List.map rename_one ts
+
+let natural_join left right =
+  (* Shared attributes are computed per tuple pair so heterogeneous tuple
+     lists still join symmetrically. *)
+  List.concat_map
+    (fun lt ->
+      List.filter_map
+        (fun rt ->
+          let agree =
+            List.for_all
+              (fun a ->
+                (not (Tuple.mem rt a))
+                || Value.equal (Tuple.get_exn lt a) (Tuple.get_or_null rt a))
+              (Tuple.attributes lt)
+          in
+          if agree then Some (Tuple.union lt rt) else None)
+        right)
+    left
+
+let all_attributes ts =
+  List.sort_uniq String.compare (List.concat_map Tuple.attributes ts)
+
+let product left right =
+  let overlap =
+    List.filter (fun a -> List.mem a (all_attributes right)) (all_attributes left)
+  in
+  if overlap <> [] then
+    invalid_arg ("Ops.product: shared attributes " ^ String.concat "," overlap);
+  List.concat_map (fun lt -> List.map (fun rt -> Tuple.union lt rt) right) left
+
+let union a b = distinct (a @ b)
+
+let difference a b =
+  let in_b = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace in_b t ()) b;
+  List.filter (fun t -> not (Hashtbl.mem in_b t)) a
+
+let intersection a b =
+  let in_b = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace in_b t ()) b;
+  distinct (List.filter (fun t -> Hashtbl.mem in_b t) a)
+
+let group_by attrs ts =
+  let order = ref [] in
+  let groups : (Tuple.t, Tuple.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let k = Tuple.project t attrs in
+      match Hashtbl.find_opt groups k with
+      | Some members -> members := t :: !members
+      | None ->
+          Hashtbl.replace groups k (ref [ t ]);
+          order := k :: !order)
+    ts;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find groups k))) !order
+
+let count = List.length
+
+let aggregate_int ~key ~value ~init ~f ts =
+  List.map
+    (fun (k, members) ->
+      let total =
+        List.fold_left
+          (fun acc t ->
+            match Tuple.get_or_null t value with
+            | Value.Int i -> f acc i
+            | _ -> acc)
+          init members
+      in
+      (k, total))
+    (group_by key ts)

@@ -1,0 +1,54 @@
+(** Relational-algebra operations over tuple lists.
+
+    These are the machine-side building blocks the paper assumes from its
+    deductive-database substrate: selection, projection, natural join, and
+    friends. They operate on plain tuple lists (row order preserved) so they
+    compose without touching relation state. *)
+
+val select : (Tuple.t -> bool) -> Tuple.t list -> Tuple.t list
+(** Keep tuples satisfying the predicate. *)
+
+val select_eq : string -> Value.t -> Tuple.t list -> Tuple.t list
+(** Keep tuples whose attribute equals the value. *)
+
+val project : string list -> Tuple.t list -> Tuple.t list
+(** Project each tuple on the attributes, de-duplicating the result (set
+    semantics), preserving first-occurrence order. *)
+
+val rename : (string * string) list -> Tuple.t list -> Tuple.t list
+(** [rename [(old, new); ...] ts] renames attributes in every tuple.
+    Unmentioned attributes are kept. *)
+
+val natural_join : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Join on all shared attributes; tuples pair iff shared attributes agree.
+    Output order is the nested-loop order (left outer, right inner) the
+    CyLog engine uses for conflict resolution. *)
+
+val product : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Cartesian product. @raise Invalid_argument if attribute sets overlap. *)
+
+val union : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Set union preserving first-occurrence order. *)
+
+val difference : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Tuples of the first list absent from the second. *)
+
+val intersection : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Tuples present in both lists, in first-list order. *)
+
+val distinct : Tuple.t list -> Tuple.t list
+(** Remove duplicates, preserving first-occurrence order. *)
+
+val group_by : string list -> Tuple.t list -> (Tuple.t * Tuple.t list) list
+(** Group tuples by their projection on the attributes; groups appear in
+    first-occurrence order, members in input order. *)
+
+val count : Tuple.t list -> int
+(** List length (for symmetry with aggregate readers). *)
+
+val aggregate_int :
+  key:string list -> value:string -> init:int -> f:(int -> int -> int) ->
+  Tuple.t list -> (Tuple.t * int) list
+(** Fold an integer attribute per group: [aggregate_int ~key ~value ~init ~f]
+    groups by [key] and folds [f] over the [value] attribute (non-integer
+    values are skipped). *)

@@ -1,0 +1,255 @@
+type row_slot = {
+  mutable tuple : Tuple.t;
+  mutable live : bool;
+  mutable version : int;
+}
+
+(* A lazily-built secondary index over one attribute. Buckets may contain
+   stale row indices (deleted rows, rows whose value changed via update);
+   reads re-validate against the live tuple. *)
+type attr_index = {
+  buckets : (Value.t, int list ref) Hashtbl.t;  (* value -> row indices, descending *)
+  mutable synced_upto : int;  (* rows below this index have been bucketed *)
+}
+
+type t = {
+  schema : Schema.t;
+  slots : row_slot Dynarray.t;
+  (* Index from full-tuple equality to row index, live rows only. *)
+  by_tuple : (Tuple.t, int) Hashtbl.t;
+  (* Index from key projection to row index, live rows only; present iff the
+     schema declares a key. *)
+  by_key : (Tuple.t, int) Hashtbl.t option;
+  by_attr : (string, attr_index) Hashtbl.t;
+  mutable next_auto : int;
+  mutable generation : int;
+}
+
+type insert_outcome =
+  | Inserted of int
+  | Duplicate_tuple of int
+  | Duplicate_key of int
+
+type update_outcome = Replaced of int | Upserted of int | Unchanged of int
+
+let create schema =
+  {
+    schema;
+    slots = Dynarray.create ();
+    by_tuple = Hashtbl.create 64;
+    by_key = (match Schema.key schema with [] -> None | _ -> Some (Hashtbl.create 64));
+    by_attr = Hashtbl.create 4;
+    next_auto = 1;
+    generation = 0;
+  }
+
+let schema r = r.schema
+let name r = Schema.name r.schema
+let cardinal r = Hashtbl.length r.by_tuple
+let is_empty r = cardinal r = 0
+let generation r = r.generation
+let high_water r = Dynarray.length r.slots
+
+let key_proj r t = Tuple.project t (Schema.key r.schema)
+
+let normalize r t =
+  if not (Tuple.conforms t r.schema) then
+    invalid_arg
+      (Printf.sprintf "Relation %s: tuple %s has attributes outside the schema"
+         (name r) (Tuple.to_string t));
+  let t = Tuple.complete t r.schema in
+  match Schema.auto_increment r.schema with
+  | Some a when Value.is_null (Tuple.get_or_null t a) ->
+      let t = Tuple.set t a (Value.Int r.next_auto) in
+      r.next_auto <- r.next_auto + 1;
+      t
+  | Some a ->
+      (* Keep the auto counter ahead of explicitly supplied ids. *)
+      (match Tuple.get_or_null t a with
+      | Value.Int i when i >= r.next_auto -> r.next_auto <- i + 1
+      | _ -> ());
+      t
+  | None -> t
+
+let insert r t =
+  let t = normalize r t in
+  match Hashtbl.find_opt r.by_tuple t with
+  | Some i -> Duplicate_tuple i
+  | None -> (
+      let key_hit =
+        match r.by_key with
+        | Some idx -> Hashtbl.find_opt idx (key_proj r t)
+        | None -> None
+      in
+      match key_hit with
+      | Some i -> Duplicate_key i
+      | None ->
+          let i = Dynarray.push r.slots { tuple = t; live = true; version = 0 } in
+          Hashtbl.replace r.by_tuple t i;
+          Option.iter (fun idx -> Hashtbl.replace idx (key_proj r t) i) r.by_key;
+          r.generation <- r.generation + 1;
+          Inserted i)
+
+let update r t =
+  let t = normalize r t in
+  let key_hit =
+    match r.by_key with
+    | Some idx -> Hashtbl.find_opt idx (key_proj r t)
+    | None -> Hashtbl.find_opt r.by_tuple t
+  in
+  match key_hit with
+  | None -> (
+      match insert r t with
+      | Inserted i -> Upserted i
+      | Duplicate_tuple i | Duplicate_key i -> Unchanged i)
+  | Some i ->
+      let slot = Dynarray.get r.slots i in
+      if Tuple.equal slot.tuple t then Unchanged i
+      else begin
+        Hashtbl.remove r.by_tuple slot.tuple;
+        slot.tuple <- t;
+        slot.version <- slot.version + 1;
+        Hashtbl.replace r.by_tuple t i;
+        Option.iter (fun idx -> Hashtbl.replace idx (key_proj r t) i) r.by_key;
+        (* Register the row under its new attribute values in every built
+           secondary index (stale old-value entries are filtered on read). *)
+        Hashtbl.iter
+          (fun attr idx ->
+            if i < idx.synced_upto then
+              let v = Tuple.get_or_null t attr in
+              match Hashtbl.find_opt idx.buckets v with
+              | Some bucket -> if not (List.mem i !bucket) then bucket := i :: !bucket
+              | None -> Hashtbl.replace idx.buckets v (ref [ i ]))
+          r.by_attr;
+        r.generation <- r.generation + 1;
+        Replaced i
+      end
+
+let delete_where r p =
+  let removed = ref 0 in
+  Dynarray.iter
+    (fun slot ->
+      if slot.live && p slot.tuple then begin
+        slot.live <- false;
+        Hashtbl.remove r.by_tuple slot.tuple;
+        Option.iter (fun idx -> Hashtbl.remove idx (key_proj r slot.tuple)) r.by_key;
+        incr removed
+      end)
+    r.slots;
+  if !removed > 0 then r.generation <- r.generation + 1;
+  !removed
+
+let mem r t =
+  let t = Tuple.complete t r.schema in
+  Hashtbl.mem r.by_tuple t
+
+(* Forward declaration niche: mem_pattern probes the secondary index when
+   the pattern constrains at least one attribute, so it is defined after
+   rows_with below. *)
+
+let find_by_key r t =
+  match r.by_key with
+  | Some idx -> (
+      match Hashtbl.find_opt idx (key_proj r (Tuple.complete t r.schema)) with
+      | Some i -> Some (i, (Dynarray.get r.slots i).tuple)
+      | None -> None)
+  | None -> (
+      let t = Tuple.complete t r.schema in
+      match Hashtbl.find_opt r.by_tuple t with
+      | Some i -> Some (i, t)
+      | None -> None)
+
+let row r i =
+  if i < 0 || i >= Dynarray.length r.slots then None
+  else
+    let slot = Dynarray.get r.slots i in
+    if slot.live then Some slot.tuple else None
+
+let row_version r i =
+  if i < 0 || i >= Dynarray.length r.slots then 0
+  else (Dynarray.get r.slots i).version
+
+let fold f acc r =
+  let acc = ref acc in
+  Dynarray.iteri
+    (fun i slot -> if slot.live then acc := f !acc i slot.tuple)
+    r.slots;
+  !acc
+
+let rows r = List.rev (fold (fun acc i t -> (i, t) :: acc) [] r)
+
+let rows_with r attr v =
+  let idx =
+    match Hashtbl.find_opt r.by_attr attr with
+    | Some idx -> idx
+    | None ->
+        let idx = { buckets = Hashtbl.create 64; synced_upto = 0 } in
+        Hashtbl.replace r.by_attr attr idx;
+        idx
+  in
+  (* Bucket rows appended since the last probe. *)
+  for i = idx.synced_upto to Dynarray.length r.slots - 1 do
+    let slot = Dynarray.get r.slots i in
+    let value = Tuple.get_or_null slot.tuple attr in
+    match Hashtbl.find_opt idx.buckets value with
+    | Some bucket -> bucket := i :: !bucket
+    | None -> Hashtbl.replace idx.buckets value (ref [ i ])
+  done;
+  idx.synced_upto <- Dynarray.length r.slots;
+  match Hashtbl.find_opt idx.buckets v with
+  | None -> []
+  | Some bucket ->
+      List.filter_map
+        (fun i ->
+          let slot = Dynarray.get r.slots i in
+          if slot.live && Value.equal (Tuple.get_or_null slot.tuple attr) v then
+            Some (i, slot.tuple)
+          else None)
+        (List.sort_uniq compare !bucket)
+
+let mem_pattern r pat =
+  match pat with
+  | (attr, v) :: _ ->
+      List.exists (fun (_, t) -> Tuple.matches t pat) (rows_with r attr v)
+  | [] ->
+      let rec loop i =
+        if i >= Dynarray.length r.slots then false
+        else (Dynarray.get r.slots i).live || loop (i + 1)
+      in
+      loop 0
+let tuples r = List.rev (fold (fun acc _ t -> t :: acc) [] r)
+let iter f r = Dynarray.iteri (fun i slot -> if slot.live then f i slot.tuple) r.slots
+let exists p r = Dynarray.exists (fun slot -> slot.live && p slot.tuple) r.slots
+let filter p r = List.filter p (tuples r)
+
+let clear r =
+  Dynarray.clear r.slots;
+  Hashtbl.reset r.by_tuple;
+  Option.iter Hashtbl.reset r.by_key;
+  Hashtbl.reset r.by_attr;
+  r.next_auto <- 1;
+  r.generation <- r.generation + 1
+
+let copy r =
+  let fresh = create r.schema in
+  Dynarray.iter
+    (fun slot ->
+      let i =
+        Dynarray.push fresh.slots
+          { tuple = slot.tuple; live = slot.live; version = slot.version }
+      in
+      if slot.live then begin
+        Hashtbl.replace fresh.by_tuple slot.tuple i;
+        Option.iter
+          (fun idx -> Hashtbl.replace idx (key_proj fresh slot.tuple) i)
+          fresh.by_key
+      end)
+    r.slots;
+  fresh.next_auto <- r.next_auto;
+  fresh.generation <- r.generation;
+  fresh
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v 2>%a [%d rows]" Schema.pp r.schema (cardinal r);
+  iter (fun i t -> Format.fprintf ppf "@,%3d: %a" i Tuple.pp t) r;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,118 @@
+(** Insertion-ordered relations with set semantics.
+
+    A relation stores the live tuples of one schema. Three properties matter
+    to the CyLog engine and are guaranteed here:
+
+    - {b Row order.} Every tuple remembers the row index at which it was
+      first inserted; conflict resolution prefers rule instances valued by
+      tuples at earlier rows. Updates keep the row index of the tuple they
+      replace; deletes never shift surviving rows.
+    - {b Set semantics.} Inserting a tuple equal to a live tuple is a no-op,
+      as is inserting a tuple whose key matches a live tuple's key (the paper
+      relies on this for [Extracts]: the first extraction rule wins).
+    - {b Auto-increment.} A [Null] (or missing) value for the schema's
+      auto-increment attribute is replaced by the next integer, starting
+      from 1. *)
+
+type t
+
+type insert_outcome =
+  | Inserted of int  (** new row index *)
+  | Duplicate_tuple of int  (** identical live tuple at this row *)
+  | Duplicate_key of int  (** live tuple with the same key at this row *)
+
+type update_outcome =
+  | Replaced of int  (** row index whose tuple was replaced *)
+  | Upserted of int  (** no key match; inserted as a new row *)
+  | Unchanged of int  (** key match with an identical tuple *)
+
+val create : Schema.t -> t
+(** Empty relation over the given schema. *)
+
+val schema : t -> Schema.t
+(** The schema supplied at creation. *)
+
+val name : t -> string
+(** Shorthand for [Schema.name (schema r)]. *)
+
+val cardinal : t -> int
+(** Number of live tuples. *)
+
+val is_empty : t -> bool
+(** [cardinal r = 0]. *)
+
+val insert : t -> Tuple.t -> insert_outcome
+(** [insert r t] completes [t] against the schema (missing attributes become
+    [Null], auto-increment is assigned) and inserts it unless it duplicates
+    a live tuple or key. @raise Invalid_argument if [t] binds attributes
+    outside the schema. *)
+
+val update : t -> Tuple.t -> update_outcome
+(** [update r t] replaces the live tuple whose key equals [t]'s key, keeping
+    its row index; inserts [t] when no live tuple has that key. On relations
+    without a declared key the whole tuple is the key, so update degenerates
+    to insert-if-absent. *)
+
+val delete_where : t -> (Tuple.t -> bool) -> int
+(** [delete_where r p] removes every live tuple satisfying [p]; returns how
+    many were removed. Row indices of survivors are unchanged. *)
+
+val mem : t -> Tuple.t -> bool
+(** [mem r t] is true iff a live tuple equals [complete]d [t]. *)
+
+val mem_pattern : t -> (string * Value.t) list -> bool
+(** [mem_pattern r pat] is true iff some live tuple matches the partial
+    binding [pat]. *)
+
+val find_by_key : t -> Tuple.t -> (int * Tuple.t) option
+(** Live tuple whose key attributes equal those of the argument, with its
+    row index. *)
+
+val row : t -> int -> Tuple.t option
+(** [row r i] is the live tuple at row [i], or [None] if [i] was never used
+    or its tuple was deleted. *)
+
+val row_version : t -> int -> int
+(** Number of in-place updates row [i] has received (0 for fresh rows and
+    out-of-range indices). The CyLog engine treats an updated tuple as a
+    fresh arrival, so its firing memo keys on [(row, version)]. *)
+
+val rows : t -> (int * Tuple.t) list
+(** Live [(row index, tuple)] pairs in row order. *)
+
+val rows_with : t -> string -> Value.t -> (int * Tuple.t) list
+(** [rows_with r a v] is the live rows whose attribute [a] equals [v], in
+    row order. Backed by a lazily-built secondary index on [a], so repeated
+    probes cost O(result) rather than O(relation). *)
+
+val tuples : t -> Tuple.t list
+(** Live tuples in row order. *)
+
+val iter : (int -> Tuple.t -> unit) -> t -> unit
+(** Iterate over live rows in row order. *)
+
+val fold : ('acc -> int -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+(** Fold over live rows in row order. *)
+
+val exists : (Tuple.t -> bool) -> t -> bool
+(** True iff some live tuple satisfies the predicate. *)
+
+val filter : (Tuple.t -> bool) -> t -> Tuple.t list
+(** Live tuples satisfying the predicate, in row order. *)
+
+val generation : t -> int
+(** Monotone counter bumped by every successful insert, update or delete;
+    lets the engine detect that a relation changed without diffing. *)
+
+val high_water : t -> int
+(** One past the largest row index ever used — the watermark for delta
+    (seminaive) evaluation over insert-only relations. *)
+
+val clear : t -> unit
+(** Remove all tuples and reset row numbering and auto-increment. *)
+
+val copy : t -> t
+(** Deep copy sharing no mutable state. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering: header then one live tuple per line. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  attributes : string list;
+  key : string list;
+  auto_increment : string option;
+}
+
+let rec has_dup = function
+  | [] -> false
+  | x :: rest -> List.mem x rest || has_dup rest
+
+let make ?(key = []) ?auto_increment ~name attributes =
+  if attributes = [] then invalid_arg "Schema.make: no attributes";
+  if has_dup attributes then
+    invalid_arg ("Schema.make: duplicate attribute in " ^ name);
+  let known a = List.mem a attributes in
+  List.iter
+    (fun a ->
+      if not (known a) then
+        invalid_arg (Printf.sprintf "Schema.make: key attribute %s not in %s" a name))
+    key;
+  (match auto_increment with
+  | Some a when not (known a) ->
+      invalid_arg (Printf.sprintf "Schema.make: auto attribute %s not in %s" a name)
+  | _ -> ());
+  { name; attributes; key; auto_increment }
+
+let name s = s.name
+let attributes s = s.attributes
+let key s = s.key
+let auto_increment s = s.auto_increment
+let has_attribute s a = List.mem a s.attributes
+let arity s = List.length s.attributes
+
+let equal a b =
+  String.equal a.name b.name
+  && a.attributes = b.attributes
+  && a.key = b.key
+  && a.auto_increment = b.auto_increment
+
+let pp ppf s =
+  let attr ppf a =
+    Format.pp_print_string ppf a;
+    if List.mem a s.key then Format.pp_print_string ppf " key";
+    if s.auto_increment = Some a then Format.pp_print_string ppf " auto"
+  in
+  Format.fprintf ppf "%s(%a)" s.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") attr)
+    s.attributes

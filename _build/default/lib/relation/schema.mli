@@ -1,0 +1,40 @@
+(** Relation schemas.
+
+    A schema names a relation and its attributes (CyLog uses the named
+    perspective: tuples bind values to attribute names, never to positions).
+    A schema may declare a key — e.g. the paper keys [Extracts] on
+    [(tw, attr, value)] so that the machine extracts a value for an attribute
+    of a tweet only once — and at most one auto-increment attribute, used for
+    ids such as [Rules.rid] and path-table [order] columns. *)
+
+type t
+
+val make : ?key:string list -> ?auto_increment:string -> name:string -> string list -> t
+(** [make ~key ~auto_increment ~name attrs] builds a schema.
+    @raise Invalid_argument if [attrs] contains duplicates, is empty, or if
+    [key]/[auto_increment] mention unknown attributes. *)
+
+val name : t -> string
+(** Relation name. *)
+
+val attributes : t -> string list
+(** Attribute names, in declaration order. *)
+
+val key : t -> string list
+(** Declared key attributes; [[]] when the whole tuple is the key (set
+    semantics). *)
+
+val auto_increment : t -> string option
+(** The auto-increment attribute, if any. *)
+
+val has_attribute : t -> string -> bool
+(** [has_attribute s a] is true iff [a] is an attribute of [s]. *)
+
+val arity : t -> int
+(** Number of attributes. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** [Name(a, b key, c auto)]-style rendering. *)

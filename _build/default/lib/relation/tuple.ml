@@ -1,0 +1,76 @@
+(* Representation: association list strictly sorted by attribute name. The
+   sorted-list form is canonical — two tuples with the same bindings are
+   structurally identical — so polymorphic equality and hashing used by
+   hash tables downstream are safe. *)
+
+type t = (string * Value.t) list
+
+let empty = []
+
+let rec set t a v =
+  match t with
+  | [] -> [ (a, v) ]
+  | ((a', _) as hd) :: rest ->
+      let c = String.compare a a' in
+      if c < 0 then (a, v) :: t
+      else if c = 0 then (a, v) :: rest
+      else hd :: set rest a v
+
+let of_list bindings = List.fold_left (fun t (a, v) -> set t a v) empty bindings
+let to_list t = t
+let get t a = List.assoc_opt a t
+let get_or_null t a = Option.value (List.assoc_opt a t) ~default:Value.Null
+let get_exn t a = match List.assoc_opt a t with Some v -> v | None -> raise Not_found
+let mem t a = List.mem_assoc a t
+let attributes t = List.map fst t
+let cardinal = List.length
+
+let project t attrs =
+  of_list (List.map (fun a -> (a, get_or_null t a)) attrs)
+
+let matches t pattern =
+  List.for_all (fun (a, v) -> Value.equal (get_or_null t a) v) pattern
+
+let rec union a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | ((ka, _) as ha) :: ra, ((kb, _) as hb) :: rb ->
+      let c = String.compare ka kb in
+      if c < 0 then ha :: union ra b
+      else if c > 0 then hb :: union a rb
+      else hb :: union ra rb
+
+let conforms t schema = List.for_all (Schema.has_attribute schema) (attributes t)
+
+let complete t schema =
+  of_list (List.map (fun a -> (a, get_or_null t a)) (Schema.attributes schema))
+
+let rec equal a b =
+  match (a, b) with
+  | [], [] -> true
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+      String.equal ka kb && Value.equal va vb && equal ra rb
+  | _ -> false
+
+let rec compare a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+      let c = String.compare ka kb in
+      if c <> 0 then c
+      else
+        let c = Value.compare va vb in
+        if c <> 0 then c else compare ra rb
+
+let hash t =
+  List.fold_left (fun acc (a, v) -> (acc * 31) + Hashtbl.hash a + Value.hash v) 3 t
+
+let pp ppf t =
+  let binding ppf (a, v) = Format.fprintf ppf "%s:%a" a Value.pp v in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") binding)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

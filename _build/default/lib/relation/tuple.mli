@@ -1,0 +1,72 @@
+(** Tuples under the named perspective.
+
+    A tuple is a finite map from attribute names to {!Value.t}. Attribute
+    order is canonicalised internally, so two tuples with the same bindings
+    are {!equal} regardless of construction order. *)
+
+type t
+
+val empty : t
+(** The tuple with no bindings. *)
+
+val of_list : (string * Value.t) list -> t
+(** [of_list bindings] builds a tuple. A later binding for the same
+    attribute overrides an earlier one. *)
+
+val to_list : t -> (string * Value.t) list
+(** Bindings sorted by attribute name. *)
+
+val get : t -> string -> Value.t option
+(** [get t a] is the value bound to [a], if any. *)
+
+val get_or_null : t -> string -> Value.t
+(** Like {!get}, defaulting to [Value.Null] for unbound attributes. *)
+
+val get_exn : t -> string -> Value.t
+(** Like {!get}. @raise Not_found when unbound. *)
+
+val set : t -> string -> Value.t -> t
+(** [set t a v] binds [a] to [v] (replacing any previous binding). *)
+
+val mem : t -> string -> bool
+(** [mem t a] is true iff [a] is bound in [t]. *)
+
+val attributes : t -> string list
+(** Bound attribute names, sorted. *)
+
+val cardinal : t -> int
+(** Number of bindings. *)
+
+val project : t -> string list -> t
+(** [project t attrs] keeps only the bindings for [attrs]; missing
+    attributes are bound to [Value.Null]. *)
+
+val matches : t -> (string * Value.t) list -> bool
+(** [matches t pattern] is true iff every [(a, v)] in [pattern] has
+    [get_or_null t a] equal to [v]. *)
+
+val union : t -> t -> t
+(** [union a b] has all bindings of both; [b] wins on conflicts. *)
+
+val conforms : t -> Schema.t -> bool
+(** [conforms t s] is true iff every bound attribute of [t] belongs to
+    [s]. *)
+
+val complete : t -> Schema.t -> t
+(** [complete t s] binds every attribute of [s] missing from [t] to
+    [Value.Null] and drops attributes not in [s]. *)
+
+val equal : t -> t -> bool
+(** Structural equality over bindings. *)
+
+val compare : t -> t -> int
+(** Total order, consistent with {!equal}. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}. *)
+
+val pp : Format.formatter -> t -> unit
+(** [(a:1, b:"x")]-style rendering. *)
+
+val to_string : t -> string
+(** Rendering via {!pp}. *)

@@ -1,0 +1,108 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | List x, List y -> ( try List.for_all2 equal x y with Invalid_argument _ -> false)
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _), _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+  | List _ -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | String x, String y -> String.compare x y
+  | List x, List y -> compare_lists x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+and compare_lists x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: x', b :: y' ->
+      let c = compare a b in
+      if c <> 0 then c else compare_lists x' y'
+
+let rec hash = function
+  | Null -> 17
+  | Bool b -> if b then 29 else 31
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | List l -> List.fold_left (fun acc v -> (acc * 131) + hash v) 7 l
+
+let is_null = function Null -> true | _ -> false
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | List l ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v
+
+let rec to_display = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Format.asprintf "%g" f
+  | String s -> s
+  | List l -> "[" ^ String.concat ", " (List.map to_display l) ^ "]"
+
+let int_exn = function
+  | Int i -> i
+  | v -> invalid_arg ("Value.int_exn: " ^ to_string v)
+
+let string_exn = function
+  | String s -> s
+  | v -> invalid_arg ("Value.string_exn: " ^ to_string v)
+
+let truthy = function
+  | Null | Bool false | Int 0 | String "" -> false
+  | Bool true | Int _ | Float _ | String _ | List _ -> true
+
+let arith name fint ffloat a b =
+  match (a, b) with
+  | Int x, Int y -> Int (fint x y)
+  | Float x, Float y -> Float (ffloat x y)
+  | Int x, Float y -> Float (ffloat (float_of_int x) y)
+  | Float x, Int y -> Float (ffloat x (float_of_int y))
+  | _ -> invalid_arg (Printf.sprintf "Value.%s: %s, %s" name (to_string a) (to_string b))
+
+let add a b =
+  match (a, b) with
+  | String x, String y -> String (x ^ y)
+  | _ -> arith "add" ( + ) ( +. ) a b
+
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+
+let div a b =
+  match b with
+  | Int 0 | Float 0.0 -> raise Division_by_zero
+  | _ -> arith "div" ( / ) ( /. ) a b

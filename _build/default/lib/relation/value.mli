@@ -1,0 +1,66 @@
+(** Atomic values stored in relations.
+
+    CyLog manipulates tweets, worker identifiers, scores, and action
+    descriptors ("a list containing two strings" in the paper's path tables),
+    so the value domain covers scalars plus lists. [Null] represents an
+    attribute whose value has not been determined — e.g. the [weather]
+    attribute of an [Output] tuple before two workers agree. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+
+val equal : t -> t -> bool
+(** Structural equality. [Null] equals only [Null] (CyLog evaluates rule
+    bodies over sure values, where SQL-style three-valued logic never
+    arises). Numeric values of different representations are distinct:
+    [Int 1] <> [Float 1.0]. *)
+
+val compare : t -> t -> int
+(** Total order, consistent with {!equal}. Orders first by constructor
+    ([Null] < [Bool] < [Int] < [Float] < [String] < [List]) then by
+    content. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}. *)
+
+val is_null : t -> bool
+(** [is_null v] is true iff [v = Null]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer; strings are quoted, lists bracketed. *)
+
+val to_string : t -> string
+(** [to_string v] renders [v] with {!pp}. *)
+
+val to_display : t -> string
+(** Like {!to_string} but strings are unquoted — the form shown to
+    workers. *)
+
+val int_exn : t -> int
+(** Extract an integer. @raise Invalid_argument on other constructors. *)
+
+val string_exn : t -> string
+(** Extract a string. @raise Invalid_argument on other constructors. *)
+
+val truthy : t -> bool
+(** Truth value used by boolean contexts: [Null], [Bool false], [Int 0] and
+    [String ""] are false; everything else is true. *)
+
+val add : t -> t -> t
+(** Numeric addition (int+int, float+float, int/float promote); string
+    concatenation on strings. @raise Invalid_argument otherwise. *)
+
+val sub : t -> t -> t
+(** Numeric subtraction. @raise Invalid_argument on non-numbers. *)
+
+val mul : t -> t -> t
+(** Numeric multiplication. @raise Invalid_argument on non-numbers. *)
+
+val div : t -> t -> t
+(** Numeric division. @raise Division_by_zero on zero divisor;
+    @raise Invalid_argument on non-numbers. *)

@@ -1,0 +1,1 @@
+lib/turing/cylog_tm.ml: Buffer Cylog List Machine Printf Reldb String

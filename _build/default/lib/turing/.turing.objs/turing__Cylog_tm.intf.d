@@ -1,0 +1,1 @@
+lib/turing/cylog_tm.mli: Cylog Machine

@@ -1,0 +1,1 @@
+lib/turing/machine.ml: List String

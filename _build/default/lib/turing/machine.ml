@@ -1,0 +1,103 @@
+type direction = Left | Stay | Right
+
+type rule = {
+  state : string;
+  read : string;
+  next : string;
+  write : string;
+  move : direction;
+}
+
+type t = {
+  name : string;
+  initial : string;
+  halting : string list;
+  rules : rule list;
+}
+
+type config = { state : string; head : int; tape : (int * string) list }
+
+let direction_offset = function Left -> -1 | Stay -> 0 | Right -> 1
+
+let validate m =
+  let keys = List.map (fun (r : rule) -> (r.state, r.read)) m.rules in
+  if List.length keys <> List.length (List.sort_uniq compare keys) then
+    Error (m.name ^ ": duplicate (state, symbol) transition")
+  else if List.mem m.initial m.halting then
+    Error (m.name ^ ": initial state is halting")
+  else Ok ()
+
+let initial_config m ~input =
+  let tape =
+    List.filter (fun (_, s) -> s <> "") (List.mapi (fun i s -> (i, s)) input)
+  in
+  { state = m.initial; head = 0; tape }
+
+let read_cell config pos =
+  match List.assoc_opt pos config.tape with Some s -> s | None -> ""
+
+let write_cell config pos sym =
+  let rest = List.remove_assoc pos config.tape in
+  let tape = if sym = "" then rest else (pos, sym) :: rest in
+  { config with tape = List.sort compare tape }
+
+let step m config =
+  if List.mem config.state m.halting then None
+  else
+    let sym = read_cell config config.head in
+    match
+      List.find_opt
+        (fun (r : rule) -> r.state = config.state && r.read = sym)
+        m.rules
+    with
+    | None -> None
+    | Some r ->
+        let config = write_cell config config.head r.write in
+        Some { config with state = r.next; head = config.head + direction_offset r.move }
+
+let run ?(max_steps = 10_000) m ~input =
+  let rec loop config n =
+    if n >= max_steps then Error config
+    else match step m config with None -> Ok (config, n) | Some c -> loop c (n + 1)
+  in
+  loop (initial_config m ~input) 0
+
+let tape_string config = String.concat "" (List.map snd config.tape)
+
+let successor =
+  {
+    name = "successor";
+    initial = "s";
+    halting = [ "done" ];
+    rules =
+      [ { state = "s"; read = "1"; next = "s"; write = "1"; move = Right };
+        { state = "s"; read = ""; next = "done"; write = "1"; move = Stay } ];
+  }
+
+let binary_increment =
+  {
+    name = "binary-increment";
+    initial = "scan";
+    halting = [ "done" ];
+    rules =
+      [ { state = "scan"; read = "0"; next = "scan"; write = "0"; move = Right };
+        { state = "scan"; read = "1"; next = "scan"; write = "1"; move = Right };
+        { state = "scan"; read = ""; next = "carry"; write = ""; move = Left };
+        { state = "carry"; read = "1"; next = "carry"; write = "0"; move = Left };
+        { state = "carry"; read = "0"; next = "done"; write = "1"; move = Stay };
+        { state = "carry"; read = ""; next = "done"; write = "1"; move = Stay } ];
+  }
+
+let parity =
+  {
+    name = "parity";
+    initial = "even";
+    halting = [ "done" ];
+    rules =
+      [ { state = "even"; read = "0"; next = "even"; write = "0"; move = Right };
+        { state = "even"; read = "1"; next = "odd"; write = "1"; move = Right };
+        { state = "even"; read = ""; next = "done"; write = "E"; move = Stay };
+        { state = "odd"; read = "0"; next = "odd"; write = "0"; move = Right };
+        { state = "odd"; read = "1"; next = "even"; write = "1"; move = Right };
+        { state = "odd"; read = ""; next = "done"; write = "O"; move = Stay } ];
+  }

@@ -1,0 +1,61 @@
+(** Direct Turing machine implementation — the reference semantics against
+    which the CyLog encoding of Figure 16 is checked.
+
+    A machine is a quintuple (K, Σ, δ, s, H): states, alphabet, transition
+    rules, initial state, halting states. The tape is bi-infinite with the
+    blank symbol [""]. *)
+
+type direction = Left | Stay | Right
+
+type rule = {
+  state : string;
+  read : string;
+  next : string;
+  write : string;
+  move : direction;
+}
+
+type t = {
+  name : string;
+  initial : string;
+  halting : string list;
+  rules : rule list;
+}
+
+type config = {
+  state : string;
+  head : int;
+  tape : (int * string) list;  (** non-blank cells, sorted by position *)
+}
+
+val direction_offset : direction -> int
+(** -1 / 0 / +1. *)
+
+val validate : t -> (unit, string) result
+(** Check determinism: at most one rule per (state, read) pair, and the
+    initial state is not halting. *)
+
+val initial_config : t -> input:string list -> config
+(** Tape loaded with [input] from position 0, head at 0, initial state. *)
+
+val step : t -> config -> config option
+(** One transition; [None] when the state is halting or no rule applies. *)
+
+val run : ?max_steps:int -> t -> input:string list -> (config * int, config) result
+(** Run to halt: [Ok (final, steps)] or [Error last] when [max_steps]
+    (default 10_000) is exhausted. *)
+
+val tape_string : config -> string
+(** Non-blank tape content, left to right, cells joined directly. *)
+
+(** Example machines. *)
+
+val successor : t
+(** Unary successor: walks right over 1s and appends one. *)
+
+val binary_increment : t
+(** Binary increment: input most-significant-bit first; handles carry and
+    length growth. *)
+
+val parity : t
+(** Writes "E"/"O" after the input according to the parity of 1s. *)

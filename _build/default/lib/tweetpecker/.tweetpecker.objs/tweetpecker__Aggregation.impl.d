@@ -1,0 +1,1 @@
+lib/tweetpecker/aggregation.ml: Cylog List Printf Quality Reldb Runner String Tweets

@@ -1,0 +1,1 @@
+lib/tweetpecker/aggregation.mli: Quality Runner

@@ -1,0 +1,1 @@
+lib/tweetpecker/analysis.ml: Array Crowd Cylog Fun Game Hashtbl List Metrics Option Programs Reldb Runner String Tweets

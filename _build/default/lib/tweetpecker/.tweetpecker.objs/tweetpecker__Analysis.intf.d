@@ -1,0 +1,1 @@
+lib/tweetpecker/analysis.mli: Game Runner

@@ -1,0 +1,1 @@
+lib/tweetpecker/beliefs.ml: Crowd Hashtbl List Printf Random Tweets

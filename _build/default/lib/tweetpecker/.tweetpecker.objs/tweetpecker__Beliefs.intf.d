@@ -1,0 +1,1 @@
+lib/tweetpecker/beliefs.mli: Crowd Tweets

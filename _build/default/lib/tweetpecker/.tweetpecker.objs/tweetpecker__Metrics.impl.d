@@ -1,0 +1,1 @@
+lib/tweetpecker/metrics.ml: Format List Programs Runner String Tweets

@@ -1,0 +1,1 @@
+lib/tweetpecker/metrics.mli: Format Runner Tweets

@@ -1,0 +1,1 @@
+lib/tweetpecker/policies.ml: Array Beliefs Crowd Cylog Hashtbl List Random Reldb String Tweets

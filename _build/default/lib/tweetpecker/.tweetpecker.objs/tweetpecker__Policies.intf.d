@@ -1,0 +1,1 @@
+lib/tweetpecker/policies.mli: Crowd Tweets

@@ -1,0 +1,1 @@
+lib/tweetpecker/programs.ml: Buffer Cylog List Printf String Tweets

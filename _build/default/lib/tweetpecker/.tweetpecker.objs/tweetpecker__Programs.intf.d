@@ -1,0 +1,1 @@
+lib/tweetpecker/programs.mli: Cylog Tweets

@@ -1,0 +1,1 @@
+lib/tweetpecker/runner.ml: Crowd Cylog List Policies Programs Reldb String Tweets

@@ -1,0 +1,1 @@
+lib/tweetpecker/runner.mli: Crowd Cylog Programs Tweets

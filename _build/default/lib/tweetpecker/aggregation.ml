@@ -1,0 +1,57 @@
+type comparison = {
+  agreement_accuracy : float;
+  majority_accuracy : float;
+  em_accuracy : float;
+  em_iterations : int;
+  estimated_worker_accuracy : (string * float) list;
+}
+
+let item_key tw attr = Printf.sprintf "%d/%s" tw attr
+
+let votes_of_outcome (o : Runner.outcome) =
+  match Reldb.Database.find (Cylog.Engine.database o.engine) "Inputs" with
+  | None -> []
+  | Some rel ->
+      List.filter_map
+        (fun t ->
+          match
+            ( Reldb.Tuple.get_or_null t "tw",
+              Reldb.Tuple.get_or_null t "attr",
+              Reldb.Tuple.get_or_null t "value",
+              Reldb.Tuple.get_or_null t "p" )
+          with
+          | Reldb.Value.Int tw, Reldb.Value.String attr, Reldb.Value.String value,
+            Reldb.Value.String worker ->
+              Some { Quality.Aggregate.item = item_key tw attr; worker; value }
+          | _ -> None)
+        (Reldb.Relation.tuples rel)
+
+let truth_of (o : Runner.outcome) item =
+  match String.index_opt item '/' with
+  | None -> None
+  | Some i -> (
+      let tw = int_of_string (String.sub item 0 i) in
+      let attr = String.sub item (i + 1) (String.length item - i - 1) in
+      match List.find_opt (fun (t : Tweets.Generator.tweet) -> t.id = tw) o.corpus with
+      | None -> None
+      | Some tweet -> (
+          match attr with
+          | "weather" -> tweet.gt_weather
+          | "place" -> tweet.gt_place
+          | _ -> None))
+
+let compare_methods (o : Runner.outcome) =
+  let votes = votes_of_outcome o in
+  let truth = truth_of o in
+  let agreement =
+    List.map (fun (tw, attr, value) -> (item_key tw attr, value)) o.agreed
+  in
+  let majority = Quality.Aggregate.majority votes in
+  let em = Quality.Aggregate.em votes in
+  {
+    agreement_accuracy = Quality.Aggregate.accuracy_against ~truth agreement;
+    majority_accuracy = Quality.Aggregate.accuracy_against ~truth majority;
+    em_accuracy = Quality.Aggregate.accuracy_against ~truth em.consensus;
+    em_iterations = em.iterations;
+    estimated_worker_accuracy = em.worker_accuracy;
+  }

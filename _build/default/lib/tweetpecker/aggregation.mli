@@ -1,0 +1,25 @@
+(** Statistics-based aggregation over a finished run — the alternative
+    quality techniques the paper mentions (Section 1: "CyLog can also be
+    used to implement other techniques for improving the quality of task
+    results, such as statistics-based ones").
+
+    The paper's mechanism adopts the chronologically first two-worker
+    agreement. Here the same worker inputs are re-aggregated by plurality
+    voting and by the one-coin Dawid–Skene EM model, and all three are
+    scored against ground truth. *)
+
+type comparison = {
+  agreement_accuracy : float;  (** the paper's first-agreement mechanism *)
+  majority_accuracy : float;
+  em_accuracy : float;
+  em_iterations : int;
+  estimated_worker_accuracy : (string * float) list;
+      (** EM's per-worker reliability estimate *)
+}
+
+val votes_of_outcome : Runner.outcome -> Quality.Aggregate.vote list
+(** Every worker input of the run as a vote on item ["tw/attr"]. *)
+
+val compare_methods : Runner.outcome -> comparison
+(** Score the three aggregation methods on the run's clear (ground-truthed)
+    items. *)

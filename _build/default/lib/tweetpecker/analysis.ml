@@ -1,0 +1,183 @@
+type breakdown = { per_decile : (int * int) array }
+
+let decile_of_fraction f =
+  let d = int_of_float (f *. 10.0) in
+  if d < 0 then 0 else if d > 9 then 9 else d
+
+let figure11 (o : Runner.outcome) =
+  (* An agreement counts as "on a selected value" when some worker accepted
+     that machine-extracted value through the candidate interface no later
+     than the agreement itself. *)
+  let selections = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Crowd.Simulator.log_entry) ->
+      if e.kind = Crowd.Simulator.Select_value then
+        let tw =
+          match List.assoc_opt "tw" e.values with
+          | Some (Reldb.Value.Int i) -> i
+          | _ -> -1
+        in
+        let attr =
+          Reldb.Value.to_display
+            (Option.value (List.assoc_opt "attr" e.values) ~default:Reldb.Value.Null)
+        in
+        let value =
+          Reldb.Value.to_display
+            (Option.value (List.assoc_opt "value" e.values) ~default:Reldb.Value.Null)
+        in
+        let key = (tw, attr, value) in
+        match Hashtbl.find_opt selections key with
+        | Some first when first <= e.clock -> ()
+        | _ -> Hashtbl.replace selections key e.clock)
+    o.sim.log;
+  let per_decile = Array.make 10 (0, 0) in
+  let total = List.length o.agreed_events in
+  List.iteri
+    (fun i (clock, tw, attr, value) ->
+      let completion = float_of_int i /. float_of_int (max 1 total) in
+      let d = decile_of_fraction completion in
+      let selected, entered = per_decile.(d) in
+      let was_selected =
+        match Hashtbl.find_opt selections (tw, attr, value) with
+        | Some first -> first <= clock
+        | None -> false
+      in
+      if was_selected then per_decile.(d) <- (selected + 1, entered)
+      else per_decile.(d) <- (selected, entered + 1))
+    o.agreed_events;
+  { per_decile }
+
+let selected_share b d =
+  let selected, entered = b.per_decile.(d) in
+  let total = selected + entered in
+  if total = 0 then 0.0 else float_of_int selected /. float_of_int total
+
+let early_selected_share b =
+  let selected = ref 0 and total = ref 0 in
+  for d = 0 to 2 do
+    let s, e = b.per_decile.(d) in
+    selected := !selected + s;
+    total := !total + s + e
+  done;
+  if !total = 0 then 0.0 else float_of_int !selected /. float_of_int !total
+
+let rule_entries (o : Runner.outcome) =
+  List.filter
+    (fun (e : Crowd.Simulator.log_entry) -> e.kind = Crowd.Simulator.Enter_rule)
+    o.sim.log
+
+let figure12 o =
+  let buckets = Array.make 10 0 in
+  List.iter
+    (fun (e : Crowd.Simulator.log_entry) ->
+      let d = decile_of_fraction e.progress in
+      buckets.(d) <- buckets.(d) + 1)
+    (rule_entries o);
+  buckets
+
+let median_rule_entry_progress o =
+  match List.sort compare (List.map (fun (e : Crowd.Simulator.log_entry) -> e.progress) (rule_entries o)) with
+  | [] -> None
+  | xs -> Some (List.nth xs (List.length xs / 2))
+
+(* Figure 10: one worker's action choice in VREI, with worker accuracy as a
+   chance move. Payoff 1 pays w1 on agreement; an entered rule pays w2 when
+   its extraction is adopted (payoff 2a) and costs w3 when contradicted
+   (payoff 2b). Another worker agrees with a correct value with probability
+   [accuracy] and with a given incorrect value with roughly
+   [(1 - accuracy) / 2] (two confusion values). *)
+let figure10_tree ~accuracy =
+  let w1 = float_of_int Programs.payoff_agreement in
+  let w2 = float_of_int Programs.payoff_rule_adopted in
+  let w3 = float_of_int Programs.payoff_rule_contradicted in
+  let q = accuracy in
+  let wrong_match = (1.0 -. q) /. 2.0 in
+  let chance p win lose =
+    Game.Extensive.Chance
+      [ (p, "adopted", Game.Extensive.Terminal [ ("worker", win) ]);
+        (1.0 -. p, "contradicted", Game.Extensive.Terminal [ ("worker", lose) ]) ]
+  in
+  Game.Extensive.Decision
+    {
+      player = "worker";
+      info_set = "worker:action";
+      moves =
+        [ ("enter correct value", chance q w1 0.0);
+          ("enter incorrect value", chance wrong_match w1 0.0);
+          ("enter good rule", chance q w2 (-.w3));
+          ("enter bad rule", chance (1.0 -. q) w2 (-.w3)) ];
+    }
+
+let figure10_expected ~accuracy =
+  match figure10_tree ~accuracy with
+  | Game.Extensive.Decision { moves; info_set; _ } ->
+      List.map
+        (fun (move, _) ->
+          let payoffs =
+            Game.Extensive.expected_payoffs (figure10_tree ~accuracy)
+              [ (info_set, move) ]
+          in
+          (move, List.assoc "worker" payoffs))
+        moves
+  | _ -> []
+
+type theorem1_evidence = {
+  value_correct_rate : float;
+  rule_avg_confidence : float option;
+}
+
+let theorem1 (o : Runner.outcome) =
+  (* Correctness of the workers' value entries, measured on the Inputs
+     relation (every value a worker gave, typed or selected) restricted to
+     tweets whose attribute has a ground truth. *)
+  let inputs =
+    match Reldb.Database.find (Cylog.Engine.database o.engine) "Inputs" with
+    | Some rel -> Reldb.Relation.tuples rel
+    | None -> []
+  in
+  let clear_inputs =
+    List.filter_map
+      (fun t ->
+        let tw =
+          match Reldb.Tuple.get_or_null t "tw" with Reldb.Value.Int i -> i | _ -> -1
+        in
+        let attr = Reldb.Value.to_display (Reldb.Tuple.get_or_null t "attr") in
+        let value = Reldb.Value.to_display (Reldb.Tuple.get_or_null t "value") in
+        match List.find_opt (fun (x : Tweets.Generator.tweet) -> x.id = tw) o.corpus with
+        | Some tweet -> (
+            match (attr, tweet.gt_weather, tweet.gt_place) with
+            | "weather", Some gt, _ -> Some (String.equal value gt)
+            | "place", _, Some gt -> Some (String.equal value gt)
+            | _ -> None)
+        | None -> None)
+      inputs
+  in
+  let correct = List.length (List.filter Fun.id clear_inputs) in
+  let total = List.length clear_inputs in
+  {
+    value_correct_rate =
+      (if total = 0 then 0.0 else float_of_int correct /. float_of_int total);
+    rule_avg_confidence = Metrics.row_b o;
+  }
+
+type theorem2_evidence = {
+  terminated : bool;
+  rules_finite : int;
+  last_rule_entry_progress : float option;
+}
+
+let theorem2 (o : Runner.outcome) =
+  let entries = rule_entries o in
+  let last =
+    List.fold_left
+      (fun acc (e : Crowd.Simulator.log_entry) ->
+        match acc with
+        | Some p when p >= e.progress -> acc
+        | _ -> Some e.progress)
+      None entries
+  in
+  {
+    terminated = o.sim.stop_reason = `Stopped;
+    rules_finite = List.length entries;
+    last_rule_entry_progress = last;
+  }

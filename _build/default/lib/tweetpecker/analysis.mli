@@ -1,0 +1,60 @@
+(** Behavioural analyses: Figures 10, 11 and 12, and the Theorem 1/2
+    checks. *)
+
+(** Figure 11: breakdown of agreed values into {e entered} and {e selected},
+    by completion decile. An agreed value counts as selected when the
+    machine had extracted it for that (tweet, attribute) — "the value
+    extracted by the machine, out of all adopted values". *)
+type breakdown = {
+  per_decile : (int * int) array;
+      (** (selected, entered) counts per completion decile (10 buckets) *)
+}
+
+val figure11 : Runner.outcome -> breakdown
+
+val selected_share : breakdown -> int -> float
+(** Selected fraction within one decile (0 when the decile is empty). *)
+
+val early_selected_share : breakdown -> float
+(** Selected fraction over the first three deciles — the number the paper
+    eyeballs: "clearly higher in the early stages in VRE/I". *)
+
+(** Figure 12: when workers entered extraction rules, as completion-decile
+    counts. *)
+val figure12 : Runner.outcome -> int array
+
+val median_rule_entry_progress : Runner.outcome -> float option
+(** Median completion rate at rule-entry time; [None] without rules. *)
+
+(** Figure 10: the VREI action-choice fragment as an extensive-form tree
+    with a chance move for worker accuracy. *)
+val figure10_tree : accuracy:float -> Game.Extensive.node
+
+val figure10_expected : accuracy:float -> (string * float) list
+(** Expected payoff of each root action (enter correct/incorrect value,
+    enter good/bad rule) at the given accuracy — with the paper's 0.9,
+    correct actions strictly dominate incorrect ones (Theorem 1's
+    engine). *)
+
+(** Theorem 1 (data quality): rational workers enter correct values and
+    rules. Measured on a finished run: correctness of typed values on
+    unambiguous tweets, and average confidence of entered rules. *)
+type theorem1_evidence = {
+  value_correct_rate : float;
+      (** typed values on clear tweets matching ground truth *)
+  rule_avg_confidence : float option;
+}
+
+val theorem1 : Runner.outcome -> theorem1_evidence
+
+(** Theorem 2 (termination): VRE/I terminates; rational workers stop
+    entering rules. *)
+type theorem2_evidence = {
+  terminated : bool;  (** the stop condition was reached *)
+  rules_finite : int;  (** how many rules were entered in total *)
+  last_rule_entry_progress : float option;
+      (** completion when the final rule was entered — early under the
+          rational strategy *)
+}
+
+val theorem2 : Runner.outcome -> theorem2_evidence

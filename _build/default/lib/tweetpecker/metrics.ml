@@ -1,0 +1,63 @@
+type verdict = Correct | Incorrect | Neither
+
+type quality = { correct : float; incorrect : float; neither : float; total : int }
+
+let vague_answers =
+  Tweets.Vocabulary.vague_values @ [ Tweets.Vocabulary.unknown_place ]
+
+let judge ~corpus ~tweet_id ~attr value =
+  match List.find_opt (fun (t : Tweets.Generator.tweet) -> t.id = tweet_id) corpus with
+  | None -> Neither
+  | Some tw -> (
+      let gt = match attr with
+        | "weather" -> tw.gt_weather
+        | "place" -> tw.gt_place
+        | _ -> None
+      in
+      match gt with
+      | None -> Neither  (* the judges cannot call it either *)
+      | Some g ->
+          if String.equal g value then Correct
+          else if List.mem value vague_answers then Neither
+          else Incorrect)
+
+let row_a (o : Runner.outcome) =
+  let verdicts =
+    List.map
+      (fun (tw, attr, value) -> judge ~corpus:o.corpus ~tweet_id:tw ~attr value)
+      o.agreed
+  in
+  let total = List.length verdicts in
+  let count v = List.length (List.filter (( = ) v) verdicts) in
+  let frac v = if total = 0 then 0.0 else float_of_int (count v) /. float_of_int total in
+  { correct = frac Correct; incorrect = frac Incorrect; neither = frac Neither; total }
+
+let rule_quality (o : Runner.outcome) =
+  let agreed ~tweet_id ~attr = Runner.agreed_lookup o ~tweet_id ~attr in
+  List.map
+    (fun (_, rule, _) ->
+      ( rule,
+        Tweets.Extraction.confidence rule o.corpus ~agreed,
+        Tweets.Extraction.support rule o.corpus ))
+    o.rules_entered
+
+let mean = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let row_b (o : Runner.outcome) =
+  if not (Programs.has_rules o.variant) then None
+  else
+    rule_quality o
+    |> List.filter_map (fun (rule, conf, _) ->
+           (* Confidence is undefined for rules that extract nothing. *)
+           if Tweets.Extraction.matching rule o.corpus = [] then None else Some conf)
+    |> mean
+
+let row_c (o : Runner.outcome) =
+  if not (Programs.has_rules o.variant) then None
+  else mean (List.map (fun (_, _, sup) -> sup) (rule_quality o))
+
+let pp_quality ppf q =
+  Format.fprintf ppf "%.1f%% / %.1f%% / %.1f%% (n=%d)" (100.0 *. q.correct)
+    (100.0 *. q.incorrect) (100.0 *. q.neither) q.total

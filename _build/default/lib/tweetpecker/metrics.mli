@@ -1,0 +1,41 @@
+(** The Section 8 quality metrics (Table 1).
+
+    Row A classifies each agreed value as the paper's judges did:
+    {e correct} (equals the ground truth), {e incorrect} (contradicts a
+    known ground truth), or {e neither} (vague values such as "unsettled"
+    or "unknown", and any value for a tweet whose attribute has no ground
+    truth — the judges could not call those either). Rows B and C average
+    rule confidence and support over the extraction rules workers
+    entered. *)
+
+type verdict = Correct | Incorrect | Neither
+
+type quality = {
+  correct : float;  (** fraction in [0,1] *)
+  incorrect : float;
+  neither : float;
+  total : int;  (** number of agreed values judged *)
+}
+
+val judge :
+  corpus:Tweets.Generator.tweet list -> tweet_id:int -> attr:string -> string -> verdict
+(** Judge one agreed value. *)
+
+val row_a : Runner.outcome -> quality
+(** Table 1 row A for a finished run. *)
+
+val row_b : Runner.outcome -> float option
+(** Average confidence over entered rules with at least one extraction;
+    [None] for variants without rules or when no entered rule matched
+    anything. *)
+
+val row_c : Runner.outcome -> float option
+(** Average support over all entered rules; [None] for variants without
+    rules. *)
+
+val rule_quality :
+  Runner.outcome -> (Tweets.Extraction.rule * float * float) list
+(** Per entered rule: (rule, confidence, support). *)
+
+val pp_quality : Format.formatter -> quality -> unit
+(** "73.5% / 6.7% / 19.8%" rendering. *)

@@ -1,0 +1,27 @@
+(** Worker policies for the TweetPecker variants.
+
+    A policy turns a worker profile into a {!Crowd.Simulator.policy}: each
+    turn the worker either enters an extraction rule (Action 2, per the
+    profile's rule strategy), answers a pending candidate question
+    (selecting or rejecting a machine-extracted value), or types a value
+    for a pending input task (Action 1). Values come from the shared
+    {!Beliefs} table, so a worker is consistent across interfaces. *)
+
+type shared
+(** Shared policy state: the belief table, per-worker queues of extraction
+    rules still to enter, and per-worker incremental task pools (new open
+    tuples are ingested once by id and popped in random order, so a turn
+    costs O(1) amortised). *)
+
+val prepare :
+  seed:int -> corpus:Tweets.Generator.tweet list ->
+  workers:Crowd.Worker.profile list -> shared
+(** Build the shared state: beliefs plus per-worker rule queues. Rational
+    (front-loaded) workers receive disjoint slices of the good-rule pool
+    ordered by support (enter the most productive rules first); haphazard
+    workers receive a seeded shuffle of good and bad rules mixed by their
+    [good_ratio]. *)
+
+val policy :
+  shared -> Crowd.Worker.profile -> Crowd.Simulator.policy
+(** The worker's behaviour, per profile and variant mechanics. *)

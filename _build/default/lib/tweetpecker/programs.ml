@@ -1,0 +1,120 @@
+type variant = VE | VEI | VRE | VREI
+
+let all = [ VE; VEI; VRE; VREI ]
+
+let variant_name = function
+  | VE -> "VE"
+  | VEI -> "VE/I"
+  | VRE -> "VRE"
+  | VREI -> "VRE/I"
+
+let has_rules = function VRE | VREI -> true | VE | VEI -> false
+let has_incentive = function VEI | VREI -> true | VE | VRE -> false
+
+let attrs = [ "weather"; "place" ]
+let payoff_agreement = 1
+let payoff_rule_adopted = 2
+let payoff_rule_contradicted = 1
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let schema_section variant =
+  let base =
+    [ "  Tweets(tw key, text);";
+      "  Agreed(tw key, attr key, value);" ]
+  in
+  let rules =
+    if has_rules variant then
+      [ "  Rules(rid key auto, cond, attr, value, p);";
+        "  Extracts(tw key, attr key, value key, rid);" ]
+    else []
+  in
+  "schema:\n" ^ String.concat "\n" (base @ rules) ^ "\n"
+
+let facts ~corpus ~workers =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "  Attr(name:%S);\n" a))
+    attrs;
+  List.iter
+    (fun (t : Tweets.Generator.tweet) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  Tweets(tw:%d, text:\"%s\");\n" t.id (escape t.text)))
+    corpus;
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "  Workers(p:%S);\n" w))
+    workers;
+  Buffer.contents buf
+
+let value_entry_rules =
+  {|  VE1: Inputs(tw, attr, value, p)/open[p] <- Tweets(tw, text), Attr(name:attr), Workers(p);
+  VE2: Agreed(tw, attr, value) <- Inputs(tw, attr, value, p:p1),
+                                  Inputs(tw, attr, value, p:p2), p1 != p2;
+|}
+
+let rule_entry_rules =
+  {|  VRE1: Rules(rid, cond, attr, value, p)/open[p] <- Workers(p);
+  VRE2: Extracts(tw, attr, value, rid) <- Rules(rid, cond, attr, value, p),
+                                          Tweets(tw, text),
+                                          not Agreed(tw, attr), matches(cond, text);
+  VRE3.2: Inputs(tw, attr, value, p)/open[p] <- Extracts(tw, attr, value, rid), Workers(p);
+|}
+
+let vei_game =
+  {|games:
+  game VEI(tw, attr) {
+    path:
+      VEI1: Path(player:p, action:["value", value]) <- Inputs(tw, attr, value, p);
+    payoff:
+      VEI2: Path(player:p1, action:["value", v]) {
+        VEI2.1: Payoff[p1 += 1, p2 += 1] <- Path(player:p2, action:["value", v]), p1 != p2;
+      }
+  }
+|}
+
+let vrei_game =
+  Printf.sprintf
+    {|games:
+  game VREI() {
+    path:
+      VREI1: Path(player:p, action:["value", tw, attr, value]) <- Inputs(tw, attr, value, p);
+      VREI2: Path(player:p, action:["rule", cond, attr, value]) <- Rules(rid, cond, attr, value, p);
+    payoff:
+      VREI3.1: Payoff[p1 += %d, p2 += %d] <- Path(player:p1, action:["value", tw, attr, v]),
+                                             Path(player:p2, action:["value", tw, attr, v]),
+                                             p1 != p2;
+      VREI3.2: Payoff[p += %d] <- Extracts(tw, attr, value, rid),
+                                  Rules(rid, cond, attr, value, p),
+                                  Agreed(tw, attr, value);
+      VREI3.3: Payoff[p += 0 - %d] <- Extracts(tw, attr, value, rid),
+                                      Rules(rid, cond, attr, value, p),
+                                      Agreed(tw, attr, value:adopted), adopted != value;
+  }
+|}
+    payoff_agreement payoff_agreement payoff_rule_adopted payoff_rule_contradicted
+
+let source variant ~corpus ~workers =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf (schema_section variant);
+  Buffer.add_string buf "\nrules:\n";
+  Buffer.add_string buf (facts ~corpus ~workers);
+  Buffer.add_string buf value_entry_rules;
+  if has_rules variant then Buffer.add_string buf rule_entry_rules;
+  (match variant with
+  | VEI -> Buffer.add_string buf ("\n" ^ vei_game)
+  | VREI -> Buffer.add_string buf ("\n" ^ vrei_game)
+  | VE | VRE -> ());
+  Buffer.contents buf
+
+let program variant ~corpus ~workers =
+  Cylog.Parser.parse_exn (source variant ~corpus ~workers)

@@ -1,0 +1,62 @@
+(** The four TweetPecker variants as CyLog programs (Figures 3, 5, 8, 9).
+
+    Programs are generated from a corpus and a worker list: the corpus
+    becomes [Tweets] facts (keyed by tweet id, carrying the text), the
+    workers become [Workers] facts, and the variant decides which rules and
+    game aspects are present:
+
+    - {b VE} — value entry only; workers fill [Inputs]; two matching inputs
+      from distinct workers land in [Agreed].
+    - {b VE/I} — VE plus the VEI game aspect: one game instance per
+      (tweet, attribute); matching values pay both players (coordination
+      game).
+    - {b VRE} — VE plus extraction rules: a standing [Rules] task per
+      worker, machine extraction into [Extracts] (first rule wins via the
+      key), and candidate (existence) questions showing machine-extracted
+      values to workers.
+    - {b VRE/I} — VRE plus the VREI game aspect: a single game instance;
+      payoff 1 (agreement, +1 each), payoff 2a (your rule's extraction got
+      adopted, +2, earliest rule only), payoff 2b (your rule's extraction
+      was contradicted by the adopted value, −1).
+
+    The agreed values live in the long-format relation
+    [Agreed(tw key, attr key, value)]: its key makes the chronologically
+    first agreement win, and, unlike a wide [Output] row, an [Agreed] row
+    is never updated afterwards — so game-aspect payoff rules can key their
+    firing on it. *)
+
+type variant = VE | VEI | VRE | VREI
+
+val all : variant list
+(** The four variants in presentation order. *)
+
+val variant_name : variant -> string
+(** "VE", "VE/I", "VRE", "VRE/I". *)
+
+val has_rules : variant -> bool
+(** True for VRE and VRE/I (extraction-rule machinery present). *)
+
+val has_incentive : variant -> bool
+(** True for VE/I and VRE/I (a game aspect is present). *)
+
+val source :
+  variant -> corpus:Tweets.Generator.tweet list -> workers:string list -> string
+(** The full CyLog source text of the variant over the given corpus and
+    workers. *)
+
+val program :
+  variant -> corpus:Tweets.Generator.tweet list -> workers:string list ->
+  Cylog.Ast.program
+(** Parsed form of {!source}. *)
+
+val attrs : string list
+(** The extracted attributes: ["weather"; "place"]. *)
+
+val payoff_agreement : int
+(** w1 = 1: payoff for a matching value. *)
+
+val payoff_rule_adopted : int
+(** w2 = 2: payoff for the earliest rule whose extraction got adopted. *)
+
+val payoff_rule_contradicted : int
+(** w3 = 1: loss when a rule's extraction is contradicted. *)

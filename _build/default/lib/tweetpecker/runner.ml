@@ -1,0 +1,124 @@
+type outcome = {
+  variant : Programs.variant;
+  corpus : Tweets.Generator.tweet list;
+  workers : Crowd.Worker.profile list;
+  agreed : (int * string * string) list;
+  agreed_events : (int * int * string * string) list;
+  rules_entered : (int * Tweets.Extraction.rule * string) list;
+  extracts : (int * string * string * int) list;
+  payoffs : (string * int) list;
+  sim : Crowd.Simulator.outcome;
+  engine : Cylog.Engine.t;
+}
+
+let default_workers variant =
+  let make =
+    match variant with
+    | Programs.VE | Programs.VEI -> Crowd.Worker.diligent ?rule_strategy:None
+    | Programs.VRE ->
+        Crowd.Worker.diligent
+          ~rule_strategy:(Crowd.Worker.Haphazard { spread = 0.95; good_ratio = 0.55 })
+    | Programs.VREI -> Crowd.Worker.rational ~rule_count:2
+  in
+  Crowd.Worker.crowd make 5
+
+let str = function Reldb.Value.String s -> s | v -> Reldb.Value.to_display v
+let int_of = function Reldb.Value.Int i -> i | _ -> -1
+
+let collect_agreed db =
+  match Reldb.Database.find db "Agreed" with
+  | None -> []
+  | Some rel ->
+      List.map
+        (fun t ->
+          ( int_of (Reldb.Tuple.get_or_null t "tw"),
+            str (Reldb.Tuple.get_or_null t "attr"),
+            str (Reldb.Tuple.get_or_null t "value") ))
+        (Reldb.Relation.tuples rel)
+
+let collect_agreed_events engine =
+  List.filter_map
+    (fun (e : Cylog.Engine.event) ->
+      List.find_map
+        (function
+          | Cylog.Engine.Inserted ("Agreed", t) ->
+              Some
+                ( e.clock,
+                  int_of (Reldb.Tuple.get_or_null t "tw"),
+                  str (Reldb.Tuple.get_or_null t "attr"),
+                  str (Reldb.Tuple.get_or_null t "value") )
+          | _ -> None)
+        e.effects)
+    (Cylog.Engine.events engine)
+
+let collect_rules db =
+  match Reldb.Database.find db "Rules" with
+  | None -> []
+  | Some rel ->
+      List.map
+        (fun t ->
+          ( int_of (Reldb.Tuple.get_or_null t "rid"),
+            {
+              Tweets.Extraction.cond = str (Reldb.Tuple.get_or_null t "cond");
+              attr = str (Reldb.Tuple.get_or_null t "attr");
+              value = str (Reldb.Tuple.get_or_null t "value");
+            },
+            str (Reldb.Tuple.get_or_null t "p") ))
+        (Reldb.Relation.tuples rel)
+
+let collect_extracts db =
+  match Reldb.Database.find db "Extracts" with
+  | None -> []
+  | Some rel ->
+      List.map
+        (fun t ->
+          ( int_of (Reldb.Tuple.get_or_null t "tw"),
+            str (Reldb.Tuple.get_or_null t "attr"),
+            str (Reldb.Tuple.get_or_null t "value"),
+            int_of (Reldb.Tuple.get_or_null t "rid") ))
+        (Reldb.Relation.tuples rel)
+
+let run ?(seed = 7) ?corpus ?workers variant =
+  let corpus = match corpus with Some c -> c | None -> Tweets.Generator.corpus () in
+  let workers = match workers with Some w -> w | None -> default_workers variant in
+  let names = List.map (fun (w : Crowd.Worker.profile) -> w.name) workers in
+  let program = Programs.program variant ~corpus ~workers:names in
+  let engine = Cylog.Engine.load program in
+  let shared = Policies.prepare ~seed ~corpus ~workers in
+  let sim_workers =
+    List.map
+      (fun (w : Crowd.Worker.profile) ->
+        (Reldb.Value.String w.name, Policies.policy shared w))
+      workers
+  in
+  let target = 2 * List.length corpus in
+  let agreed_count engine =
+    match Reldb.Database.find (Cylog.Engine.database engine) "Agreed" with
+    | Some rel -> Reldb.Relation.cardinal rel
+    | None -> 0
+  in
+  let stop engine = agreed_count engine >= target in
+  let progress engine = float_of_int (agreed_count engine) /. float_of_int target in
+  let sim = Crowd.Simulator.run ~seed ~progress ~stop ~workers:sim_workers engine in
+  let db = Cylog.Engine.database engine in
+  {
+    variant;
+    corpus;
+    workers;
+    agreed = collect_agreed db;
+    agreed_events = collect_agreed_events engine;
+    rules_entered = collect_rules db;
+    extracts = collect_extracts db;
+    payoffs =
+      List.map (fun (p, s) -> (str p, int_of s)) (Cylog.Engine.payoffs engine);
+    sim;
+    engine;
+  }
+
+let completion o =
+  float_of_int (List.length o.agreed) /. float_of_int (2 * List.length o.corpus)
+
+let agreed_lookup o ~tweet_id ~attr =
+  List.find_map
+    (fun (tw, a, v) -> if tw = tweet_id && String.equal a attr then Some v else None)
+    o.agreed

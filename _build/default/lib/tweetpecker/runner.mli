@@ -1,0 +1,38 @@
+(** End-to-end execution of one TweetPecker variant: build the CyLog
+    program over a corpus, load the engine, attach the crowd, simulate to
+    termination, and collect everything the Section 8 analyses need. *)
+
+type outcome = {
+  variant : Programs.variant;
+  corpus : Tweets.Generator.tweet list;
+  workers : Crowd.Worker.profile list;
+  agreed : (int * string * string) list;
+      (** (tweet id, attribute, value), in agreement order *)
+  agreed_events : (int * int * string * string) list;
+      (** (engine clock, tweet id, attribute, value), chronological *)
+  rules_entered : (int * Tweets.Extraction.rule * string) list;
+      (** (rid, rule, worker), in entry order — empty for VE/VE\/I *)
+  extracts : (int * string * string * int) list;
+      (** (tweet id, attribute, value, rid) machine extractions *)
+  payoffs : (string * int) list;  (** accumulated score per worker *)
+  sim : Crowd.Simulator.outcome;
+  engine : Cylog.Engine.t;  (** final engine state, for further queries *)
+}
+
+val default_workers : Programs.variant -> Crowd.Worker.profile list
+(** The paper's five-person crowd per variant: diligent workers throughout;
+    haphazard rule entry under VRE, the rational front-loaded strategy
+    under VRE/I. *)
+
+val run :
+  ?seed:int -> ?corpus:Tweets.Generator.tweet list ->
+  ?workers:Crowd.Worker.profile list -> Programs.variant -> outcome
+(** Run a variant to termination (all (tweet, attribute) pairs agreed) on
+    the standard corpus (463 tweets) with the default crowd. *)
+
+val completion : outcome -> float
+(** Fraction of (tweet, attribute) pairs with an agreed value — 1.0 on a
+    normally terminated run. *)
+
+val agreed_lookup : outcome -> tweet_id:int -> attr:string -> string option
+(** Agreed value accessor, as needed by confidence computations. *)

@@ -1,0 +1,1 @@
+lib/tweets/extraction.ml: Format Generator Hashtbl List Regex String Vocabulary

@@ -1,0 +1,1 @@
+lib/tweets/extraction.mli: Format Generator

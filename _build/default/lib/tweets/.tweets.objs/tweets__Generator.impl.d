@@ -1,0 +1,1 @@
+lib/tweets/generator.ml: Char Format List Option Printf Random String Vocabulary

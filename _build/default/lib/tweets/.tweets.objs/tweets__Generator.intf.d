@@ -1,0 +1,1 @@
+lib/tweets/generator.mli: Format

@@ -1,0 +1,86 @@
+type rule = { cond : string; attr : string; value : string }
+
+(* Compiled-pattern cache shared across all metric computations. *)
+let cache : (string, Regex.Engine.t option) Hashtbl.t = Hashtbl.create 64
+
+let compiled cond =
+  match Hashtbl.find_opt cache cond with
+  | Some c -> c
+  | None ->
+      let c =
+        match Regex.Engine.compile ~case_insensitive:true cond with
+        | Ok r -> Some r
+        | Error _ -> None
+      in
+      Hashtbl.replace cache cond c;
+      c
+
+let applies r text =
+  match compiled r.cond with
+  | Some re -> Regex.Engine.search re text
+  | None -> false
+
+let matching r tweets = List.filter (fun (t : Generator.tweet) -> applies r t.text) tweets
+
+let support r tweets =
+  match tweets with
+  | [] -> 0.0
+  | _ -> float_of_int (List.length (matching r tweets)) /. float_of_int (List.length tweets)
+
+let confidence r tweets ~agreed =
+  let extracted = matching r tweets in
+  match extracted with
+  | [] -> 0.0
+  | _ ->
+      let hits =
+        List.length
+          (List.filter
+             (fun (t : Generator.tweet) ->
+               match agreed ~tweet_id:t.id ~attr:r.attr with
+               | Some v -> String.equal v r.value
+               | None -> false)
+             extracted)
+      in
+      float_of_int hits /. float_of_int (List.length extracted)
+
+let good_rules () =
+  let weather =
+    List.concat_map
+      (fun (c : Vocabulary.condition) ->
+        List.map (fun kw -> { cond = kw; attr = "weather"; value = c.value }) c.keywords)
+      Vocabulary.conditions
+  in
+  let place =
+    List.map (fun city -> { cond = city; attr = "place"; value = city }) Vocabulary.cities
+  in
+  weather @ place
+
+let bad_rules () =
+  (* Wrong mappings: a real (mid-tier) keyword pointing at a confusion
+     value — decent support, near-zero confidence. *)
+  let wrong =
+    List.concat_map
+      (fun (c : Vocabulary.condition) ->
+        match (c.keywords, c.confusions) with
+        | _ :: kw :: _, confusion :: _ ->
+            [ { cond = kw; attr = "weather"; value = confusion } ]
+        | [ kw ], confusion :: _ -> [ { cond = kw; attr = "weather"; value = confusion } ]
+        | _ -> [])
+      Vocabulary.conditions
+  in
+  (* Over-specific conditions matching a couple of tweets at best, mapping
+     to non-canonical values that never survive agreement. *)
+  let narrow =
+    [ { cond = "downpour in Tokyo"; attr = "weather"; value = "wet" };
+      { cond = "flurries .* Sapporo"; attr = "weather"; value = "icy" };
+      { cond = "gales all day"; attr = "weather"; value = "blustery" };
+      { cond = "since dawn, take care"; attr = "weather"; value = "dawn-storm" } ]
+  in
+  (* Junk conditions that match nothing (zero support and confidence). *)
+  let junk =
+    [ { cond = "zzzz+q"; attr = "weather"; value = "snowy" };
+      { cond = "("; attr = "weather"; value = "windy" } ]
+  in
+  wrong @ narrow @ junk
+
+let pp ppf r = Format.fprintf ppf "(%S, %s, %s)" r.cond r.attr r.value

@@ -1,0 +1,42 @@
+(** Extraction rules and their quality metrics.
+
+    An extraction rule is the paper's triple (condition, attribute, value):
+    if a tweet matches the regex [cond], the machine proposes [value] for
+    [attribute]. Confidence and support are the Section 8 metrics:
+
+    - confidence = #values extracted by the rule and agreed
+                 / #values extracted by the rule
+    - support    = #tweets matching the rule / #all tweets *)
+
+type rule = { cond : string; attr : string; value : string }
+
+val applies : rule -> string -> bool
+(** [applies r text]: the condition occurs in the text (case-insensitive
+    regex containment — [matches(cond, tw)]). Malformed conditions never
+    apply. *)
+
+val matching : rule -> Generator.tweet list -> Generator.tweet list
+(** Tweets the rule's condition matches. *)
+
+val support : rule -> Generator.tweet list -> float
+(** Fraction of the corpus the rule matches; 0 on an empty corpus. *)
+
+val confidence :
+  rule -> Generator.tweet list ->
+  agreed:(tweet_id:int -> attr:string -> string option) -> float
+(** [confidence r tweets ~agreed]: among tweets the rule matches (its
+    extractions), the fraction whose agreed value for [r.attr] equals
+    [r.value]. Tweets without an agreed value count against the rule
+    (extracted but never adopted). 0 when the rule matches nothing. *)
+
+val good_rules : unit -> rule list
+(** The pool of well-made weather rules over the corpus vocabulary: one
+    per (keyword, condition), mapping the keyword to the canonical value,
+    most-supported first. *)
+
+val bad_rules : unit -> rule list
+(** Plausible-but-poor rules: wrong value mappings, over-broad conditions
+    (matching the corpus tag), and junk conditions. *)
+
+val pp : Format.formatter -> rule -> unit
+(** [("rain", weather, rainy)]-style rendering. *)

@@ -1,0 +1,1 @@
+test/test_crowd.ml: Alcotest Crowd Cylog List Random Reldb

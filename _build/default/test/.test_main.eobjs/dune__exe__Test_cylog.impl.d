@@ -1,0 +1,1 @@
+test/test_cylog.ml: Alcotest Ast Cylog Engine Lexer List Option Parser Precedence Pretty Printf Reldb Semantics String

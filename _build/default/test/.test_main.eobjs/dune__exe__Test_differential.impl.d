@@ -1,0 +1,1 @@
+test/test_differential.ml: Ast Cylog Engine List Option Parser Pretty Printf QCheck QCheck_alcotest Reldb Semantics String

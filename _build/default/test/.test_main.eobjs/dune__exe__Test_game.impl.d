@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Classes Cylog Extensive Game List Matrix

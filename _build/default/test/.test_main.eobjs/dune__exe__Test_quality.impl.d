@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Crowd List Printf Quality Tweetpecker Tweets

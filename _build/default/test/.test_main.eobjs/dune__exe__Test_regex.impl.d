@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest List Printf QCheck QCheck_alcotest Regex String Sys

@@ -1,0 +1,1 @@
+test/test_reldb.ml: Alcotest Csv Database Dynarray Gen List Ops QCheck QCheck_alcotest Relation Reldb Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_turing.ml: Alcotest Cylog Game List Turing

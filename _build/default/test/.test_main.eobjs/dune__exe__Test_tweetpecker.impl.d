@@ -1,0 +1,1 @@
+test/test_tweetpecker.ml: Alcotest Array Crowd Cylog Game Lazy List Option Printf Reldb String Tweetpecker Tweets

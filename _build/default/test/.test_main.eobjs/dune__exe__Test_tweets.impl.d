@@ -1,0 +1,1 @@
+test/test_tweets.ml: Alcotest List Option Printf Tweets

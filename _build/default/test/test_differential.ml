@@ -1,0 +1,322 @@
+(* Differential testing: on randomly generated positive Datalog programs
+   (no negation, no update/delete, no open predicates) three independent
+   evaluators must agree on the least fixpoint:
+
+   - the engine with seminaive delta evaluation (production strategy),
+   - the engine with naive rescan (reference strategy),
+   - the batch T_{P,S} consequence operator of the formal semantics.
+
+   This pins down the trickiest optimisation in the codebase. *)
+
+open Cylog
+
+(* --- Random program generation ------------------------------------------ *)
+
+(* Relations R0..R3 over attributes a/b; constants 0..4; rule bodies of one
+   or two positive atoms sharing variables, with an optional comparison. *)
+
+let gen_program : Ast.program QCheck.arbitrary =
+  let open QCheck.Gen in
+  let rel = map (Printf.sprintf "R%d") (int_bound 3) in
+  let const = map (fun i -> Ast.Const (Reldb.Value.Int i)) (int_bound 4) in
+  let gen_fact =
+    let* r = rel in
+    let* va = const in
+    let* vb = const in
+    return
+      {
+        Ast.label = None;
+        heads =
+          [ Ast.Head_atom
+              {
+                atom =
+                  { Ast.pred = r;
+                    args =
+                      [ { Ast.attr = "a"; bind = Ast.Bound va };
+                        { Ast.attr = "b"; bind = Ast.Bound vb } ] };
+                kind = Ast.Assert;
+              } ];
+        body = [];
+      }
+  in
+  let var_names = [ "x"; "y"; "z" ] in
+  let gen_rule =
+    let* n_atoms = int_range 1 2 in
+    let* body_atoms =
+      list_repeat n_atoms
+        (let* r = rel in
+         let* bind_a = oneofl var_names in
+         let* bind_b = frequency [ (3, map Option.some (oneofl var_names)); (1, return None) ] in
+         let args =
+           [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var bind_a) } ]
+           @
+           match bind_b with
+           | Some v -> [ { Ast.attr = "b"; bind = Ast.Bound (Ast.Var v) } ]
+           | None -> []
+         in
+         return (Ast.Pos { Ast.pred = r; args }))
+    in
+    let bound_vars =
+      List.concat_map
+        (function
+          | Ast.Pos { Ast.args; _ } ->
+              List.filter_map
+                (fun (arg : Ast.arg) ->
+                  match arg.bind with Ast.Bound (Ast.Var v) -> Some v | _ -> None)
+                args
+          | _ -> [])
+        body_atoms
+      |> List.sort_uniq compare
+    in
+    let* cmp =
+      frequency
+        [ (2, return []);
+          ( 1,
+            let* v = oneofl bound_vars in
+            let* limit = int_bound 4 in
+            return [ Ast.Cmp (Ast.Var v, Ast.Le, Ast.Const (Reldb.Value.Int limit)) ] ) ]
+    in
+    let* head_rel = rel in
+    let* ha = oneofl bound_vars in
+    let* hb = oneofl bound_vars in
+    return
+      {
+        Ast.label = None;
+        heads =
+          [ Ast.Head_atom
+              {
+                atom =
+                  { Ast.pred = head_rel;
+                    args =
+                      [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var ha) };
+                        { Ast.attr = "b"; bind = Ast.Bound (Ast.Var hb) } ] };
+                kind = Ast.Assert;
+              } ];
+        body = body_atoms @ cmp;
+      }
+  in
+  let gen =
+    let* n_facts = int_range 1 6 in
+    let* n_rules = int_range 1 5 in
+    let* facts = list_repeat n_facts gen_fact in
+    let* rules = list_repeat n_rules gen_rule in
+    return { Ast.schemas = []; statements = facts @ rules; games = []; views = [] }
+  in
+  QCheck.make ~print:Pretty.program_to_string gen
+
+(* --- Extracting comparable state ----------------------------------------- *)
+
+let db_facts db =
+  Reldb.Database.relations db
+  |> List.concat_map (fun rel ->
+         List.map
+           (fun t -> (Reldb.Relation.name rel, Reldb.Tuple.to_string t))
+           (Reldb.Relation.tuples rel))
+  |> List.sort compare
+
+let run_engine ~use_delta program =
+  let engine = Engine.load ~use_delta program in
+  ignore (Engine.run engine ~max_steps:20_000);
+  db_facts (Engine.database engine)
+
+let run_semantics program =
+  match Semantics.behaviour ~bound:200 program (fun _ -> []) with
+  | states, `Fixpoint -> Some (db_facts (Semantics.sure (List.nth states (List.length states - 1))))
+  | _, `Bound_reached -> None
+
+(* --- Properties ----------------------------------------------------------- *)
+
+let prop_delta_equals_rescan =
+  QCheck.Test.make ~name:"delta evaluation = naive rescan" ~count:300 gen_program
+    (fun program ->
+      run_engine ~use_delta:true program = run_engine ~use_delta:false program)
+
+let prop_engine_equals_batch_semantics =
+  QCheck.Test.make ~name:"operational engine = batch T_{P,S} fixpoint" ~count:200
+    gen_program (fun program ->
+      match run_semantics program with
+      | Some batch -> run_engine ~use_delta:true program = batch
+      | None -> QCheck.assume_fail ())
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine evaluation is deterministic" ~count:100 gen_program
+    (fun program ->
+      let trace () =
+        let engine = Engine.load program in
+        ignore (Engine.run engine ~max_steps:20_000);
+        List.map
+          (fun (e : Engine.event) -> (e.statement, e.valuation, e.fired))
+          (Engine.events engine)
+      in
+      trace () = trace ())
+
+let prop_fixpoint_is_stable =
+  QCheck.Test.make ~name:"fixpoint is stable under further steps" ~count:100 gen_program
+    (fun program ->
+      let engine = Engine.load program in
+      ignore (Engine.run engine ~max_steps:20_000);
+      let before = db_facts (Engine.database engine) in
+      (* A quiescent engine must stay quiescent. *)
+      (match Engine.step engine with None -> true | Some _ -> false)
+      && db_facts (Engine.database engine) = before)
+
+let prop_monotone_growth =
+  QCheck.Test.make ~name:"positive programs only grow the database" ~count:100
+    gen_program (fun program ->
+      let engine = Engine.load program in
+      let sizes = ref [] in
+      let rec loop n =
+        if n > 20_000 then ()
+        else begin
+          sizes := Reldb.Database.total_tuples (Engine.database engine) :: !sizes;
+          match Engine.step engine with Some _ -> loop (n + 1) | None -> ()
+        end
+      in
+      loop 0;
+      let ordered = List.rev !sizes in
+      List.sort compare ordered = ordered)
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"parse (print program) = program" ~count:300 gen_program
+    (fun program ->
+      let printed = Pretty.program_to_string program in
+      match Parser.parse printed with
+      | Ok program' -> program = program'
+      | Error _ -> false)
+
+let prop_printed_program_runs_identically =
+  QCheck.Test.make ~name:"printed program evaluates identically" ~count:100 gen_program
+    (fun program ->
+      let printed = Pretty.program_to_string program in
+      run_engine ~use_delta:true (Parser.parse_exn printed)
+      = run_engine ~use_delta:true program)
+
+(* Extend the delta/rescan equivalence to the human half: add an open rule
+   to each random program and drive both engines with a canonical simulated
+   worker — always answer the pending open tuple with the least
+   (relation, bound) fingerprint, supplying a value derived from the bound
+   part. The policy is independent of engine-internal ordering, so the
+   final databases must again coincide. *)
+let with_open_rule (program : Ast.program) =
+  let ask =
+    {
+      Ast.label = Some "Ask";
+      heads =
+        [ Ast.Head_atom
+            {
+              atom =
+                { Ast.pred = "Answer";
+                  args =
+                    [ { Ast.attr = "a"; bind = Ast.Auto };
+                      { Ast.attr = "v"; bind = Ast.Auto } ] };
+              kind = Ast.Open None;
+            } ];
+      body =
+        [ Ast.Pos
+            { Ast.pred = "R0";
+              args = [ { Ast.attr = "a"; bind = Ast.Auto } ] } ];
+    }
+  in
+  let echo =
+    (* Human answers feed back into machine rules. *)
+    {
+      Ast.label = Some "Echo";
+      heads =
+        [ Ast.Head_atom
+            {
+              atom =
+                { Ast.pred = "R1";
+                  args =
+                    [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var "v") };
+                      { Ast.attr = "b"; bind = Ast.Bound (Ast.Var "v") } ] };
+              kind = Ast.Assert;
+            } ];
+      body =
+        [ Ast.Pos
+            { Ast.pred = "Answer";
+              args =
+                [ { Ast.attr = "a"; bind = Ast.Auto };
+                  { Ast.attr = "v"; bind = Ast.Auto } ] } ];
+    }
+  in
+  { program with Ast.statements = program.statements @ [ ask; echo ] }
+
+let drive_with_canonical_human ~use_delta program =
+  let engine = Engine.load ~use_delta program in
+  ignore (Engine.run engine ~max_steps:20_000);
+  let rec answer rounds =
+    if rounds > 500 then ()
+    else
+      let pending =
+        List.sort
+          (fun (a : Engine.open_tuple) (b : Engine.open_tuple) ->
+            compare
+              (a.relation, Reldb.Tuple.to_string a.bound)
+              (b.relation, Reldb.Tuple.to_string b.bound))
+          (Engine.pending engine)
+      in
+      match pending with
+      | [] -> ()
+      | o :: _ ->
+          let value = Reldb.Value.Int (Reldb.Tuple.hash o.bound mod 5) in
+          (match
+             Engine.supply engine o.id ~worker:(Reldb.Value.String "human")
+               (List.map (fun a -> (a, value)) o.open_attrs)
+           with
+          | Ok _ -> ()
+          | Error _ -> Engine.decline engine o.id);
+          ignore (Engine.run engine ~max_steps:20_000);
+          answer (rounds + 1)
+  in
+  answer 0;
+  db_facts (Engine.database engine)
+
+let prop_delta_equals_rescan_with_humans =
+  QCheck.Test.make ~name:"delta = rescan with a canonical human in the loop"
+    ~count:150 gen_program (fun program ->
+      let program = with_open_rule program in
+      drive_with_canonical_human ~use_delta:true program
+      = drive_with_canonical_human ~use_delta:false program)
+
+(* Views carve-out robustness: random raw template bodies (any characters,
+   balanced braces) survive the pre-lexing split and do not disturb the
+   rules around them. *)
+let gen_template : string QCheck.arbitrary =
+  let open QCheck.Gen in
+  let chunk =
+    oneof
+      [ oneofl [ "<p>"; "</p>"; "it's"; "a \"quote\""; "x = 1;"; "{{tw}}"; "@#$%";
+                 "rules"; "//not a comment in here?"; " " ];
+        map (String.make 1) (char_range 'a' 'z') ]
+  in
+  let balanced =
+    let* inner = list_size (int_bound 4) chunk in
+    let* wrap = bool in
+    let body = String.concat "" inner in
+    return (if wrap then "{" ^ body ^ "}" else body)
+  in
+  QCheck.make ~print:(fun s -> s)
+    (map (String.concat " ") (list_size (int_range 1 5) balanced))
+
+let prop_views_split_preserves_rules =
+  QCheck.Test.make ~name:"views carve-out preserves surrounding rules" ~count:300
+    gen_template (fun template ->
+      let src =
+        Printf.sprintf "rules: R(x:1); views: view V { %s } rules: S(x) <- R(x);"
+          template
+      in
+      match Parser.parse src with
+      | Error _ -> false
+      | Ok p ->
+          List.length p.Ast.statements = 2
+          && List.length p.Ast.views = 1
+          && (List.hd p.Ast.views).Ast.view_name = "V")
+
+let suite =
+  [ ( "differential",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_delta_equals_rescan; prop_delta_equals_rescan_with_humans;
+          prop_engine_equals_batch_semantics;
+          prop_engine_deterministic; prop_fixpoint_is_stable; prop_monotone_growth;
+          prop_parse_print_roundtrip; prop_printed_program_runs_identically;
+          prop_views_split_preserves_rules ] ) ]

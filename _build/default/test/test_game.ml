@@ -1,0 +1,256 @@
+(* Tests for the game-theory toolkit: normal form, extensive form, and the
+   G_N / G_* classification of Section 9.4. *)
+
+open Game
+
+(* --- Normal form -------------------------------------------------------- *)
+
+let coord = Matrix.coordination ~players:("A", "B") ~values:[ "fine"; "rainy" ] ~reward:1.0
+
+let test_coordination_matrix () =
+  Alcotest.(check (list string)) "players" [ "A"; "B" ] (Matrix.players coord);
+  Alcotest.(check bool) "match pays" true
+    (Matrix.payoff coord [| 0; 0 |] = [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "mismatch pays nothing" true
+    (Matrix.payoff coord [| 0; 1 |] = [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "symmetric" true (Matrix.is_symmetric coord)
+
+let test_coordination_nash () =
+  (* Figure 4's solution: the diagonal — both players choose the same
+     term. *)
+  let nash = Matrix.pure_nash_named coord in
+  Alcotest.(check int) "two equilibria" 2 (List.length nash);
+  Alcotest.(check bool) "fine/fine" true (List.mem [ "fine"; "fine" ] nash);
+  Alcotest.(check bool) "rainy/rainy" true (List.mem [ "rainy"; "rainy" ] nash)
+
+let test_best_responses () =
+  Alcotest.(check (list int)) "best response to fine is fine" [ 0 ]
+    (Matrix.best_responses coord ~player:1 ~profile:[| 0; 1 |]);
+  (* In a mismatch profile every action of the deviating player that
+     matches is strictly better. *)
+  Alcotest.(check (list int)) "best response to rainy is rainy" [ 1 ]
+    (Matrix.best_responses coord ~player:0 ~profile:[| 0; 1 |])
+
+let prisoners_dilemma =
+  Matrix.of_bimatrix ~row_player:"A" ~col_player:"B"
+    ~rows:[ "cooperate"; "defect" ] ~cols:[ "cooperate"; "defect" ]
+    [| [| (3.0, 3.0); (0.0, 5.0) |]; [| (5.0, 0.0); (1.0, 1.0) |] |]
+
+let test_dominance () =
+  Alcotest.(check (list int)) "cooperate strictly dominated" [ 0 ]
+    (Matrix.strictly_dominated prisoners_dilemma ~player:0);
+  Alcotest.(check bool) "unique equilibrium defect/defect" true
+    (Matrix.pure_nash_named prisoners_dilemma = [ [ "defect"; "defect" ] ]);
+  Alcotest.(check bool) "iterated elimination leaves defect" true
+    (Matrix.iterated_elimination prisoners_dilemma = [ [ "defect" ]; [ "defect" ] ])
+
+let test_no_pure_nash () =
+  (* Matching pennies has no pure equilibrium. *)
+  let mp =
+    Matrix.of_bimatrix ~row_player:"A" ~col_player:"B" ~rows:[ "h"; "t" ]
+      ~cols:[ "h"; "t" ]
+      [| [| (1.0, -1.0); (-1.0, 1.0) |]; [| (-1.0, 1.0); (1.0, -1.0) |] |]
+  in
+  Alcotest.(check int) "no pure nash" 0 (List.length (Matrix.pure_nash mp));
+  Alcotest.(check bool) "not symmetric" false (Matrix.is_symmetric mp)
+
+let test_three_player_game () =
+  (* Three players each pick 0/1; everyone is paid the number of players
+     who chose the majority value. Unanimity profiles are equilibria. *)
+  let majority =
+    Matrix.make ~players:[ "A"; "B"; "C" ]
+      ~actions:[ [ "0"; "1" ]; [ "0"; "1" ]; [ "0"; "1" ] ]
+      ~payoff:(fun profile ->
+        let ones = Array.fold_left ( + ) 0 profile in
+        let majority_size = max ones (3 - ones) in
+        Array.make 3 (float_of_int majority_size))
+  in
+  Alcotest.(check int) "8 profiles" 8 (List.length (Matrix.profiles majority));
+  let nash = Matrix.pure_nash majority in
+  Alcotest.(check bool) "unanimity 000" true (List.mem [| 0; 0; 0 |] nash);
+  Alcotest.(check bool) "unanimity 111" true (List.mem [| 1; 1; 1 |] nash)
+
+(* --- Extensive form ------------------------------------------------------ *)
+
+let test_sequential_coordination () =
+  let tree = Extensive.of_matrix_sequential coord in
+  Alcotest.(check (list string)) "players" [ "A"; "B" ] (Extensive.players tree);
+  (* B has a single information set: she does not observe A's move
+     (Figure 4's dotted circle). *)
+  let sets = Extensive.info_sets tree in
+  Alcotest.(check int) "two info sets" 2 (List.length sets);
+  Alcotest.(check int) "depth 2" 2 (Extensive.depth tree);
+  let payoffs =
+    Extensive.expected_payoffs tree [ ("A:choice", "rainy"); ("B:choice", "rainy") ]
+  in
+  Alcotest.(check bool) "agreement pays both" true
+    (payoffs = [ ("A", 1.0); ("B", 1.0) ])
+
+let test_extensive_nash_matches_matrix () =
+  let tree = Extensive.of_matrix_sequential coord in
+  let nash = Extensive.pure_nash tree in
+  (* The imperfect-information sequential presentation has the same pure
+     equilibria as the matrix: both choose the same term. *)
+  Alcotest.(check int) "two equilibria" 2 (List.length nash);
+  List.iter
+    (fun strategy ->
+      let a = List.assoc "A:choice" strategy and b = List.assoc "B:choice" strategy in
+      Alcotest.(check string) "diagonal" a b)
+    nash
+
+let test_chance_nodes () =
+  (* A worker answers correctly with probability 0.9; a correct answer that
+     matches the other's correct answer pays 1. *)
+  let p = 0.9 in
+  let tree =
+    Extensive.Chance
+      [ (p, "correct", Extensive.Terminal [ ("w", 1.0) ]);
+        (1.0 -. p, "wrong", Extensive.Terminal [ ("w", 0.0) ]) ]
+  in
+  let payoffs = Extensive.expected_payoffs tree [] in
+  Alcotest.(check bool) "expected payoff 0.9" true
+    (abs_float (List.assoc "w" payoffs -. 0.9) < 1e-9)
+
+let test_backward_induction () =
+  (* Ultimatum-style toy: A offers fair/greedy, B accepts/rejects seeing
+     the offer (perfect information — distinct info sets). *)
+  let tree =
+    Extensive.Decision
+      {
+        player = "A";
+        info_set = "A:offer";
+        moves =
+          [ ( "fair",
+              Extensive.Decision
+                {
+                  player = "B";
+                  info_set = "B:after-fair";
+                  moves =
+                    [ ("accept", Extensive.Terminal [ ("A", 5.0); ("B", 5.0) ]);
+                      ("reject", Extensive.Terminal [ ("A", 0.0); ("B", 0.0) ]) ];
+                } );
+            ( "greedy",
+              Extensive.Decision
+                {
+                  player = "B";
+                  info_set = "B:after-greedy";
+                  moves =
+                    [ ("accept", Extensive.Terminal [ ("A", 9.0); ("B", 1.0) ]);
+                      ("reject", Extensive.Terminal [ ("A", 0.0); ("B", 0.0) ]) ];
+                } ) ];
+      }
+  in
+  let strategy, payoffs = Extensive.backward_induction tree in
+  (* B accepts everywhere (1 > 0, 5 > 0), so A goes greedy. *)
+  Alcotest.(check (option string)) "B accepts greedy" (Some "accept")
+    (List.assoc_opt "B:after-greedy" strategy);
+  Alcotest.(check (option string)) "A goes greedy" (Some "greedy")
+    (List.assoc_opt "A:offer" strategy);
+  Alcotest.(check bool) "A expects 9" true (List.assoc "A" payoffs = 9.0)
+
+let test_inconsistent_info_set_rejected () =
+  let bad =
+    Extensive.Decision
+      {
+        player = "A";
+        info_set = "s";
+        moves =
+          [ ( "x",
+              Extensive.Decision
+                { player = "A"; info_set = "s"; moves = [ ("y", Extensive.Terminal []) ] }
+            ) ];
+      }
+  in
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Extensive.info_sets bad); false with Invalid_argument _ -> true)
+
+(* --- Game classes --------------------------------------------------------- *)
+
+let ve_i_src =
+  {|
+  rules:
+    Tweet(tw:"t1");
+    Worker(pid:1);
+    VE1: Input(tw, attr:"weather", value, p)/open[p] <- Tweet(tw), Worker(pid:p);
+    VE2: Output(tw, weather:value) <- Input(tw, attr:"weather", value, p:p1),
+                                      Input(tw, attr:"weather", value, p:p2), p1 != p2;
+  games:
+    game VEI(tw, attr) {
+      path:
+        P: Path(player:p, action:[value]) <- Input(tw, attr, value, p);
+      payoff:
+        Q: Payoff[p1 += 1] <- Path(player:p1, action:[v]);
+    }
+  |}
+
+let logo_src =
+  (* Two phases: designers submit logos; voters then vote on submitted
+     logos (the second open statement depends on the first's output). *)
+  {|
+  rules:
+    Concept(text:"openness");
+    Designer(pid:1);
+    Voter(pid:2);
+    D: Logo(concept, image, p)/open[p] <- Concept(text:concept), Designer(pid:p);
+    V: Vote(image, voter)/open[voter] <- Logo(concept, image, p), Voter(pid:voter);
+  |}
+
+let vre_src =
+  {|
+  schema:
+    Rules(rid key auto, cond, attr, value, p);
+  rules:
+    Workers(p:1);
+    VRE1: Rules(rid, cond, attr, value, p)/open[p] <- Workers(p);
+  |}
+
+let machine_only_src = "rules: R(x:1); S(x) <- R(x);"
+
+let test_classify_ve_i () =
+  Alcotest.(check bool) "VE/I is G_1" true
+    (Classes.classify (Cylog.Parser.parse_exn ve_i_src) = Classes.Bounded 1)
+
+let test_classify_logo () =
+  Alcotest.(check bool) "logo design is G_2" true
+    (Classes.classify (Cylog.Parser.parse_exn logo_src) = Classes.Bounded 2)
+
+let test_classify_vre () =
+  Alcotest.(check bool) "VRE rule entry is G_*" true
+    (Classes.classify (Cylog.Parser.parse_exn vre_src) = Classes.Unbounded)
+
+let test_classify_machine_only () =
+  Alcotest.(check bool) "machine-only program is G_0" true
+    (Classes.classify (Cylog.Parser.parse_exn machine_only_src) = Classes.Bounded 0)
+
+let test_subsumption () =
+  Alcotest.(check bool) "G_* subsumes G_N" true
+    (Classes.subsumes Classes.Unbounded (Classes.Bounded 7));
+  Alcotest.(check bool) "G_N does not subsume G_*" false
+    (Classes.subsumes (Classes.Bounded 7) Classes.Unbounded);
+  Alcotest.(check bool) "G_2 subsumes G_1" true
+    (Classes.subsumes (Classes.Bounded 2) (Classes.Bounded 1));
+  Alcotest.(check bool) "G_1 does not subsume G_2" false
+    (Classes.subsumes (Classes.Bounded 1) (Classes.Bounded 2))
+
+let suite =
+  [ ( "game.matrix",
+      [ Alcotest.test_case "coordination matrix" `Quick test_coordination_matrix;
+        Alcotest.test_case "coordination nash" `Quick test_coordination_nash;
+        Alcotest.test_case "best responses" `Quick test_best_responses;
+        Alcotest.test_case "dominance" `Quick test_dominance;
+        Alcotest.test_case "no pure nash" `Quick test_no_pure_nash;
+        Alcotest.test_case "three players" `Quick test_three_player_game ] );
+    ( "game.extensive",
+      [ Alcotest.test_case "sequential coordination" `Quick test_sequential_coordination;
+        Alcotest.test_case "nash via induced normal form" `Quick
+          test_extensive_nash_matches_matrix;
+        Alcotest.test_case "chance nodes" `Quick test_chance_nodes;
+        Alcotest.test_case "backward induction" `Quick test_backward_induction;
+        Alcotest.test_case "inconsistent info set rejected" `Quick
+          test_inconsistent_info_set_rejected ] );
+    ( "game.classes",
+      [ Alcotest.test_case "VE/I in G_1" `Quick test_classify_ve_i;
+        Alcotest.test_case "logo design in G_2" `Quick test_classify_logo;
+        Alcotest.test_case "VRE in G_*" `Quick test_classify_vre;
+        Alcotest.test_case "machine-only in G_0" `Quick test_classify_machine_only;
+        Alcotest.test_case "subsumption" `Quick test_subsumption ] ) ]

@@ -1,0 +1,114 @@
+(* Tests for statistics-based aggregation (majority voting and the
+   one-coin Dawid-Skene EM model) and its comparison against the paper's
+   first-agreement mechanism. *)
+
+let v item worker value = { Quality.Aggregate.item; worker; value }
+
+let test_majority_basics () =
+  let votes =
+    [ v "i1" "a" "x"; v "i1" "b" "x"; v "i1" "c" "y";
+      v "i2" "a" "y"; v "i2" "b" "z"; v "i2" "c" "z" ]
+  in
+  Alcotest.(check (list (pair string string))) "plurality per item"
+    [ ("i1", "x"); ("i2", "z") ]
+    (Quality.Aggregate.majority votes)
+
+let test_majority_tie_breaks_earliest () =
+  let votes = [ v "i" "a" "x"; v "i" "b" "y" ] in
+  Alcotest.(check (list (pair string string))) "earliest-voted value wins ties"
+    [ ("i", "x") ]
+    (Quality.Aggregate.majority votes)
+
+let test_em_agrees_with_majority_on_clean_data () =
+  (* With uniformly reliable voters, EM and plurality coincide. *)
+  let votes =
+    List.concat_map
+      (fun i ->
+        let item = "i" ^ string_of_int i in
+        [ v item "a" "x"; v item "b" "x"; v item "c" "y" ])
+      [ 1; 2; 3; 4 ]
+  in
+  let em = Quality.Aggregate.em votes in
+  Alcotest.(check bool) "same consensus" true
+    (em.consensus = Quality.Aggregate.majority votes)
+
+let test_em_downweights_bad_worker () =
+  (* Items 1..8: workers a and b always vote the truth, worker c always
+     votes wrong. On item 9 only c and a disagree with b absent... build a
+     case where plurality is 1-1-1 but EM breaks toward the reliable
+     worker. *)
+  let truth_items = List.init 8 (fun i -> "t" ^ string_of_int i) in
+  let clean =
+    List.concat_map
+      (fun item -> [ v item "good1" "x"; v item "good2" "x"; v item "bad" "y" ])
+      truth_items
+  in
+  (* Disputed item: one vote each from a reliable and an unreliable
+     worker. *)
+  let disputed = [ v "d" "good1" "right"; v "d" "bad" "wrong" ] in
+  let em = Quality.Aggregate.em (clean @ disputed) in
+  Alcotest.(check (option string)) "EM sides with the reliable worker"
+    (Some "right")
+    (List.assoc_opt "d" em.consensus);
+  let acc w = List.assoc w em.worker_accuracy in
+  Alcotest.(check bool) "reliability separated" true (acc "good1" > 0.8 && acc "bad" < 0.3);
+  Alcotest.(check bool) "converged" true (em.iterations < 100)
+
+let test_em_posteriors_normalised () =
+  let votes = [ v "i" "a" "x"; v "i" "b" "y"; v "i" "c" "x" ] in
+  let em = Quality.Aggregate.em votes in
+  List.iter
+    (fun (_, post) ->
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 post in
+      Alcotest.(check bool) "sums to 1" true (abs_float (total -. 1.0) < 1e-9);
+      List.iter (fun (_, p) -> Alcotest.(check bool) "in [0,1]" true (p >= 0.0 && p <= 1.0)) post)
+    em.posteriors
+
+let test_accuracy_against () =
+  let truth = function "i1" -> Some "x" | "i2" -> Some "y" | _ -> None in
+  Alcotest.(check bool) "half right" true
+    (Quality.Aggregate.accuracy_against ~truth [ ("i1", "x"); ("i2", "z"); ("i3", "q") ]
+    = 0.5);
+  Alcotest.(check bool) "empty comparable" true
+    (Quality.Aggregate.accuracy_against ~truth [ ("i3", "q") ] = 0.0)
+
+(* --- Integration: the three methods on a TweetPecker run ------------------- *)
+
+let test_comparison_on_mixed_crowd () =
+  (* Three diligent + two sloppy workers: EM should match or beat plain
+     majority, and both statistics-based methods should be in the same
+     league as the paper's agreement mechanism. *)
+  let corpus = Tweets.Generator.generate ~seed:21 60 in
+  let workers =
+    Crowd.Worker.crowd Crowd.Worker.diligent 3
+    @ [ Crowd.Worker.sloppy "s1"; Crowd.Worker.sloppy "s2" ]
+  in
+  let o = Tweetpecker.Runner.run ~corpus ~workers Tweetpecker.Programs.VEI in
+  let c = Tweetpecker.Aggregation.compare_methods o in
+  Alcotest.(check bool) "all methods above chance" true
+    (c.agreement_accuracy > 0.5 && c.majority_accuracy > 0.5 && c.em_accuracy > 0.5);
+  (* With only five votes per item the one-coin model cannot beat plurality
+     by much; it must at least stay in the same league. *)
+  Alcotest.(check bool) "EM in the same league as majority" true
+    (c.em_accuracy >= c.majority_accuracy -. 0.05);
+  (* EM must notice that the sloppy workers are less reliable. *)
+  let est w = List.assoc w c.estimated_worker_accuracy in
+  let avg_diligent = (est "w1" +. est "w2" +. est "w3") /. 3.0 in
+  let avg_sloppy = (est "s1" +. est "s2") /. 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "diligent %.2f > sloppy %.2f" avg_diligent avg_sloppy)
+    true (avg_diligent > avg_sloppy)
+
+let suite =
+  [ ( "quality.aggregate",
+      [ Alcotest.test_case "majority basics" `Quick test_majority_basics;
+        Alcotest.test_case "majority tie break" `Quick test_majority_tie_breaks_earliest;
+        Alcotest.test_case "EM = majority on clean data" `Quick
+          test_em_agrees_with_majority_on_clean_data;
+        Alcotest.test_case "EM downweights bad workers" `Quick
+          test_em_downweights_bad_worker;
+        Alcotest.test_case "EM posteriors normalised" `Quick test_em_posteriors_normalised;
+        Alcotest.test_case "accuracy_against" `Quick test_accuracy_against ] );
+    ( "quality.integration",
+      [ Alcotest.test_case "three methods on a mixed crowd" `Quick
+          test_comparison_on_mixed_crowd ] ) ]

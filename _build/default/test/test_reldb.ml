@@ -1,0 +1,587 @@
+(* Tests for the relational substrate: values, tuples, schemas, relations,
+   database, and relational-algebra operations. *)
+
+open Reldb
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+
+let tup l = Tuple.of_list l
+
+(* --- Value ------------------------------------------------------------ *)
+
+let test_value_equality () =
+  Alcotest.(check bool) "int eq" true (Value.equal (v_int 3) (v_int 3));
+  Alcotest.(check bool) "int/float distinct" false
+    (Value.equal (v_int 1) (Value.Float 1.0));
+  Alcotest.(check bool) "null eq null" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "null neq 0" false (Value.equal Value.Null (v_int 0));
+  Alcotest.(check bool) "list eq" true
+    (Value.equal (Value.List [ v_str "a"; v_int 1 ]) (Value.List [ v_str "a"; v_int 1 ]));
+  Alcotest.(check bool) "list length mismatch" false
+    (Value.equal (Value.List [ v_str "a" ]) (Value.List [ v_str "a"; v_int 1 ]))
+
+let test_value_compare_total () =
+  let vs =
+    [ Value.Null; Value.Bool false; Value.Bool true; v_int (-1); v_int 5;
+      Value.Float 0.5; v_str "a"; v_str "b"; Value.List []; Value.List [ v_int 1 ] ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare c1 0 = compare 0 c2);
+          if Value.equal a b then Alcotest.(check int) "eq implies 0" 0 c1)
+        vs)
+    vs
+
+let test_value_arith () =
+  Alcotest.(check bool) "add ints" true (Value.equal (Value.add (v_int 2) (v_int 3)) (v_int 5));
+  Alcotest.(check bool) "add promotes" true
+    (Value.equal (Value.add (v_int 2) (Value.Float 0.5)) (Value.Float 2.5));
+  Alcotest.(check bool) "string concat" true
+    (Value.equal (Value.add (v_str "a") (v_str "b")) (v_str "ab"));
+  Alcotest.(check bool) "sub" true (Value.equal (Value.sub (v_int 2) (v_int 3)) (v_int (-1)));
+  Alcotest.(check bool) "mul" true (Value.equal (Value.mul (v_int 2) (v_int 3)) (v_int 6));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Value.div (v_int 1) (v_int 0)));
+  Alcotest.(check bool) "add on bool rejected" true
+    (try ignore (Value.add (Value.Bool true) (v_int 1)); false
+     with Invalid_argument _ -> true)
+
+let test_value_display () =
+  Alcotest.(check string) "string quoted" "\"hi\"" (Value.to_string (v_str "hi"));
+  Alcotest.(check string) "display unquoted" "hi" (Value.to_display (v_str "hi"));
+  Alcotest.(check string) "list display" "[rainy, 1]"
+    (Value.to_display (Value.List [ v_str "rainy"; v_int 1 ]));
+  Alcotest.(check string) "null" "null" (Value.to_string Value.Null)
+
+let test_value_truthy () =
+  Alcotest.(check bool) "null falsy" false (Value.truthy Value.Null);
+  Alcotest.(check bool) "zero falsy" false (Value.truthy (v_int 0));
+  Alcotest.(check bool) "empty string falsy" false (Value.truthy (v_str ""));
+  Alcotest.(check bool) "nonzero truthy" true (Value.truthy (v_int 2));
+  Alcotest.(check bool) "empty list truthy" true (Value.truthy (Value.List []))
+
+(* --- Tuple ------------------------------------------------------------ *)
+
+let test_tuple_construction_order_irrelevant () =
+  let a = tup [ ("x", v_int 1); ("y", v_str "a") ] in
+  let b = tup [ ("y", v_str "a"); ("x", v_int 1) ] in
+  Alcotest.(check bool) "order irrelevant" true (Tuple.equal a b);
+  Alcotest.(check int) "same hash" (Tuple.hash a) (Tuple.hash b)
+
+let test_tuple_override () =
+  let t = tup [ ("x", v_int 1); ("x", v_int 2) ] in
+  Alcotest.(check bool) "later wins" true (Value.equal (Tuple.get_or_null t "x") (v_int 2))
+
+let test_tuple_accessors () =
+  let t = tup [ ("x", v_int 1) ] in
+  Alcotest.(check bool) "get some" true (Tuple.get t "x" = Some (v_int 1));
+  Alcotest.(check bool) "get none" true (Tuple.get t "y" = None);
+  Alcotest.(check bool) "get_or_null" true (Value.is_null (Tuple.get_or_null t "y"));
+  Alcotest.(check bool) "mem" true (Tuple.mem t "x" && not (Tuple.mem t "y"));
+  Alcotest.check_raises "get_exn raises" Not_found (fun () ->
+      ignore (Tuple.get_exn t "missing"))
+
+let test_tuple_project_and_matches () =
+  let t = tup [ ("x", v_int 1); ("y", v_str "a"); ("z", v_int 9) ] in
+  let p = Tuple.project t [ "x"; "w" ] in
+  Alcotest.(check int) "projection cardinality" 2 (Tuple.cardinal p);
+  Alcotest.(check bool) "missing becomes null" true (Value.is_null (Tuple.get_or_null p "w"));
+  Alcotest.(check bool) "matches partial" true (Tuple.matches t [ ("x", v_int 1) ]);
+  Alcotest.(check bool) "matches fails on wrong value" false
+    (Tuple.matches t [ ("x", v_int 2) ])
+
+let test_tuple_union () =
+  let a = tup [ ("x", v_int 1); ("y", v_int 2) ] in
+  let b = tup [ ("y", v_int 7); ("z", v_int 3) ] in
+  let u = Tuple.union a b in
+  Alcotest.(check bool) "right wins" true (Value.equal (Tuple.get_or_null u "y") (v_int 7));
+  Alcotest.(check int) "union cardinality" 3 (Tuple.cardinal u)
+
+let test_tuple_schema_conformance () =
+  let s = Schema.make ~name:"R" [ "x"; "y" ] in
+  Alcotest.(check bool) "conforms" true (Tuple.conforms (tup [ ("x", v_int 1) ]) s);
+  Alcotest.(check bool) "extra attr fails" false
+    (Tuple.conforms (tup [ ("w", v_int 1) ]) s);
+  let c = Tuple.complete (tup [ ("x", v_int 1) ]) s in
+  Alcotest.(check int) "completion fills nulls" 2 (Tuple.cardinal c);
+  Alcotest.(check bool) "null filled" true (Value.is_null (Tuple.get_or_null c "y"))
+
+(* --- Schema ----------------------------------------------------------- *)
+
+let test_schema_validation () =
+  Alcotest.(check bool) "dup attrs rejected" true
+    (try ignore (Schema.make ~name:"R" [ "x"; "x" ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try ignore (Schema.make ~name:"R" []); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown key rejected" true
+    (try ignore (Schema.make ~name:"R" ~key:[ "z" ] [ "x" ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown auto rejected" true
+    (try ignore (Schema.make ~name:"R" ~auto_increment:"z" [ "x" ]); false
+     with Invalid_argument _ -> true)
+
+let test_schema_accessors () =
+  let s = Schema.make ~name:"Rules" ~key:[ "rid" ] ~auto_increment:"rid"
+      [ "rid"; "cond"; "attr"; "value"; "p" ] in
+  Alcotest.(check string) "name" "Rules" (Schema.name s);
+  Alcotest.(check int) "arity" 5 (Schema.arity s);
+  Alcotest.(check bool) "key" true (Schema.key s = [ "rid" ]);
+  Alcotest.(check bool) "auto" true (Schema.auto_increment s = Some "rid");
+  Alcotest.(check bool) "has_attribute" true (Schema.has_attribute s "cond");
+  Alcotest.(check bool) "not has_attribute" false (Schema.has_attribute s "zzz")
+
+(* --- Relation --------------------------------------------------------- *)
+
+let mk_rel ?key ?auto name attrs = Relation.create (Schema.make ?key ?auto_increment:auto ~name attrs)
+
+let test_relation_insert_dedupe () =
+  let r = mk_rel "R" [ "x"; "y" ] in
+  (match Relation.insert r (tup [ ("x", v_int 1); ("y", v_int 2) ]) with
+  | Relation.Inserted 0 -> ()
+  | _ -> Alcotest.fail "first insert should land at row 0");
+  (match Relation.insert r (tup [ ("x", v_int 1); ("y", v_int 2) ]) with
+  | Relation.Duplicate_tuple 0 -> ()
+  | _ -> Alcotest.fail "identical tuple should be a duplicate");
+  Alcotest.(check int) "one live tuple" 1 (Relation.cardinal r)
+
+let test_relation_key_first_wins () =
+  (* The paper keys Extracts on (tw, attr, value)... here a simpler key:
+     inserting a second tuple with the same key is a no-op (first rule
+     wins). *)
+  let r = mk_rel ~key:[ "x" ] "R" [ "x"; "y" ] in
+  ignore (Relation.insert r (tup [ ("x", v_int 1); ("y", v_str "first") ]));
+  (match Relation.insert r (tup [ ("x", v_int 1); ("y", v_str "second") ]) with
+  | Relation.Duplicate_key 0 -> ()
+  | _ -> Alcotest.fail "same-key insert should be rejected");
+  match Relation.find_by_key r (tup [ ("x", v_int 1) ]) with
+  | Some (_, t) ->
+      Alcotest.(check string) "first value kept" "first"
+        (Value.string_exn (Tuple.get_exn t "y"))
+  | None -> Alcotest.fail "key lookup failed"
+
+let test_relation_auto_increment () =
+  let r = mk_rel ~key:[ "rid" ] ~auto:"rid" "Rules" [ "rid"; "cond" ] in
+  ignore (Relation.insert r (tup [ ("cond", v_str "rain") ]));
+  ignore (Relation.insert r (tup [ ("cond", v_str "sun") ]));
+  let rids =
+    List.map (fun t -> Value.int_exn (Tuple.get_exn t "rid")) (Relation.tuples r)
+  in
+  Alcotest.(check (list int)) "sequential ids" [ 1; 2 ] rids;
+  (* An explicit id pushes the counter past itself. *)
+  ignore (Relation.insert r (tup [ ("rid", v_int 10); ("cond", v_str "x") ]));
+  ignore (Relation.insert r (tup [ ("cond", v_str "y") ]));
+  let last = List.nth (Relation.tuples r) 3 in
+  Alcotest.(check int) "counter skips past explicit id" 11
+    (Value.int_exn (Tuple.get_exn last "rid"))
+
+let test_relation_update_keeps_row () =
+  let r = mk_rel ~key:[ "x" ] "R" [ "x"; "y" ] in
+  ignore (Relation.insert r (tup [ ("x", v_int 1); ("y", v_int 10) ]));
+  ignore (Relation.insert r (tup [ ("x", v_int 2); ("y", v_int 20) ]));
+  (match Relation.update r (tup [ ("x", v_int 1); ("y", v_int 99) ]) with
+  | Relation.Replaced 0 -> ()
+  | _ -> Alcotest.fail "update should replace row 0");
+  let rows = Relation.rows r in
+  Alcotest.(check int) "row order preserved" 0 (fst (List.hd rows));
+  (match Relation.row r 0 with
+  | Some t -> Alcotest.(check int) "new value" 99 (Value.int_exn (Tuple.get_exn t "y"))
+  | None -> Alcotest.fail "row 0 should be live");
+  match Relation.update r (tup [ ("x", v_int 3); ("y", v_int 30) ]) with
+  | Relation.Upserted 2 -> ()
+  | _ -> Alcotest.fail "update of absent key should upsert"
+
+let test_relation_update_unchanged () =
+  let r = mk_rel ~key:[ "x" ] "R" [ "x"; "y" ] in
+  ignore (Relation.insert r (tup [ ("x", v_int 1); ("y", v_int 10) ]));
+  let g = Relation.generation r in
+  (match Relation.update r (tup [ ("x", v_int 1); ("y", v_int 10) ]) with
+  | Relation.Unchanged 0 -> ()
+  | _ -> Alcotest.fail "identical update should be Unchanged");
+  Alcotest.(check int) "generation untouched" g (Relation.generation r)
+
+let test_relation_delete () =
+  let r = mk_rel "R" [ "x" ] in
+  for i = 1 to 5 do
+    ignore (Relation.insert r (tup [ ("x", v_int i) ]))
+  done;
+  let n = Relation.delete_where r (fun t -> Value.int_exn (Tuple.get_exn t "x") mod 2 = 0) in
+  Alcotest.(check int) "two deleted" 2 n;
+  Alcotest.(check int) "three left" 3 (Relation.cardinal r);
+  (* Surviving rows keep their indices. *)
+  Alcotest.(check (list int)) "surviving row indices" [ 0; 2; 4 ]
+    (List.map fst (Relation.rows r));
+  (* A deleted tuple can be reinserted, landing at a fresh row. *)
+  (match Relation.insert r (tup [ ("x", v_int 2) ]) with
+  | Relation.Inserted 5 -> ()
+  | _ -> Alcotest.fail "reinsert should take a fresh row")
+
+let test_relation_mem_pattern () =
+  let r = mk_rel "R" [ "x"; "y" ] in
+  ignore (Relation.insert r (tup [ ("x", v_int 1); ("y", v_str "a") ]));
+  Alcotest.(check bool) "pattern hit" true (Relation.mem_pattern r [ ("y", v_str "a") ]);
+  Alcotest.(check bool) "pattern miss" false (Relation.mem_pattern r [ ("y", v_str "b") ])
+
+let test_relation_nonconforming_rejected () =
+  let r = mk_rel "R" [ "x" ] in
+  Alcotest.(check bool) "bad attr rejected" true
+    (try ignore (Relation.insert r (tup [ ("zzz", v_int 1) ])); false
+     with Invalid_argument _ -> true)
+
+let test_relation_copy_independent () =
+  let r = mk_rel "R" [ "x" ] in
+  ignore (Relation.insert r (tup [ ("x", v_int 1) ]));
+  let c = Relation.copy r in
+  ignore (Relation.insert c (tup [ ("x", v_int 2) ]));
+  Alcotest.(check int) "original untouched" 1 (Relation.cardinal r);
+  Alcotest.(check int) "copy extended" 2 (Relation.cardinal c)
+
+let test_relation_clear () =
+  let r = mk_rel ~auto:"x" "R" [ "x" ] in
+  ignore (Relation.insert r Tuple.empty);
+  Relation.clear r;
+  Alcotest.(check int) "empty after clear" 0 (Relation.cardinal r);
+  (match Relation.insert r Tuple.empty with
+  | Relation.Inserted 0 -> ()
+  | _ -> Alcotest.fail "row numbering reset");
+  match Relation.row r 0 with
+  | Some t -> Alcotest.(check int) "auto counter reset" 1 (Value.int_exn (Tuple.get_exn t "x"))
+  | None -> Alcotest.fail "row 0 missing"
+
+let test_relation_rows_with_index () =
+  let r = mk_rel ~key:[ "x" ] "R" [ "x"; "y" ] in
+  for i = 1 to 10 do
+    ignore (Relation.insert r (tup [ ("x", v_int i); ("y", v_int (i mod 3)) ]))
+  done;
+  let hits = Relation.rows_with r "y" (v_int 1) in
+  Alcotest.(check (list int)) "index probe finds matching rows" [ 1; 4; 7; 10 ]
+    (List.map (fun (_, t) -> Value.int_exn (Tuple.get_exn t "x")) hits);
+  (* Updates move rows between buckets; stale entries must not surface. *)
+  ignore (Relation.update r (tup [ ("x", v_int 1); ("y", v_int 2) ]));
+  Alcotest.(check int) "old bucket shrinks" 3
+    (List.length (Relation.rows_with r "y" (v_int 1)));
+  Alcotest.(check bool) "new bucket grows" true
+    (List.exists
+       (fun (_, t) -> Value.equal (Tuple.get_exn t "x") (v_int 1))
+       (Relation.rows_with r "y" (v_int 2)));
+  (* Deletions disappear from every bucket. *)
+  ignore (Relation.delete_where r (fun t -> Value.equal (Tuple.get_exn t "y") (v_int 1)));
+  Alcotest.(check int) "deleted rows gone from index" 0
+    (List.length (Relation.rows_with r "y" (v_int 1)))
+
+let test_relation_high_water () =
+  let r = mk_rel "R" [ "x" ] in
+  Alcotest.(check int) "empty watermark" 0 (Relation.high_water r);
+  ignore (Relation.insert r (tup [ ("x", v_int 1) ]));
+  ignore (Relation.insert r (tup [ ("x", v_int 2) ]));
+  ignore (Relation.delete_where r (fun _ -> true));
+  (* The watermark never shrinks: row indices are stable history. *)
+  Alcotest.(check int) "watermark survives deletes" 2 (Relation.high_water r)
+
+let test_relation_row_version () =
+  let r = mk_rel ~key:[ "x" ] "R" [ "x"; "y" ] in
+  ignore (Relation.insert r (tup [ ("x", v_int 1); ("y", v_int 0) ]));
+  Alcotest.(check int) "fresh row version 0" 0 (Relation.row_version r 0);
+  ignore (Relation.update r (tup [ ("x", v_int 1); ("y", v_int 1) ]));
+  ignore (Relation.update r (tup [ ("x", v_int 1); ("y", v_int 2) ]));
+  Alcotest.(check int) "two updates, version 2" 2 (Relation.row_version r 0);
+  ignore (Relation.update r (tup [ ("x", v_int 1); ("y", v_int 2) ]));
+  Alcotest.(check int) "identical update does not bump" 2 (Relation.row_version r 0);
+  Alcotest.(check int) "out of range is 0" 0 (Relation.row_version r 99)
+
+(* --- Database --------------------------------------------------------- *)
+
+let test_database_declare () =
+  let db = Database.create () in
+  let s = Schema.make ~name:"R" [ "x" ] in
+  let r1 = Database.declare db s in
+  let r2 = Database.declare db s in
+  Alcotest.(check bool) "same relation returned" true (r1 == r2);
+  Alcotest.(check bool) "conflicting schema rejected" true
+    (try ignore (Database.declare db (Schema.make ~name:"R" [ "y" ])); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (list string)) "names in declaration order" [ "R" ] (Database.names db)
+
+let test_database_generation () =
+  let db = Database.create () in
+  let r = Database.declare db (Schema.make ~name:"R" [ "x" ]) in
+  let g0 = Database.generation db in
+  ignore (Relation.insert r (tup [ ("x", v_int 1) ]));
+  Alcotest.(check bool) "generation bumps" true (Database.generation db > g0)
+
+let test_database_copy () =
+  let db = Database.create () in
+  let r = Database.declare db (Schema.make ~name:"R" [ "x" ]) in
+  ignore (Relation.insert r (tup [ ("x", v_int 1) ]));
+  let db' = Database.copy db in
+  ignore (Relation.insert (Database.find_exn db' "R") (tup [ ("x", v_int 2) ]));
+  Alcotest.(check int) "original unaffected" 1 (Relation.cardinal r);
+  Alcotest.(check int) "copy independent" 2
+    (Relation.cardinal (Database.find_exn db' "R"))
+
+(* --- Ops ------------------------------------------------------------- *)
+
+let people =
+  [ tup [ ("name", v_str "kate"); ("city", v_str "tsukuba") ];
+    tup [ ("name", v_str "pam"); ("city", v_str "tokyo") ];
+    tup [ ("name", v_str "ann"); ("city", v_str "tsukuba") ] ]
+
+let cities =
+  [ tup [ ("city", v_str "tsukuba"); ("pref", v_str "ibaraki") ];
+    tup [ ("city", v_str "tokyo"); ("pref", v_str "tokyo-to") ] ]
+
+let test_ops_select_project () =
+  let sel = Ops.select_eq "city" (v_str "tsukuba") people in
+  Alcotest.(check int) "selection size" 2 (List.length sel);
+  let proj = Ops.project [ "city" ] people in
+  Alcotest.(check int) "projection dedupes" 2 (List.length proj)
+
+let test_ops_natural_join () =
+  let j = Ops.natural_join people cities in
+  Alcotest.(check int) "join size" 3 (List.length j);
+  let first = List.hd j in
+  Alcotest.(check string) "join merges attributes" "ibaraki"
+    (Value.string_exn (Tuple.get_exn first "pref"));
+  (* Nested-loop order: left outer. *)
+  Alcotest.(check string) "order follows left" "kate"
+    (Value.string_exn (Tuple.get_exn first "name"))
+
+let test_ops_join_no_shared_is_product () =
+  let a = [ tup [ ("x", v_int 1) ]; tup [ ("x", v_int 2) ] ] in
+  let b = [ tup [ ("y", v_int 3) ] ] in
+  Alcotest.(check int) "join with no shared attrs = product" 2
+    (List.length (Ops.natural_join a b));
+  Alcotest.(check int) "product size" 2 (List.length (Ops.product a b));
+  Alcotest.(check bool) "overlapping product rejected" true
+    (try ignore (Ops.product a a); false with Invalid_argument _ -> true)
+
+let test_ops_set_operations () =
+  let a = [ tup [ ("x", v_int 1) ]; tup [ ("x", v_int 2) ] ] in
+  let b = [ tup [ ("x", v_int 2) ]; tup [ ("x", v_int 3) ] ] in
+  Alcotest.(check int) "union" 3 (List.length (Ops.union a b));
+  Alcotest.(check int) "difference" 1 (List.length (Ops.difference a b));
+  Alcotest.(check int) "intersection" 1 (List.length (Ops.intersection a b))
+
+let test_ops_rename () =
+  let r = Ops.rename [ ("city", "town") ] people in
+  Alcotest.(check bool) "renamed" true (Tuple.mem (List.hd r) "town");
+  Alcotest.(check bool) "old gone" false (Tuple.mem (List.hd r) "city");
+  Alcotest.(check bool) "others kept" true (Tuple.mem (List.hd r) "name")
+
+let test_ops_group_aggregate () =
+  let groups = Ops.group_by [ "city" ] people in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  let scores =
+    [ tup [ ("p", v_str "kate"); ("s", v_int 1) ];
+      tup [ ("p", v_str "kate"); ("s", v_int 2) ];
+      tup [ ("p", v_str "ann"); ("s", v_int 5) ] ]
+  in
+  let agg = Ops.aggregate_int ~key:[ "p" ] ~value:"s" ~init:0 ~f:( + ) scores in
+  let kate =
+    List.find (fun (k, _) -> Tuple.matches k [ ("p", v_str "kate") ]) agg
+  in
+  Alcotest.(check int) "kate total" 3 (snd kate)
+
+(* --- Csv --------------------------------------------------------------- *)
+
+let test_csv_parse_print () =
+  let text = "a,b,c\n1,\"x,y\",\"say \"\"hi\"\"\"\nplain,2,\n" in
+  let records = Csv.parse text in
+  Alcotest.(check int) "three records" 3 (List.length records);
+  Alcotest.(check (list string)) "quoted comma and quotes"
+    [ "1"; "x,y"; "say \"hi\"" ] (List.nth records 1);
+  Alcotest.(check (list string)) "trailing empty field" [ "plain"; "2"; "" ]
+    (List.nth records 2);
+  (* print . parse is the identity on records. *)
+  Alcotest.(check bool) "roundtrip" true (Csv.parse (Csv.print records) = records)
+
+let test_csv_multiline_field () =
+  let records = Csv.parse "a\n\"line1\nline2\"\n" in
+  Alcotest.(check (list (list string))) "newline inside quotes"
+    [ [ "a" ]; [ "line1\nline2" ] ] records;
+  Alcotest.check_raises "unterminated" (Csv.Error "unterminated quoted field")
+    (fun () -> ignore (Csv.parse "a\n\"oops\n"))
+
+let test_csv_typing () =
+  Alcotest.(check bool) "int" true (Csv.typed_value "42" = v_int 42);
+  Alcotest.(check bool) "float" true (Csv.typed_value "0.5" = Value.Float 0.5);
+  Alcotest.(check bool) "bool" true (Csv.typed_value "true" = Value.Bool true);
+  Alcotest.(check bool) "null" true (Csv.typed_value "null" = Value.Null);
+  Alcotest.(check bool) "empty is null" true (Csv.typed_value "" = Value.Null);
+  Alcotest.(check bool) "string" true (Csv.typed_value "rainy" = v_str "rainy")
+
+let test_csv_import_export () =
+  let db = Database.create () in
+  let rel = Csv.import db ~name:"Tweets" "tw,text\n1,It rains\n2,\"Snow, maybe\"\n" in
+  Alcotest.(check int) "two tuples" 2 (Relation.cardinal rel);
+  (match Relation.row rel 1 with
+  | Some t ->
+      Alcotest.(check string) "typed text" "Snow, maybe"
+        (Value.string_exn (Tuple.get_exn t "text"));
+      Alcotest.(check bool) "typed id" true (Value.equal (Tuple.get_exn t "tw") (v_int 2))
+  | None -> Alcotest.fail "row 1 missing");
+  (* Export then re-import gives the same tuples. *)
+  let db2 = Database.create () in
+  let rel2 = Csv.import db2 ~name:"Tweets" (Csv.export rel) in
+  Alcotest.(check bool) "roundtrip tuples" true
+    (List.for_all2 Tuple.equal (Relation.tuples rel) (Relation.tuples rel2));
+  (* Ragged rows are rejected. *)
+  Alcotest.(check bool) "ragged rejected" true
+    (try ignore (Csv.import (Database.create ()) ~name:"R" "a,b\n1\n"); false
+     with Csv.Error _ -> true)
+
+(* --- Dynarray --------------------------------------------------------- *)
+
+let test_dynarray_basics () =
+  let a = Dynarray.create () in
+  Alcotest.(check int) "empty" 0 (Dynarray.length a);
+  for i = 0 to 99 do
+    Alcotest.(check int) "push index" i (Dynarray.push a (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (Dynarray.length a);
+  Alcotest.(check int) "get" 84 (Dynarray.get a 42);
+  Dynarray.set a 42 0;
+  Alcotest.(check int) "set" 0 (Dynarray.get a 42);
+  Alcotest.(check bool) "find_index" true (Dynarray.find_index (fun x -> x = 198) a = Some 99);
+  Alcotest.check_raises "oob get" (Invalid_argument "Dynarray: index 100 out of bounds [0,100)")
+    (fun () -> ignore (Dynarray.get a 100))
+
+(* --- Property-based tests --------------------------------------------- *)
+
+let value_gen : Value.t QCheck.arbitrary =
+  let open QCheck in
+  let base =
+    Gen.oneof
+      [ Gen.return Value.Null;
+        Gen.map (fun b -> Value.Bool b) Gen.bool;
+        Gen.map (fun i -> Value.Int i) Gen.small_signed_int;
+        Gen.map (fun s -> Value.String s) Gen.small_string ]
+  in
+  let gen =
+    Gen.oneof [ base; Gen.map (fun l -> Value.List l) (Gen.small_list base) ]
+  in
+  make ~print:Value.to_string gen
+
+let tuple_gen : Tuple.t QCheck.arbitrary =
+  let open QCheck in
+  let attr = Gen.oneofl [ "a"; "b"; "c"; "d" ] in
+  let gen =
+    Gen.map Reldb.Tuple.of_list
+      (Gen.small_list (Gen.pair attr (QCheck.gen value_gen)))
+  in
+  make ~print:Reldb.Tuple.to_string gen
+
+let prop_value_compare_consistent =
+  QCheck.Test.make ~name:"value compare consistent with equal" ~count:500
+    (QCheck.pair value_gen value_gen) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let prop_value_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500
+    (QCheck.pair value_gen value_gen) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_tuple_union_idempotent =
+  QCheck.Test.make ~name:"tuple union is idempotent" ~count:200 tuple_gen
+    (fun t -> Tuple.equal (Tuple.union t t) t)
+
+let prop_relation_insert_idempotent =
+  QCheck.Test.make ~name:"relation insert is idempotent" ~count:200
+    (QCheck.small_list tuple_gen) (fun ts ->
+      let mk () =
+        let r = Relation.create (Schema.make ~name:"R" [ "a"; "b"; "c"; "d" ]) in
+        List.iter (fun t -> ignore (Relation.insert r t)) ts;
+        r
+      in
+      let once = mk () in
+      let twice = mk () in
+      List.iter (fun t -> ignore (Relation.insert twice t)) ts;
+      List.for_all2 Tuple.equal (Relation.tuples once) (Relation.tuples twice))
+
+let prop_ops_union_assoc =
+  QCheck.Test.make ~name:"ops union is associative on sets" ~count:100
+    (QCheck.triple (QCheck.small_list tuple_gen) (QCheck.small_list tuple_gen)
+       (QCheck.small_list tuple_gen)) (fun (a, b, c) ->
+      let l = Ops.union (Ops.union a b) c in
+      let r = Ops.union a (Ops.union b c) in
+      List.sort Tuple.compare l = List.sort Tuple.compare r)
+
+let prop_ops_project_idempotent =
+  QCheck.Test.make ~name:"projection is idempotent" ~count:200
+    (QCheck.small_list tuple_gen) (fun ts ->
+      let p = Ops.project [ "a"; "b" ] ts in
+      Ops.project [ "a"; "b" ] p = p)
+
+let prop_join_commutes_as_set =
+  QCheck.Test.make ~name:"natural join commutes as a set" ~count:100
+    (QCheck.pair (QCheck.small_list tuple_gen) (QCheck.small_list tuple_gen))
+    (fun (a, b) ->
+      let l = Ops.distinct (Ops.natural_join a b) in
+      let r = Ops.distinct (Ops.natural_join b a) in
+      List.sort Tuple.compare l = List.sort Tuple.compare r)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_value_compare_consistent; prop_value_hash_consistent;
+      prop_tuple_union_idempotent; prop_relation_insert_idempotent;
+      prop_ops_union_assoc; prop_ops_project_idempotent;
+      prop_join_commutes_as_set ]
+
+let suite =
+  [ ( "reldb.value",
+      [ Alcotest.test_case "equality" `Quick test_value_equality;
+        Alcotest.test_case "compare total order" `Quick test_value_compare_total;
+        Alcotest.test_case "arithmetic" `Quick test_value_arith;
+        Alcotest.test_case "display" `Quick test_value_display;
+        Alcotest.test_case "truthiness" `Quick test_value_truthy ] );
+    ( "reldb.tuple",
+      [ Alcotest.test_case "construction order irrelevant" `Quick
+          test_tuple_construction_order_irrelevant;
+        Alcotest.test_case "later binding overrides" `Quick test_tuple_override;
+        Alcotest.test_case "accessors" `Quick test_tuple_accessors;
+        Alcotest.test_case "project and matches" `Quick test_tuple_project_and_matches;
+        Alcotest.test_case "union" `Quick test_tuple_union;
+        Alcotest.test_case "schema conformance" `Quick test_tuple_schema_conformance ] );
+    ( "reldb.schema",
+      [ Alcotest.test_case "validation" `Quick test_schema_validation;
+        Alcotest.test_case "accessors" `Quick test_schema_accessors ] );
+    ( "reldb.relation",
+      [ Alcotest.test_case "insert dedupes" `Quick test_relation_insert_dedupe;
+        Alcotest.test_case "key: first insert wins" `Quick test_relation_key_first_wins;
+        Alcotest.test_case "auto increment" `Quick test_relation_auto_increment;
+        Alcotest.test_case "update keeps row index" `Quick test_relation_update_keeps_row;
+        Alcotest.test_case "identical update unchanged" `Quick test_relation_update_unchanged;
+        Alcotest.test_case "delete preserves survivors" `Quick test_relation_delete;
+        Alcotest.test_case "mem_pattern" `Quick test_relation_mem_pattern;
+        Alcotest.test_case "nonconforming tuple rejected" `Quick
+          test_relation_nonconforming_rejected;
+        Alcotest.test_case "copy independence" `Quick test_relation_copy_independent;
+        Alcotest.test_case "clear resets" `Quick test_relation_clear;
+        Alcotest.test_case "secondary index (rows_with)" `Quick
+          test_relation_rows_with_index;
+        Alcotest.test_case "high-water mark" `Quick test_relation_high_water;
+        Alcotest.test_case "row versions" `Quick test_relation_row_version ] );
+    ( "reldb.database",
+      [ Alcotest.test_case "declare" `Quick test_database_declare;
+        Alcotest.test_case "generation" `Quick test_database_generation;
+        Alcotest.test_case "copy" `Quick test_database_copy ] );
+    ( "reldb.ops",
+      [ Alcotest.test_case "select/project" `Quick test_ops_select_project;
+        Alcotest.test_case "natural join" `Quick test_ops_natural_join;
+        Alcotest.test_case "join without shared attrs" `Quick
+          test_ops_join_no_shared_is_product;
+        Alcotest.test_case "set operations" `Quick test_ops_set_operations;
+        Alcotest.test_case "rename" `Quick test_ops_rename;
+        Alcotest.test_case "group/aggregate" `Quick test_ops_group_aggregate ] );
+    ( "reldb.csv",
+      [ Alcotest.test_case "parse/print" `Quick test_csv_parse_print;
+        Alcotest.test_case "multiline fields" `Quick test_csv_multiline_field;
+        Alcotest.test_case "field typing" `Quick test_csv_typing;
+        Alcotest.test_case "import/export" `Quick test_csv_import_export ] );
+    ("reldb.dynarray", [ Alcotest.test_case "basics" `Quick test_dynarray_basics ]);
+    ("reldb.properties", qcheck_tests) ]

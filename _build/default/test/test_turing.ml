@@ -1,0 +1,112 @@
+(* Tests for the Turing machine substrate and its CyLog encoding
+   (Figure 16, Theorems 3 and 4). *)
+
+let test_validate () =
+  List.iter
+    (fun m ->
+      match Turing.Machine.validate m with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ Turing.Machine.successor; Turing.Machine.binary_increment; Turing.Machine.parity ];
+  let bad =
+    {
+      Turing.Machine.name = "bad";
+      initial = "s";
+      halting = [ "s" ];
+      rules = [];
+    }
+  in
+  Alcotest.(check bool) "halting initial rejected" true
+    (Turing.Machine.validate bad <> Ok ())
+
+let test_successor_direct () =
+  match Turing.Machine.run Turing.Machine.successor ~input:[ "1"; "1"; "1" ] with
+  | Ok (final, steps) ->
+      Alcotest.(check string) "three 1s become four" "1111"
+        (Turing.Machine.tape_string final);
+      Alcotest.(check string) "halts in done" "done" final.state;
+      Alcotest.(check bool) "took steps" true (steps > 0)
+  | Error _ -> Alcotest.fail "should halt"
+
+let test_binary_increment_direct () =
+  let incr input =
+    match Turing.Machine.run Turing.Machine.binary_increment ~input with
+    | Ok (final, _) -> Turing.Machine.tape_string final
+    | Error _ -> Alcotest.fail "should halt"
+  in
+  Alcotest.(check string) "0 -> 1" "1" (incr [ "0" ]);
+  Alcotest.(check string) "1 -> 10" "10" (incr [ "1" ]);
+  Alcotest.(check string) "101 -> 110" "110" (incr [ "1"; "0"; "1" ]);
+  Alcotest.(check string) "111 -> 1000" "1000" (incr [ "1"; "1"; "1" ])
+
+let test_parity_direct () =
+  let parity input =
+    match Turing.Machine.run Turing.Machine.parity ~input with
+    | Ok (final, _) -> Turing.Machine.tape_string final
+    | Error _ -> Alcotest.fail "should halt"
+  in
+  Alcotest.(check string) "even" "11E" (parity [ "1"; "1" ]);
+  Alcotest.(check string) "two ones stay even" "101E" (parity [ "1"; "0"; "1" ]);
+  Alcotest.(check string) "odd" "111O" (parity [ "1"; "1"; "1" ]);
+  Alcotest.(check string) "empty input" "E" (parity [])
+
+let test_cylog_encoding_agrees () =
+  (* Theorem 4: the CyLog rules of Figure 16 compute the same function. *)
+  List.iter
+    (fun (m, input) ->
+      Alcotest.(check bool)
+        (m.Turing.Machine.name ^ " agrees with the CyLog encoding")
+        true
+        (Turing.Cylog_tm.agrees_with_direct m ~input))
+    [ (Turing.Machine.successor, [ "1"; "1" ]);
+      (Turing.Machine.successor, []);
+      (Turing.Machine.binary_increment, [ "1"; "1" ]);
+      (Turing.Machine.binary_increment, [ "1"; "0"; "0" ]);
+      (Turing.Machine.parity, [ "1"; "1"; "1" ]);
+      (Turing.Machine.parity, [ "0" ]) ]
+
+let test_cylog_tape_extension () =
+  (* The Fill rule extends the tape at unvisited positions: successor on an
+     empty tape must still halt with one 1. *)
+  let r = Turing.Cylog_tm.run Turing.Machine.successor ~input:[] in
+  Alcotest.(check string) "halts" "done" r.state;
+  Alcotest.(check bool) "wrote a 1" true (r.tape = [ (0, "1") ])
+
+let test_interactive_dictation () =
+  (* Theorem 3's shape: the machine interacts with a human at every step,
+     for an unbounded number of steps. *)
+  let tape = Turing.Cylog_tm.Interactive.run ~answers:[ "a"; "b"; "c" ] in
+  Alcotest.(check string) "dictated tape" "abc" tape;
+  let tape2 = Turing.Cylog_tm.Interactive.run ~answers:(List.init 12 (fun i -> string_of_int (i mod 10))) in
+  Alcotest.(check string) "longer dictation" "012345678901" tape2
+
+let test_interactive_halts () =
+  let engine = Turing.Cylog_tm.Interactive.load () in
+  ignore (Cylog.Engine.run engine);
+  Alcotest.(check int) "asking" 1 (List.length (Cylog.Engine.pending engine));
+  (match Turing.Cylog_tm.Interactive.dictate engine "." with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "no further questions after halt" 0
+    (List.length (Cylog.Engine.pending engine))
+
+let test_interactive_program_is_g_star () =
+  (* The interactive machine's program classifies as G_*: the Ask rule
+     depends on the machine state its own answers advance. *)
+  let program = Cylog.Parser.parse_exn Turing.Cylog_tm.Interactive.source in
+  Alcotest.(check bool) "G_*" true
+    (Game.Classes.classify program = Game.Classes.Unbounded)
+
+let suite =
+  [ ( "turing.direct",
+      [ Alcotest.test_case "validation" `Quick test_validate;
+        Alcotest.test_case "successor" `Quick test_successor_direct;
+        Alcotest.test_case "binary increment" `Quick test_binary_increment_direct;
+        Alcotest.test_case "parity" `Quick test_parity_direct ] );
+    ( "turing.cylog",
+      [ Alcotest.test_case "encoding agrees (Theorem 4)" `Quick test_cylog_encoding_agrees;
+        Alcotest.test_case "tape extension" `Quick test_cylog_tape_extension;
+        Alcotest.test_case "interactive dictation" `Quick test_interactive_dictation;
+        Alcotest.test_case "interactive halts" `Quick test_interactive_halts;
+        Alcotest.test_case "interactive program in G_*" `Quick
+          test_interactive_program_is_g_star ] ) ]

@@ -1,0 +1,145 @@
+(* Tests for the synthetic #tenki corpus and extraction-rule metrics. *)
+
+let corpus = Tweets.Generator.corpus ()
+
+let test_corpus_size_and_determinism () =
+  Alcotest.(check int) "463 tweets" Tweets.Generator.default_count (List.length corpus);
+  let again = Tweets.Generator.corpus () in
+  Alcotest.(check bool) "same seed, same corpus" true (corpus = again);
+  let other = Tweets.Generator.generate ~seed:99 100 in
+  Alcotest.(check bool) "different seed differs" true
+    (List.map (fun (t : Tweets.Generator.tweet) -> t.text) other
+    <> List.map (fun (t : Tweets.Generator.tweet) -> t.text)
+         (Tweets.Generator.generate 100))
+
+let test_corpus_composition () =
+  let ambiguous = List.filter Tweets.Generator.is_ambiguous corpus in
+  let placeless =
+    List.filter (fun (t : Tweets.Generator.tweet) -> t.gt_place = None) corpus
+  in
+  let n = float_of_int (List.length corpus) in
+  let frac xs = float_of_int (List.length xs) /. n in
+  Alcotest.(check bool) "ambiguous near 25%" true
+    (abs_float (frac ambiguous -. 0.25) < 0.07);
+  Alcotest.(check bool) "placeless near 15%" true
+    (abs_float (frac placeless -. 0.15) < 0.07);
+  (* Every clear tweet's text contains a keyword of its condition. *)
+  List.iter
+    (fun (t : Tweets.Generator.tweet) ->
+      match t.gt_weather with
+      | None -> ()
+      | Some v ->
+          let c = Option.get (Tweets.Vocabulary.condition_by_value v) in
+          let rule kw = { Tweets.Extraction.cond = kw; attr = "weather"; value = v } in
+          Alcotest.(check bool)
+            (Printf.sprintf "tweet %d mentions a %s keyword" t.id v)
+            true
+            (List.exists (fun kw -> Tweets.Extraction.applies (rule kw) t.text) c.keywords))
+    corpus
+
+let test_corpus_ids_unique () =
+  let ids = List.map (fun (t : Tweets.Generator.tweet) -> t.id) corpus in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_vocabulary_wellformed () =
+  List.iter
+    (fun (c : Tweets.Vocabulary.condition) ->
+      Alcotest.(check bool) (c.value ^ " has keywords") true (c.keywords <> []);
+      Alcotest.(check bool) (c.value ^ " has confusions") true (c.confusions <> []);
+      (* Confusions must never equal the canonical value. *)
+      Alcotest.(check bool) (c.value ^ " confusions differ") false
+        (List.mem c.value c.confusions))
+    Tweets.Vocabulary.conditions;
+  Alcotest.(check int) "seven conditions" 7 (List.length Tweets.Vocabulary.conditions);
+  Alcotest.(check bool) "cities nonempty" true (Tweets.Vocabulary.cities <> [])
+
+let test_rule_application () =
+  let r = { Tweets.Extraction.cond = "rain"; attr = "weather"; value = "rainy" } in
+  Alcotest.(check bool) "matches" true (Tweets.Extraction.applies r "Heavy rain in Osaka");
+  Alcotest.(check bool) "case-insensitive" true (Tweets.Extraction.applies r "RAIN ahead");
+  Alcotest.(check bool) "no match" false (Tweets.Extraction.applies r "sunshine");
+  let malformed = { Tweets.Extraction.cond = "("; attr = "weather"; value = "x" } in
+  Alcotest.(check bool) "malformed never applies" false
+    (Tweets.Extraction.applies malformed "(anything)")
+
+let test_support () =
+  let r = { Tweets.Extraction.cond = "rain"; attr = "weather"; value = "rainy" } in
+  let sup = Tweets.Extraction.support r corpus in
+  Alcotest.(check bool) "support positive" true (sup > 0.0);
+  Alcotest.(check bool) "support below 1" true (sup < 0.5);
+  Alcotest.(check bool) "empty corpus" true (Tweets.Extraction.support r [] = 0.0);
+  (* Head keywords have clearly larger support than tail keywords. *)
+  let rainy = Option.get (Tweets.Vocabulary.condition_by_value "rainy") in
+  match rainy.keywords with
+  | head :: _ :: _ ->
+      let tail = List.nth rainy.keywords (List.length rainy.keywords - 1) in
+      let s kw =
+        Tweets.Extraction.support
+          { Tweets.Extraction.cond = kw; attr = "weather"; value = "rainy" }
+          corpus
+      in
+      Alcotest.(check bool) "head keyword more supported" true (s head > s tail)
+  | _ -> Alcotest.fail "expected several keywords"
+
+let test_confidence () =
+  let r = { Tweets.Extraction.cond = "rain"; attr = "weather"; value = "rainy" } in
+  (* An oracle agreement function: the ground truth itself. *)
+  let perfect ~tweet_id ~attr =
+    match List.find_opt (fun (t : Tweets.Generator.tweet) -> t.id = tweet_id) corpus with
+    | Some t when attr = "weather" -> t.gt_weather
+    | Some t when attr = "place" -> t.gt_place
+    | _ -> None
+  in
+  let conf = Tweets.Extraction.confidence r corpus ~agreed:perfect in
+  Alcotest.(check bool) "below 1 (misleading ambiguous mentions)" true (conf < 1.0);
+  Alcotest.(check bool) "still high" true (conf > 0.5);
+  (* A wrong-mapping rule has zero confidence under the oracle. *)
+  let wrong = { Tweets.Extraction.cond = "rain"; attr = "weather"; value = "sunny" } in
+  Alcotest.(check bool) "wrong mapping zero" true
+    (Tweets.Extraction.confidence wrong corpus ~agreed:perfect = 0.0);
+  (* A rule that matches nothing has zero confidence by convention. *)
+  let nohit = { Tweets.Extraction.cond = "zzzzz"; attr = "weather"; value = "rainy" } in
+  Alcotest.(check bool) "no extraction, zero" true
+    (Tweets.Extraction.confidence nohit corpus ~agreed:perfect = 0.0)
+
+let test_rule_pools () =
+  let good = Tweets.Extraction.good_rules () in
+  let bad = Tweets.Extraction.bad_rules () in
+  Alcotest.(check bool) "good pool covers weather and place" true
+    (List.exists (fun (r : Tweets.Extraction.rule) -> r.attr = "weather") good
+    && List.exists (fun (r : Tweets.Extraction.rule) -> r.attr = "place") good);
+  (* Good rules map keywords to their own canonical value. *)
+  List.iter
+    (fun (r : Tweets.Extraction.rule) ->
+      if r.attr = "weather" then
+        match Tweets.Vocabulary.condition_by_value r.value with
+        | Some c -> Alcotest.(check bool) "keyword belongs" true (List.mem r.cond c.keywords)
+        | None -> Alcotest.fail ("good rule with unknown value " ^ r.value))
+    good;
+  Alcotest.(check bool) "bad pool nonempty" true (bad <> []);
+  (* Under the oracle, good weather rules beat bad ones on confidence. *)
+  let perfect ~tweet_id ~attr =
+    match List.find_opt (fun (t : Tweets.Generator.tweet) -> t.id = tweet_id) corpus with
+    | Some t when attr = "weather" -> t.gt_weather
+    | Some t when attr = "place" -> t.gt_place
+    | _ -> None
+  in
+  let avg rs =
+    let confs = List.map (fun r -> Tweets.Extraction.confidence r corpus ~agreed:perfect) rs in
+    List.fold_left ( +. ) 0.0 confs /. float_of_int (List.length confs)
+  in
+  Alcotest.(check bool) "good > bad on confidence" true (avg good > avg bad)
+
+let suite =
+  [ ( "tweets.generator",
+      [ Alcotest.test_case "size and determinism" `Quick test_corpus_size_and_determinism;
+        Alcotest.test_case "composition" `Quick test_corpus_composition;
+        Alcotest.test_case "unique ids" `Quick test_corpus_ids_unique ] );
+    ( "tweets.vocabulary",
+      [ Alcotest.test_case "well-formed" `Quick test_vocabulary_wellformed ] );
+    ( "tweets.extraction",
+      [ Alcotest.test_case "rule application" `Quick test_rule_application;
+        Alcotest.test_case "support" `Quick test_support;
+        Alcotest.test_case "confidence" `Quick test_confidence;
+        Alcotest.test_case "rule pools" `Quick test_rule_pools ] ) ]
