@@ -56,6 +56,15 @@ type stmt_info = {
   body_rels : string list;
   payoff_dedup : bool;  (* unordered-support memo (game payoff rules) *)
   mutable exhausted_gen : int;  (* -1: never fully enumerated *)
+  (* Compiled join plans, cached against the body relations' summed
+     generation (statistics move with the data, so a plan is only valid
+     while its relations are unchanged). Rescan uses one plan; a delta
+     scan pins each atom in turn to a single row, so it keeps one plan per
+     pinned position. *)
+  mutable rescan_plan : Planner.t option;
+  mutable rescan_plan_gen : int;
+  mutable delta_plans : Planner.t array;
+  mutable delta_plans_gen : int;
   delta : delta_state option;
       (* Seminaive evaluation for statements whose body relations are
          insert-only (no /update or /delete targets them anywhere in the
@@ -71,6 +80,7 @@ type t = {
   db : Reldb.Database.t;
   builtins : Builtin.registry;
   use_delta : bool;
+  use_planner : bool;
   mutable infos : stmt_info array;
   updatable : (string, unit) Hashtbl.t;
   fired : (string, unit) Hashtbl.t;
@@ -223,13 +233,17 @@ let make_info ~use_delta ~updatable ((s : Ast.statement), origin) =
     payoff_dedup =
       (match origin with Game_payoff _ -> true | Main | Game_path _ -> false);
     exhausted_gen = -1;
+    rescan_plan = None;
+    rescan_plan_gen = -1;
+    delta_plans = [||];
+    delta_plans_gen = -1;
     delta =
       (if delta_ok then
          Some { frontiers = Array.make (List.length pos_preds) 0; queue = [] }
        else None);
   }
 
-let load ?builtins ?(use_delta = true) (program : Ast.program) =
+let load ?builtins ?(use_delta = true) ?(use_planner = true) (program : Ast.program) =
   let builtins = match builtins with Some b -> b | None -> Builtin.default () in
   let path_rels = Hashtbl.create 4 in
   List.iter
@@ -251,6 +265,7 @@ let load ?builtins ?(use_delta = true) (program : Ast.program) =
     db;
     builtins;
     use_delta;
+    use_planner;
     infos;
     updatable;
     fired = Hashtbl.create 1024;
@@ -353,6 +368,39 @@ let body_generation t info =
       | Some r -> acc + Reldb.Relation.generation r
       | None -> acc)
     0 info.body_rels
+
+(* --- Join plans -------------------------------------------------------------- *)
+
+(* The cached rescan plan for [info], recompiled when any body relation
+   changed since it was computed. Returns [None] when planning is off or
+   the plan is the left-to-right order anyway (enumeration can then keep
+   its early-stop discipline). *)
+let rescan_plan t info ~gen =
+  if not t.use_planner then None
+  else begin
+    (match info.rescan_plan with
+    | Some _ when info.rescan_plan_gen = gen -> ()
+    | _ ->
+        info.rescan_plan <- Some (Planner.plan t.db info.prefix);
+        info.rescan_plan_gen <- gen);
+    match info.rescan_plan with
+    | Some p when not p.Planner.identity -> Some p
+    | Some _ | None -> None
+  end
+
+(* Per-pinned-atom plans for a delta scan: scanning new rows of atom [i]
+   evaluates the body with atom [i] pinned to one row, so each position
+   gets its own plan with that atom costed at a single row. *)
+let delta_plans t info ~n_atoms ~gen =
+  if not t.use_planner then None
+  else begin
+    if info.delta_plans_gen <> gen || Array.length info.delta_plans <> n_atoms then begin
+      info.delta_plans <-
+        Array.init n_atoms (fun i -> Planner.plan ~exact_atom:i t.db info.prefix);
+      info.delta_plans_gen <- gen
+    end;
+    Some info.delta_plans
+  end
 
 (* --- Head application -------------------------------------------------------- *)
 
@@ -578,15 +626,23 @@ let delta_scan t idx (info : stmt_info) (ds : delta_state) =
          info.pos_preds)
   in
   let discovered = ref [] in
+  let plans = delta_plans t info ~n_atoms ~gen:(body_generation t info) in
   (try
      for i = 0 to n_atoms - 1 do
+       let reordered =
+         match plans with
+         | Some a when not a.(i).Planner.identity ->
+             Some (a.(i).Planner.literals, a.(i).Planner.order)
+         | Some _ | None -> None
+       in
        for r = ds.frontiers.(i) to highs.(i) - 1 do
          let plan j =
            if j < i then Eval.Below ds.frontiers.(j)
            else if j = i then Eval.Exactly r
            else Eval.All
          in
-         Eval.enumerate ~plan t.builtins t.db info.prefix ~init:Binding.empty
+         Eval.enumerate ~plan ?reordered t.builtins t.db info.prefix
+           ~init:Binding.empty
            ~f:(fun m ->
              discovered := m :: !discovered;
              `Continue)
@@ -637,14 +693,40 @@ let step t =
           else begin
             let found = ref None in
             (try
-               Eval.enumerate t.builtins t.db info.prefix ~init:Binding.empty
-                 ~f:(fun m ->
-                   let fp = fingerprint i info m.support in
-                   if Hashtbl.mem t.fired fp then `Continue
-                   else begin
-                     found := Some (m, fp);
-                     `Stop
-                   end)
+               match rescan_plan t info ~gen with
+               | Some p ->
+                   (* Planned enumeration produces valuations out of
+                      conflict-resolution order, so scan them all and keep
+                      the unfired instance valued by the earliest rows —
+                      exactly the instance left-to-right evaluation stops
+                      at first. *)
+                   let best_key = ref None in
+                   Eval.enumerate
+                     ~reordered:(p.Planner.literals, p.Planner.order)
+                     t.builtins t.db info.prefix ~init:Binding.empty
+                     ~f:(fun m ->
+                       let fp = fingerprint i info m.support in
+                       if Hashtbl.mem t.fired fp then `Continue
+                       else begin
+                         let key =
+                           List.map (fun (_, row, ver) -> (row, ver)) m.support
+                         in
+                         (match !best_key with
+                         | Some k0 when compare k0 key <= 0 -> ()
+                         | _ ->
+                             best_key := Some key;
+                             found := Some (m, fp));
+                         `Continue
+                       end)
+               | None ->
+                   Eval.enumerate t.builtins t.db info.prefix ~init:Binding.empty
+                     ~f:(fun m ->
+                       let fp = fingerprint i info m.support in
+                       if Hashtbl.mem t.fired fp then `Continue
+                       else begin
+                         found := Some (m, fp);
+                         `Stop
+                       end)
              with Eval.Error msg ->
                runtime_error "statement %s: %s"
                  (Option.value info.stmt.Ast.label ~default:(string_of_int i))

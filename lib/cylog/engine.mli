@@ -64,7 +64,8 @@ type event = {
 
 exception Runtime_error of string
 
-val load : ?builtins:Builtin.registry -> ?use_delta:bool -> Ast.program -> t
+val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
+  ?use_planner:bool -> Ast.program -> t
 (** Build an engine: declare schemas (inferring schemas of undeclared
     relations from usage), desugar game aspects into path/payoff statements,
     and declare the [Payoff] relation and per-game path tables.
@@ -74,6 +75,14 @@ val load : ?builtins:Builtin.registry -> ?use_delta:bool -> Ast.program -> t
     re-enumerates its whole join per step (the reference strategy —
     asymptotically slower but useful for differential testing and
     ablation).
+
+    [use_planner] (default [true]) enables cost-based reordering of each
+    statement body via {!Planner.plan}, with plans cached per statement
+    and recomputed when the body's relations change. Planning never
+    changes semantics — valuations are replayed over the original body
+    order and the conflict-resolution winner is selected explicitly (see
+    {!Eval.enumerate}) — so [false] exists purely as the reference
+    strategy for differential testing and ablation.
     @raise Runtime_error on inconsistent declarations. *)
 
 val database : t -> Reldb.Database.t

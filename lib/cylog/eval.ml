@@ -147,6 +147,15 @@ type matched = { env : Binding.t; support : (string * int * int) list }
 
 type row_range = All | Below of int | Exactly of int
 
+(* Instrumentation: candidate rows handed to match_atom across all
+   enumerations since the last reset. The joins benchmark (and its smoke
+   test guarding planner regressions) reads this to compare evaluation
+   strategies deterministically, independent of wall-clock noise. *)
+let rows_scanned_counter = ref 0
+
+let rows_scanned () = !rows_scanned_counter
+let reset_rows_scanned () = rows_scanned_counter := 0
+
 let candidate_rows builtins db env (atom : Ast.atom) range =
   match Reldb.Database.find db atom.pred with
   | None -> []
@@ -155,46 +164,116 @@ let candidate_rows builtins db env (atom : Ast.atom) range =
       | Exactly i -> (
           match Reldb.Relation.row rel i with Some t -> [ (i, t) ] | None -> [])
       | All | Below _ -> (
-          (* Probe a secondary index when some argument is already
-             determined; fall back to a full scan otherwise. *)
+          (* Probe the compound-key index over every argument already
+             determined; fall back to a full scan when none is. *)
           let rows =
             match atom_pattern builtins env atom with
-            | (attr, v) :: _ -> Reldb.Relation.rows_with rel attr v
             | [] -> Reldb.Relation.rows rel
+            | pat -> Reldb.Relation.rows_with_pattern rel pat
           in
           match range with
           | Below k -> List.filter (fun (i, _) -> i < k) rows
           | All | Exactly _ -> rows))
 
-let enumerate ?(plan = fun _ -> All) builtins db body ~init ~f =
-  let stop = ref false in
+(* Re-evaluate the original body over one known-good choice of supporting
+   tuples (one per positive atom, indexed by position in the original
+   body). This is how planned enumeration reports valuations: whatever
+   order the atoms were actually joined in, the reported environment and
+   support are exactly what left-to-right evaluation would have produced —
+   alias bindings, attribute-variable bindings and comparison-binders
+   included — so events, fingerprints and tie-break keys are independent
+   of the plan. *)
+let replay builtins db body ~init tuples =
   let rec go pos_idx env support = function
-    | [] ->
-        if not !stop then
-          if f { env; support = List.rev support } = `Stop then stop := true
-    | Ast.Pos atom :: rest ->
-        let rel = Reldb.Database.find db atom.pred in
-        let version i =
-          match rel with Some r -> Reldb.Relation.row_version r i | None -> 0
-        in
-        let rec try_rows = function
-          | [] -> ()
-          | (i, tuple) :: more ->
-              if not !stop then begin
-                (match match_atom env atom tuple ~builtins with
-                | Some env' ->
-                    go (pos_idx + 1) env' ((atom.pred, i, version i) :: support) rest
-                | None -> ());
-                try_rows more
-              end
-        in
-        try_rows (candidate_rows builtins db env atom (plan pos_idx))
+    | [] -> Some { env; support = List.rev support }
+    | Ast.Pos atom :: rest -> (
+        let i, tuple = tuples.(pos_idx) in
+        match match_atom env atom tuple ~builtins with
+        | Some env' ->
+            let version =
+              match Reldb.Database.find db atom.pred with
+              | Some r -> Reldb.Relation.row_version r i
+              | None -> 0
+            in
+            go (pos_idx + 1) env' ((atom.pred, i, version) :: support) rest
+        | None -> None)
     | lit :: rest -> (
         match check_filter builtins db env lit with
         | `Pass env' -> go pos_idx env' support rest
-        | `Fail -> ())
+        | `Fail -> None)
   in
   go 0 init [] body
+
+let enumerate ?(plan = fun _ -> All) ?reordered builtins db body ~init ~f =
+  let stop = ref false in
+  match reordered with
+  | None ->
+      (* Left-to-right evaluation in body order: valuations are produced in
+         lexicographic order of the row indices chosen per positive atom. *)
+      let rec go pos_idx env support = function
+        | [] ->
+            if not !stop then
+              if f { env; support = List.rev support } = `Stop then stop := true
+        | Ast.Pos atom :: rest ->
+            let rel = Reldb.Database.find db atom.pred in
+            let version i =
+              match rel with Some r -> Reldb.Relation.row_version r i | None -> 0
+            in
+            let rec try_rows = function
+              | [] -> ()
+              | (i, tuple) :: more ->
+                  if not !stop then begin
+                    incr rows_scanned_counter;
+                    (match match_atom env atom tuple ~builtins with
+                    | Some env' ->
+                        go (pos_idx + 1) env' ((atom.pred, i, version i) :: support) rest
+                    | None -> ());
+                    try_rows more
+                  end
+            in
+            try_rows (candidate_rows builtins db env atom (plan pos_idx))
+        | lit :: rest -> (
+            match check_filter builtins db env lit with
+            | `Pass env' -> go pos_idx env' support rest
+            | `Fail -> ())
+      in
+      go 0 init [] body
+  | Some (literals, order) ->
+      (* Planned evaluation: [literals] is the planner's reordering of
+         [body]; the positive atom at evaluation position [k] sits at
+         position [order.(k)] of the original body. [plan] ranges are
+         keyed by original positions, so the engine's seminaive delta
+         machinery is oblivious to the reordering. Each full match is
+         replayed over the original [body] before reaching [f]. *)
+      let tuples = Array.make (Array.length order) (0, Reldb.Tuple.empty) in
+      let rec go pos_idx env = function
+        | [] ->
+            if not !stop then begin
+              match replay builtins db body ~init tuples with
+              | Some m -> if f m = `Stop then stop := true
+              | None -> ()  (* unreachable: the planned match succeeded *)
+            end
+        | Ast.Pos atom :: rest ->
+            let rec try_rows = function
+              | [] -> ()
+              | (i, tuple) :: more ->
+                  if not !stop then begin
+                    incr rows_scanned_counter;
+                    (match match_atom env atom tuple ~builtins with
+                    | Some env' ->
+                        tuples.(order.(pos_idx)) <- (i, tuple);
+                        go (pos_idx + 1) env' rest
+                    | None -> ());
+                    try_rows more
+                  end
+            in
+            try_rows (candidate_rows builtins db env atom (plan order.(pos_idx)))
+        | lit :: rest -> (
+            match check_filter builtins db env lit with
+            | `Pass env' -> go pos_idx env' rest
+            | `Fail -> ())
+      in
+      go 0 init literals
 
 let split_tail body =
   let last_pos =

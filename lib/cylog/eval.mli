@@ -46,13 +46,33 @@ type row_range =
   | Exactly of int  (** one specific row *)
 
 val enumerate : ?plan:(int -> row_range) ->
+  ?reordered:Ast.literal list * int array ->
   Builtin.registry -> Reldb.Database.t -> Ast.literal list ->
   init:Binding.t -> f:(matched -> [ `Stop | `Continue ]) -> unit
-(** Enumerate the valuations of a body over the database in
-    conflict-resolution order, calling [f] on each. Relations absent from
-    the database are treated as empty. [plan] restricts the rows each
-    positive atom (numbered left to right from 0) may use; default
-    unrestricted. *)
+(** Enumerate the valuations of a body over the database, calling [f] on
+    each. Relations absent from the database are treated as empty. [plan]
+    restricts the rows each positive atom (numbered left to right from 0
+    {e in the original body}) may use; default unrestricted.
+
+    Without [reordered], atoms are joined left to right and valuations are
+    produced in conflict-resolution order (lexicographic in the row indices
+    chosen per positive atom). With [reordered:(literals, order)] — a
+    {!Planner.t}'s reordering of the body, [order] mapping evaluation
+    position to original positive-atom position — atoms are joined in the
+    planned order instead, but each full match is {e replayed} over the
+    original body, so [f] observes exactly the environments and supports
+    left-to-right evaluation would have produced. Only the order in which
+    [f] receives valuations may differ; callers needing the
+    conflict-resolution winner must select the minimal support key
+    themselves. *)
+
+val rows_scanned : unit -> int
+(** Process-wide count of candidate rows handed to the atom matcher since
+    the last {!reset_rows_scanned} — the deterministic work measure used by
+    the joins benchmark and its regression smoke test. *)
+
+val reset_rows_scanned : unit -> unit
+(** Reset the {!rows_scanned} counter. *)
 
 val split_tail : Ast.literal list -> Ast.literal list * Ast.literal list
 (** Split a body into the prefix ending at the last positive atom and the

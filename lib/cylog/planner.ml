@@ -1,0 +1,172 @@
+(* Cost-based join planning for rule bodies.
+
+   The planner rewrites the positive-atom order of a body prefix so that
+   selective atoms are joined first, and slides each filter literal as
+   early as its bindings allow. The cost model is classic textbook
+   selectivity estimation over the relation layer's statistics:
+
+     est(atom | bound vars) =
+       cardinal(rel) / distinct_count(rel, statically-evaluable attrs)
+
+   i.e. the expected number of rows a compound-index probe on the
+   already-determined arguments returns; an atom with no evaluable
+   argument is a full scan costed at its cardinality. Atoms are chosen
+   greedily: smallest estimate first (bound-variables-first), relation
+   cardinality as tie-break, original position as the final deterministic
+   tie-break.
+
+   Correctness requires only a *sound under-approximation* of the
+   bindings available at each point: a variable is counted as bound only
+   when left-to-right matching of the already-placed literals is
+   guaranteed to bind it, so no literal is ever moved before a binder it
+   needs. Filters keep their relative order (an [=] binder may feed a
+   later filter) and are additionally allowed to run once every atom that
+   originally preceded them has been placed — the fallback that keeps any
+   program that was valid under left-to-right evaluation valid under the
+   plan. The plan does not change which valuations exist or what they
+   bind: {!Eval.enumerate} replays every planned match over the original
+   body, so firing order, environments and events are byte-identical to
+   naive evaluation. *)
+
+module S = Set.Make (String)
+
+type t = {
+  literals : Ast.literal list;
+  order : int array;
+  identity : bool;
+}
+
+(* Variables appearing in [Var] leaves under [List] constructors: the
+   positions a successful list destructuring is guaranteed to bind. *)
+let rec destructure_vars = function
+  | Ast.Var v -> [ v ]
+  | Ast.List es -> List.concat_map destructure_vars es
+  | Ast.Const _ | Ast.Binop _ -> []
+
+(* Bindings guaranteed after matching [atom] with [bound] available,
+   mirroring Eval.match_atom: a bare attribute binds the attribute
+   variable; [a:v] with [v] unbound is an alias binding [v] only; any
+   other tested argument also makes the attribute variable available. *)
+let atom_binds bound (atom : Ast.atom) =
+  List.fold_left
+    (fun acc (arg : Ast.arg) ->
+      match arg.bind with
+      | Ast.Auto -> S.add arg.attr acc
+      | Ast.Bound (Ast.Var v) ->
+          if S.mem v acc then S.add arg.attr acc else S.add v acc
+      | Ast.Bound (Ast.List _ as e) ->
+          List.fold_left
+            (fun acc v -> S.add v acc)
+            (S.add arg.attr acc) (destructure_vars e)
+      | Ast.Bound _ -> S.add arg.attr acc)
+    bound atom.args
+
+(* Attributes whose argument is evaluable given [bound] — the compound-key
+   pattern Eval.atom_pattern will probe at run time (a subset of it, when
+   the runtime environment holds bindings this static view cannot see). *)
+let pattern_attrs bound (atom : Ast.atom) =
+  List.filter_map
+    (fun (arg : Ast.arg) ->
+      match arg.bind with
+      | Ast.Auto -> if S.mem arg.attr bound then Some arg.attr else None
+      | Ast.Bound e ->
+          if List.for_all (fun v -> S.mem v bound) (Ast.expr_vars e) then
+            Some arg.attr
+          else None)
+    atom.args
+
+(* Variables a filter literal needs bound before it can run, mirroring
+   Eval.check_filter: a negation evaluates all its arguments; an [Eq]
+   comparison with an unbound plain-variable side is a binder needing only
+   the other side. *)
+let filter_needs bound = function
+  | Ast.Neg atom ->
+      List.concat_map
+        (fun (arg : Ast.arg) ->
+          match arg.bind with
+          | Ast.Auto -> [ arg.attr ]
+          | Ast.Bound e -> Ast.expr_vars e)
+        atom.args
+  | Ast.Call (_, args) -> List.concat_map Ast.expr_vars args
+  | Ast.Cmp (l, op, r) -> (
+      match (op, l, r) with
+      | Ast.Eq, Ast.Var v, e when not (S.mem v bound) -> Ast.expr_vars e
+      | Ast.Eq, e, Ast.Var v when not (S.mem v bound) -> Ast.expr_vars e
+      | _ -> Ast.expr_vars l @ Ast.expr_vars r)
+  | Ast.Pos _ -> []
+
+let filter_binds bound = function
+  | Ast.Cmp (Ast.Var v, Ast.Eq, _) when not (S.mem v bound) -> S.add v bound
+  | Ast.Cmp (_, Ast.Eq, Ast.Var v) when not (S.mem v bound) -> S.add v bound
+  | Ast.Neg _ | Ast.Call _ | Ast.Cmp _ | Ast.Pos _ -> bound
+
+let estimate ?exact_atom db bound (ordinal, (atom : Ast.atom)) =
+  if exact_atom = Some ordinal then (1, 0)
+  else
+    match Reldb.Database.find db atom.pred with
+    | None -> (0, 0)
+    | Some rel ->
+        let card = Reldb.Relation.cardinal rel in
+        let est =
+          match pattern_attrs bound atom with
+          | [] -> card
+          | pat -> max 1 (card / max 1 (Reldb.Relation.distinct_count rel pat))
+        in
+        (est, card)
+
+let plan ?exact_atom db prefix =
+  let items = List.mapi (fun i lit -> (i, lit)) prefix in
+  let atoms =
+    List.filter_map
+      (function i, Ast.Pos a -> Some (i, a) | _ -> None)
+      items
+    |> List.mapi (fun ordinal (i, a) -> (ordinal, i, a))
+  in
+  let filters =
+    List.filter (function _, Ast.Pos _ -> false | _ -> true) items
+  in
+  let emitted = ref [] (* reverse planned literal order *)
+  and order = ref [] (* reverse positive-atom order, original ordinals *)
+  and bound = ref S.empty
+  and remaining = ref atoms
+  and queue = ref filters in
+  let atoms_before lit_idx =
+    List.exists (fun (_, i, _) -> i < lit_idx) !remaining
+  in
+  let flush_filters () =
+    let rec loop () =
+      match !queue with
+      | (lit_idx, lit) :: rest
+        when List.for_all (fun v -> S.mem v !bound) (filter_needs !bound lit)
+             || not (atoms_before lit_idx) ->
+          emitted := lit :: !emitted;
+          bound := filter_binds !bound lit;
+          queue := rest;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  flush_filters ();
+  while !remaining <> [] do
+    let best =
+      List.fold_left
+        (fun acc ((ordinal, _, atom) as cand) ->
+          let key = (estimate ?exact_atom db !bound (ordinal, atom), ordinal) in
+          match acc with
+          | Some (best_key, _) when best_key <= key -> acc
+          | _ -> Some (key, cand))
+        None !remaining
+    in
+    match best with
+    | None -> ()
+    | Some (_, ((ordinal, _, atom) as chosen)) ->
+        remaining := List.filter (fun c -> c != chosen) !remaining;
+        emitted := Ast.Pos atom :: !emitted;
+        order := ordinal :: !order;
+        bound := atom_binds !bound atom;
+        flush_filters ()
+  done;
+  List.iter (fun (_, lit) -> emitted := lit :: !emitted) !queue;
+  let literals = List.rev !emitted in
+  { literals; order = Array.of_list (List.rev !order); identity = literals = prefix }

@@ -1,0 +1,34 @@
+(** Cost-based join planning for rule-body prefixes.
+
+    A plan reorders the positive atoms of a body prefix so the most
+    selective atoms (fewest estimated rows given the bindings already
+    available) are joined first, and slides each filter literal as early
+    as its bindings allow. Selectivity is estimated from the relation
+    layer's statistics as [cardinal / distinct_count] over the atom's
+    statically-evaluable argument attributes — the expected size of the
+    compound-index probe {!Eval.candidate_rows} will perform — with
+    relation cardinality and original position as deterministic
+    tie-breaks.
+
+    Plans are purely an evaluation-order device: fed to
+    {!Eval.enumerate}'s [reordered] argument they change neither the set
+    of valuations nor what each valuation binds (every planned match is
+    replayed over the original body), and the [order] array lets the
+    engine's seminaive delta ranges keep addressing atoms by their
+    original positions. *)
+
+type t = {
+  literals : Ast.literal list;  (** the reordered prefix *)
+  order : int array;
+      (** evaluation position -> original positive-atom position *)
+  identity : bool;  (** the plan is the original left-to-right order *)
+}
+
+val plan : ?exact_atom:int -> Reldb.Database.t -> Ast.literal list -> t
+(** [plan db prefix] computes a greedy bound-selectivity ordering of
+    [prefix] against the current statistics of [db]. [exact_atom] marks
+    the positive atom (by original position) that a seminaive delta scan
+    will pin to a single row ({!Eval.Exactly}); it is costed as one row,
+    which typically moves it to the front of the plan. Plans are only
+    valid for the statistics they were computed against — cache them
+    keyed on the body relations' generations. *)

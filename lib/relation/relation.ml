@@ -4,11 +4,14 @@ type row_slot = {
   mutable version : int;
 }
 
-(* A lazily-built secondary index over one attribute. Buckets may contain
-   stale row indices (deleted rows, rows whose value changed via update);
+(* A lazily-built secondary hash index over a *set* of attributes (the
+   compound-key generalisation of a single-attribute index). The bucket key
+   is the projection of a tuple onto [key_attrs]; buckets may contain stale
+   row indices (deleted rows, rows whose values changed via update), so
    reads re-validate against the live tuple. *)
-type attr_index = {
-  buckets : (Value.t, int list ref) Hashtbl.t;  (* value -> row indices, descending *)
+type multi_index = {
+  key_attrs : string list;  (* sorted, duplicate-free *)
+  buckets : (Tuple.t, int list ref) Hashtbl.t;  (* projection -> row indices, descending *)
   mutable synced_upto : int;  (* rows below this index have been bucketed *)
 }
 
@@ -20,7 +23,8 @@ type t = {
   (* Index from key projection to row index, live rows only; present iff the
      schema declares a key. *)
   by_key : (Tuple.t, int) Hashtbl.t option;
-  by_attr : (string, attr_index) Hashtbl.t;
+  (* Secondary indexes, keyed by the sorted attribute set they cover. *)
+  by_attrs : (string list, multi_index) Hashtbl.t;
   mutable next_auto : int;
   mutable generation : int;
 }
@@ -38,7 +42,7 @@ let create schema =
     slots = Dynarray.create ();
     by_tuple = Hashtbl.create 64;
     by_key = (match Schema.key schema with [] -> None | _ -> Some (Hashtbl.create 64));
-    by_attr = Hashtbl.create 4;
+    by_attrs = Hashtbl.create 4;
     next_auto = 1;
     generation = 0;
   }
@@ -111,16 +115,16 @@ let update r t =
         slot.version <- slot.version + 1;
         Hashtbl.replace r.by_tuple t i;
         Option.iter (fun idx -> Hashtbl.replace idx (key_proj r t) i) r.by_key;
-        (* Register the row under its new attribute values in every built
+        (* Register the row under its new projection in every built
            secondary index (stale old-value entries are filtered on read). *)
         Hashtbl.iter
-          (fun attr idx ->
+          (fun _ idx ->
             if i < idx.synced_upto then
-              let v = Tuple.get_or_null t attr in
-              match Hashtbl.find_opt idx.buckets v with
+              let key = Tuple.project t idx.key_attrs in
+              match Hashtbl.find_opt idx.buckets key with
               | Some bucket -> if not (List.mem i !bucket) then bucket := i :: !bucket
-              | None -> Hashtbl.replace idx.buckets v (ref [ i ]))
-          r.by_attr;
+              | None -> Hashtbl.replace idx.buckets key (ref [ i ]))
+          r.by_attrs;
         r.generation <- r.generation + 1;
         Replaced i
       end
@@ -178,39 +182,56 @@ let fold f acc r =
 
 let rows r = List.rev (fold (fun acc i t -> (i, t) :: acc) [] r)
 
-let rows_with r attr v =
+(* Find-or-create the index over [attrs] (sorted, duplicate-free) and
+   bucket the rows appended since the last probe. *)
+let index_on r attrs =
   let idx =
-    match Hashtbl.find_opt r.by_attr attr with
+    match Hashtbl.find_opt r.by_attrs attrs with
     | Some idx -> idx
     | None ->
-        let idx = { buckets = Hashtbl.create 64; synced_upto = 0 } in
-        Hashtbl.replace r.by_attr attr idx;
+        let idx = { key_attrs = attrs; buckets = Hashtbl.create 64; synced_upto = 0 } in
+        Hashtbl.replace r.by_attrs attrs idx;
         idx
   in
-  (* Bucket rows appended since the last probe. *)
   for i = idx.synced_upto to Dynarray.length r.slots - 1 do
     let slot = Dynarray.get r.slots i in
-    let value = Tuple.get_or_null slot.tuple attr in
-    match Hashtbl.find_opt idx.buckets value with
+    let key = Tuple.project slot.tuple idx.key_attrs in
+    match Hashtbl.find_opt idx.buckets key with
     | Some bucket -> bucket := i :: !bucket
-    | None -> Hashtbl.replace idx.buckets value (ref [ i ])
+    | None -> Hashtbl.replace idx.buckets key (ref [ i ])
   done;
   idx.synced_upto <- Dynarray.length r.slots;
-  match Hashtbl.find_opt idx.buckets v with
-  | None -> []
-  | Some bucket ->
-      List.filter_map
-        (fun i ->
-          let slot = Dynarray.get r.slots i in
-          if slot.live && Value.equal (Tuple.get_or_null slot.tuple attr) v then
-            Some (i, slot.tuple)
-          else None)
-        (List.sort_uniq compare !bucket)
+  idx
+
+let rows_with_pattern r pat =
+  match pat with
+  | [] -> rows r
+  | _ -> (
+      let attrs = List.sort_uniq String.compare (List.map fst pat) in
+      let idx = index_on r attrs in
+      let key = Tuple.project (Tuple.of_list pat) attrs in
+      match Hashtbl.find_opt idx.buckets key with
+      | None -> []
+      | Some bucket ->
+          List.filter_map
+            (fun i ->
+              let slot = Dynarray.get r.slots i in
+              if slot.live && Tuple.matches slot.tuple pat then Some (i, slot.tuple)
+              else None)
+            (List.sort_uniq compare !bucket))
+
+let rows_with r attr v = rows_with_pattern r [ (attr, v) ]
+
+let distinct_count r attrs =
+  match attrs with
+  | [] -> if is_empty r then 0 else 1
+  | _ ->
+      let attrs = List.sort_uniq String.compare attrs in
+      Hashtbl.length (index_on r attrs).buckets
 
 let mem_pattern r pat =
   match pat with
-  | (attr, v) :: _ ->
-      List.exists (fun (_, t) -> Tuple.matches t pat) (rows_with r attr v)
+  | _ :: _ -> rows_with_pattern r pat <> []
   | [] ->
       let rec loop i =
         if i >= Dynarray.length r.slots then false
@@ -226,7 +247,7 @@ let clear r =
   Dynarray.clear r.slots;
   Hashtbl.reset r.by_tuple;
   Option.iter Hashtbl.reset r.by_key;
-  Hashtbl.reset r.by_attr;
+  Hashtbl.reset r.by_attrs;
   r.next_auto <- 1;
   r.generation <- r.generation + 1
 

@@ -85,6 +85,21 @@ val rows_with : t -> string -> Value.t -> (int * Tuple.t) list
     row order. Backed by a lazily-built secondary index on [a], so repeated
     probes cost O(result) rather than O(relation). *)
 
+val rows_with_pattern : t -> (string * Value.t) list -> (int * Tuple.t) list
+(** [rows_with_pattern r pat] is the live rows matching every [(attr, v)]
+    constraint of [pat], in row order. Backed by a lazily-built
+    compound-key hash index over [pat]'s attribute set, so repeated probes
+    with the same attribute set cost O(result) rather than O(relation).
+    [pat = []] is every live row. *)
+
+val distinct_count : t -> string list -> int
+(** [distinct_count r attrs] estimates the number of distinct projections
+    of the relation onto [attrs] — the denominator of the planner's
+    selectivity estimate [cardinal / distinct_count]. Backed by the same
+    compound index as {!rows_with_pattern}; the count may slightly
+    overestimate after deletes or updates (stale buckets are not evicted),
+    which is acceptable for cost estimation. [attrs = []] is 0 or 1. *)
+
 val tuples : t -> Tuple.t list
 (** Live tuples in row order. *)
 

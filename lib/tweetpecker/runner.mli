@@ -26,9 +26,13 @@ val default_workers : Programs.variant -> Crowd.Worker.profile list
 
 val run :
   ?seed:int -> ?corpus:Tweets.Generator.tweet list ->
-  ?workers:Crowd.Worker.profile list -> Programs.variant -> outcome
+  ?workers:Crowd.Worker.profile list -> ?use_planner:bool ->
+  Programs.variant -> outcome
 (** Run a variant to termination (all (tweet, attribute) pairs agreed) on
-    the standard corpus (463 tweets) with the default crowd. *)
+    the standard corpus (463 tweets) with the default crowd. [use_planner]
+    is passed through to {!Cylog.Engine.load} — setting it to [false]
+    selects the reference left-to-right join order, for differential
+    testing of the planner. *)
 
 val completion : outcome -> float
 (** Fraction of (tweet, attribute) pairs with an agreed value — 1.0 on a

@@ -6,7 +6,18 @@
    - the engine with naive rescan (reference strategy),
    - the batch T_{P,S} consequence operator of the formal semantics.
 
-   This pins down the trickiest optimisation in the codebase. *)
+   The cost-based join planner is held to a stronger standard than fixpoint
+   agreement: with planning on or off the engine must produce the *same
+   event trace* — same statements fired in the same order with the same
+   valuations and effects — because planning is specified as a pure
+   evaluation-order device (Eval.enumerate replays planned matches over
+   the original body and the engine picks the conflict-resolution winner
+   explicitly). The trace properties below check this on random programs,
+   on all four TweetPecker variants end-to-end, and on the Figure 16
+   Turing construction (whose /update rules exercise the planned-rescan
+   path rather than the delta path).
+
+   This pins down the two trickiest optimisations in the codebase. *)
 
 open Cylog
 
@@ -118,6 +129,21 @@ let run_engine ~use_delta program =
   let engine = Engine.load ~use_delta program in
   ignore (Engine.run engine ~max_steps:20_000);
   db_facts (Engine.database engine)
+
+(* The full observable behaviour of a run: every event with its clock,
+   statement, valuation, rejection status and effects. Two engines with
+   equal traces went through identical computations as far as any client
+   can tell. *)
+let engine_trace engine =
+  List.map
+    (fun (e : Engine.event) ->
+      (e.clock, e.statement, e.label, e.valuation, e.fired, e.effects))
+    (Engine.events engine)
+
+let run_trace ~use_delta ~use_planner program =
+  let engine = Engine.load ~use_delta ~use_planner program in
+  ignore (Engine.run engine ~max_steps:20_000);
+  engine_trace engine
 
 let run_semantics program =
   match Semantics.behaviour ~bound:200 program (fun _ -> []) with
@@ -241,8 +267,8 @@ let with_open_rule (program : Ast.program) =
   in
   { program with Ast.statements = program.statements @ [ ask; echo ] }
 
-let drive_with_canonical_human ~use_delta program =
-  let engine = Engine.load ~use_delta program in
+let drive_with_canonical_human ~use_delta ?use_planner program =
+  let engine = Engine.load ~use_delta ?use_planner program in
   ignore (Engine.run engine ~max_steps:20_000);
   let rec answer rounds =
     if rounds > 500 then ()
@@ -277,6 +303,67 @@ let prop_delta_equals_rescan_with_humans =
       let program = with_open_rule program in
       drive_with_canonical_human ~use_delta:true program
       = drive_with_canonical_human ~use_delta:false program)
+
+(* --- Planner differential ------------------------------------------------- *)
+
+let prop_planner_preserves_trace =
+  QCheck.Test.make ~name:"planned evaluation replays the naive trace" ~count:200
+    gen_program (fun program ->
+      run_trace ~use_delta:true ~use_planner:true program
+      = run_trace ~use_delta:true ~use_planner:false program
+      && run_trace ~use_delta:false ~use_planner:true program
+         = run_trace ~use_delta:false ~use_planner:false program)
+
+let prop_planner_preserves_trace_with_humans =
+  QCheck.Test.make ~name:"planner on = off with a canonical human in the loop"
+    ~count:100 gen_program (fun program ->
+      let program = with_open_rule program in
+      drive_with_canonical_human ~use_delta:true ~use_planner:true program
+      = drive_with_canonical_human ~use_delta:true ~use_planner:false program)
+
+(* End-to-end: the four TweetPecker variants on a small corpus. The
+   simulator is deterministic given the seed and only observes the engine
+   through its public API, so planner on/off must yield the same
+   agreement history, rules, extractions and payoffs. *)
+let tweetpecker_run variant ~use_planner =
+  let corpus = Tweets.Generator.generate ~seed:5 12 in
+  let o = Tweetpecker.Runner.run ~seed:11 ~corpus ~use_planner variant in
+  ( o.agreed_events,
+    List.sort compare o.agreed,
+    List.sort compare o.rules_entered,
+    List.sort compare o.extracts,
+    List.sort compare o.payoffs )
+
+let test_tweetpecker_planner_differential () =
+  List.iter
+    (fun variant ->
+      Alcotest.(check bool)
+        (Tweetpecker.Programs.variant_name variant ^ ": planner on = off")
+        true
+        (tweetpecker_run variant ~use_planner:true
+        = tweetpecker_run variant ~use_planner:false))
+    Tweetpecker.Programs.[ VE; VEI; VRE; VREI ]
+
+(* The Figure 16 Turing construction updates TuringMachine and Tape in
+   place, so its statements evaluate through the rescan strategy: this is
+   the differential test for the planned-rescan minimal-support-key
+   selection. *)
+let turing_trace m ~input ~use_planner =
+  let engine = Turing.Cylog_tm.load ~use_planner m ~input in
+  ignore (Engine.run engine ~max_steps:20_000);
+  engine_trace engine
+
+let test_turing_planner_differential () =
+  List.iter
+    (fun ((m : Turing.Machine.t), input) ->
+      Alcotest.(check bool)
+        (m.name ^ ": planner on = off")
+        true
+        (turing_trace m ~input ~use_planner:true
+        = turing_trace m ~input ~use_planner:false))
+    [ (Turing.Machine.successor, [ "1"; "1" ]);
+      (Turing.Machine.binary_increment, [ "1"; "0"; "1"; "1" ]);
+      (Turing.Machine.parity, [ "1"; "1"; "1" ]) ]
 
 (* Views carve-out robustness: random raw template bodies (any characters,
    balanced braces) survive the pre-lexing split and do not disturb the
@@ -318,5 +405,10 @@ let suite =
         [ prop_delta_equals_rescan; prop_delta_equals_rescan_with_humans;
           prop_engine_equals_batch_semantics;
           prop_engine_deterministic; prop_fixpoint_is_stable; prop_monotone_growth;
+          prop_planner_preserves_trace; prop_planner_preserves_trace_with_humans;
           prop_parse_print_roundtrip; prop_printed_program_runs_identically;
-          prop_views_split_preserves_rules ] ) ]
+          prop_views_split_preserves_rules ]
+      @ [ Alcotest.test_case "tweetpecker variants: planner on = off" `Slow
+            test_tweetpecker_planner_differential;
+          Alcotest.test_case "figure 16 turing: planner on = off" `Quick
+            test_turing_planner_differential ] ) ]
