@@ -605,11 +605,11 @@ let joins_run ~scale ~use_planner =
   Cylog.Eval.reset_rows_scanned ();
   let j_steps, j_seconds =
     time (fun () ->
-        let steps = ref (Cylog.Engine.run engine) in
+        let steps = ref (fst (Cylog.Engine.run engine)) in
         for i = 0 to n - 1 do
           ins "Edge1" [ ("x", i); ("y", i) ];
           ins "Edge2" [ ("y", i); ("z", i) ];
-          steps := !steps + Cylog.Engine.run engine
+          steps := !steps + fst (Cylog.Engine.run engine)
         done;
         !steps)
   in

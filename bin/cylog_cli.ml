@@ -63,15 +63,23 @@ let answer_interactively engine (o : Cylog.Engine.open_tuple) =
     in
     match Cylog.Engine.supply engine o.id ~worker values with
     | Ok _ -> ()
-    | Error e -> Printf.printf "  rejected: %s\n%!" e
+    | Error e -> Printf.printf "  rejected: %s\n%!" (Cylog.Engine.reject_to_string e)
   end
 
-let run_cmd interactive max_steps path =
-  let program = or_die (parse_file path) in
-  let engine = Cylog.Engine.load program in
+let save_checkpoint engine = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      Cylog.Engine.snapshot engine oc;
+      close_out oc;
+      Format.printf "checkpoint written to %s@." path
+
+let drive_engine interactive max_steps checkpoint engine =
   let rec loop () =
-    let steps = Cylog.Engine.run engine ~max_steps in
-    if steps >= max_steps then Format.printf "stopped after %d machine steps@." steps;
+    let steps, signal = Cylog.Engine.run engine ~max_steps in
+    (match signal with
+    | `Capped -> Format.printf "stopped after %d machine steps (budget hit)@." steps
+    | `Quiescent -> ());
     match Cylog.Engine.pending engine with
     | [] -> ()
     | pending when interactive ->
@@ -87,8 +95,18 @@ let run_cmd interactive max_steps path =
           pending
   in
   loop ();
+  save_checkpoint engine checkpoint;
   Format.printf "@.database at fixpoint:@.%a@." Reldb.Database.pp
     (Cylog.Engine.database engine);
+  (match Cylog.Engine.dead_letters engine with
+  | [] -> ()
+  | dead ->
+      Format.printf "@.dead-lettered tasks:@.";
+      List.iter
+        (fun ((o : Cylog.Engine.open_tuple), reason) ->
+          Format.printf "  #%d %s%a — %a@." o.id o.relation Reldb.Tuple.pp o.bound
+            Cylog.Lease.pp_reason reason)
+        dead);
   match Cylog.Engine.payoffs engine with
   | [] -> ()
   | payoffs ->
@@ -97,6 +115,26 @@ let run_cmd interactive max_steps path =
         (fun (p, s) ->
           Format.printf "  %s: %s@." (Reldb.Value.to_display p) (Reldb.Value.to_display s))
         payoffs
+
+let run_cmd interactive max_steps checkpoint path =
+  let program = or_die (parse_file path) in
+  let engine = Cylog.Engine.load program in
+  drive_engine interactive max_steps checkpoint engine
+
+let resume_cmd interactive max_steps checkpoint path =
+  let engine =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try Cylog.Engine.restore ic
+        with Cylog.Engine.Runtime_error m ->
+          prerr_endline (path ^ ": " ^ m);
+          exit 1)
+  in
+  Format.printf "restored %s (clock %d, %d events)@." path (Cylog.Engine.clock engine)
+    (List.length (Cylog.Engine.events engine));
+  drive_engine interactive max_steps checkpoint engine
 
 let check_cmd path =
   let program = or_die (parse_file path) in
@@ -132,6 +170,8 @@ let repl_help () =
     \  :answer ID a=v ...   valuate an open tuple (string values)\n\
     \  :yes ID / :no ID     answer an existence question\n\
     \  :trace               show the firing log\n\
+    \  :dead                show dead-lettered tasks\n\
+    \  :snapshot FILE       checkpoint the session to FILE\n\
     \  :help                this message\n\
     \  :quit                leave\n"
 
@@ -191,6 +231,24 @@ let repl_cmd file =
               (if e.fired then "" else " (rejected)"))
           (Cylog.Engine.events engine);
         `Continue
+    | [ ":dead" ] ->
+        (match Cylog.Engine.dead_letters engine with
+        | [] -> print_endline "no dead-lettered tasks"
+        | dead ->
+            List.iter
+              (fun ((o : Cylog.Engine.open_tuple), reason) ->
+                Format.printf "  #%d %s%a — %a@." o.id o.relation Reldb.Tuple.pp
+                  o.bound Cylog.Lease.pp_reason reason)
+              dead);
+        `Continue
+    | [ ":snapshot"; path ] ->
+        (try
+           let oc = open_out_bin path in
+           Cylog.Engine.snapshot engine oc;
+           close_out oc;
+           Format.printf "checkpoint written to %s@." path
+         with Sys_error m -> print_endline m);
+        `Continue
     | ":answer" :: id :: rest -> (
         match int_of_string_opt id with
         | Some id -> (
@@ -199,7 +257,7 @@ let repl_cmd file =
                 let worker = Option.value o.asked ~default:(Reldb.Value.String "console") in
                 match Cylog.Engine.supply engine id ~worker (parse_assignments rest) with
                 | Ok _ -> run_machine (); `Continue
-                | Error e -> print_endline e; `Continue)
+                | Error e -> print_endline (Cylog.Engine.reject_to_string e); `Continue)
             | None -> print_endline "no such open tuple"; `Continue)
         | None -> print_endline "usage: :answer ID attr=value ..."; `Continue)
     | [ (":yes" | ":no") as verdict; id ] -> (
@@ -208,7 +266,7 @@ let repl_cmd file =
             let worker = Option.value o.asked ~default:(Reldb.Value.String "console") in
             match Cylog.Engine.answer_existence engine id ~worker (verdict = ":yes") with
             | Ok _ -> run_machine (); `Continue
-            | Error e -> print_endline e; `Continue)
+            | Error e -> print_endline (Cylog.Engine.reject_to_string e); `Continue)
         | _ -> print_endline "no such open tuple"; `Continue)
     | _ -> print_endline "unknown command (:help)"; `Continue
   in
@@ -249,9 +307,25 @@ let interactive_flag =
 let max_steps_arg =
   Arg.(value & opt int 1_000_000 & info [ "max-steps" ] ~doc:"Machine step budget.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Write a snapshot to $(docv) when the run finishes; resume it later \
+              with the $(b,resume) subcommand.")
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Execute a CyLog program")
-      Term.(const run_cmd $ interactive_flag $ max_steps_arg $ file_arg);
+      Term.(const run_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg $ file_arg);
+    Cmd.v
+      (Cmd.info "resume" ~doc:"Resume a run from a snapshot written by --checkpoint")
+      Term.(
+        const resume_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg
+        $ Arg.(
+            required
+            & pos 0 (some file) None
+            & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file"));
     Cmd.v (Cmd.info "check" ~doc:"Parse a CyLog program")
       Term.(const check_cmd $ file_arg);
     Cmd.v (Cmd.info "graph" ~doc:"Print the rule precedence graph")

@@ -35,6 +35,44 @@ let seed_arg =
 
 let corpus n = if n = Tweets.Generator.default_count then Tweets.Generator.corpus () else Tweets.Generator.generate n
 
+let faults_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) Crowd.Faults.profiles with
+    | Some fs -> Ok fs
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault profile %S (%s)" s
+               (String.concat "|" (List.map fst Crowd.Faults.profiles))))
+  in
+  let print ppf fs =
+    Format.pp_print_string ppf
+      (String.concat "+" (List.map Crowd.Faults.fault_to_string fs))
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"PROFILE"
+        ~doc:"Inject a named fault profile into every worker (drop, delay, garble, \
+              duplicate, crash, all).")
+
+let lease_flag =
+  Arg.(
+    value & flag
+    & info [ "lease" ]
+        ~doc:"Turn on the lease runtime (default TTL/backoff/budgets): tasks time \
+              out, get reassigned and eventually dead-letter.")
+
+let quorum_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quorum" ] ~docv:"K"
+        ~doc:"Resolve undesignated tasks by majority over $(docv) redundant answers.")
+
 let print_outcome o =
   let q = Tweetpecker.Metrics.row_a o in
   Format.printf "variant            %s@." (Tweetpecker.Programs.variant_name o.Tweetpecker.Runner.variant);
@@ -51,10 +89,32 @@ let print_outcome o =
   Format.printf "rules entered      %d@." (List.length o.rules_entered);
   Format.printf "machine extracts   %d@." (List.length o.extracts);
   Format.printf "payoffs            %s@."
-    (String.concat ", " (List.map (fun (p, s) -> Printf.sprintf "%s:%d" p s) o.payoffs))
+    (String.concat ", " (List.map (fun (p, s) -> Printf.sprintf "%s:%d" p s) o.payoffs));
+  if o.sim.capped_runs > 0 then
+    Format.printf "capped runs        %d (results truncated!)@." o.sim.capped_runs;
+  (match o.sim.rejections with
+  | [] -> ()
+  | rs ->
+      Format.printf "rejections         %s@."
+        (String.concat ", "
+           (List.map
+              (fun (w, n) -> Printf.sprintf "%s:%d" (Reldb.Value.to_display w) n)
+              rs)));
+  match o.sim.dead_letters with
+  | [] -> ()
+  | dead ->
+      Format.printf "dead letters       %d@." (List.length dead);
+      List.iter
+        (fun ((ot : Cylog.Engine.open_tuple), reason) ->
+          Format.printf "  #%d %s — %s@." ot.id ot.relation
+            (Cylog.Lease.reason_to_string reason))
+        dead
 
-let run_cmd variant n seed export =
-  let o = Tweetpecker.Runner.run ~seed ~corpus:(corpus n) variant in
+let run_cmd variant n seed export faults lease quorum =
+  let lease = if lease then Some Cylog.Lease.default_config else None in
+  let o =
+    Tweetpecker.Runner.run ~seed ~corpus:(corpus n) ?faults ?lease ?quorum variant
+  in
   match export with
   | None -> print_outcome o
   | Some relation -> (
@@ -107,7 +167,9 @@ let export_arg =
 
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Run one variant and print its metrics")
-      Term.(const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg);
+      Term.(
+        const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg $ faults_arg
+        $ lease_flag $ quorum_arg);
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
       Term.(const table1_cmd $ tweets_arg $ seed_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")

@@ -61,7 +61,7 @@ let () =
           [ ("tag", Reldb.Value.String tag) ]
       with
       | Ok _ -> ()
-      | Error e -> failwith e)
+      | Error e -> failwith (Cylog.Engine.reject_to_string e))
     (Cylog.Engine.pending engine);
   ignore (Cylog.Engine.run engine);
 

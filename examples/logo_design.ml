@@ -50,7 +50,7 @@ let () =
         ~worker:(Option.get o.Cylog.Engine.asked) values
     with
     | Ok _ -> ()
-    | Error e -> failwith e
+    | Error e -> failwith (Cylog.Engine.reject_to_string e)
   in
   let designs = [ ("mika", "sunrise-over-grid"); ("taro", "open-book-bird") ] in
   List.iter
@@ -79,7 +79,7 @@ let () =
         if yes then Format.printf "phase 2: %s votes for %S@." who image;
         match Cylog.Engine.answer_existence engine o.id ~worker:(Option.get o.asked) yes with
         | Ok _ -> ()
-        | Error e -> failwith e
+        | Error e -> failwith (Cylog.Engine.reject_to_string e)
       end)
     (Cylog.Engine.pending engine);
   ignore (Cylog.Engine.run engine);

@@ -35,7 +35,7 @@ let () =
 
   (* 2. Run the machine: facts fire, Pre3 validates the tweet, VE1 creates
      one open tuple per (tweet, worker) and suspends. *)
-  let steps = Cylog.Engine.run engine in
+  let steps, _ = Cylog.Engine.run engine in
   Format.printf "machine fired %d statements, then suspended on humans@." steps;
 
   List.iter
@@ -56,7 +56,7 @@ let () =
           [ ("value", Reldb.Value.String "rainy") ]
       with
       | Ok _ -> Format.printf "  worker %s enters \"rainy\"@." (Reldb.Value.to_display worker)
-      | Error e -> failwith e)
+      | Error e -> failwith (Cylog.Engine.reject_to_string e))
     (Cylog.Engine.pending engine);
 
   (* 4. Run the machine again: VE2 sees the agreement; the game aspect

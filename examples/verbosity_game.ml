@@ -77,7 +77,7 @@ let () =
                  [ ("clue", Reldb.Value.String clue) ]
              with
             | Ok _ -> acted := true
-            | Error e -> failwith e)
+            | Error e -> failwith (Cylog.Engine.reject_to_string e))
         | "Guess" ->
             let answer = List.assoc word guesses in
             Format.printf "%s guesses: %s@." (Reldb.Value.to_display worker) answer;
@@ -86,7 +86,7 @@ let () =
                  [ ("answer", Reldb.Value.String answer) ]
              with
             | Ok _ -> acted := true
-            | Error e -> failwith e)
+            | Error e -> failwith (Cylog.Engine.reject_to_string e))
         | _ -> ())
       (Cylog.Engine.pending engine);
     ignore (Cylog.Engine.run engine);

@@ -1,0 +1,161 @@
+type fault =
+  | Drop of float
+  | Delay of int
+  | Garble of float
+  | Duplicate of float
+  | Crash_round of int
+
+let fault_to_string = function
+  | Drop p -> Printf.sprintf "drop(%.2f)" p
+  | Delay n -> Printf.sprintf "delay(%d)" n
+  | Garble p -> Printf.sprintf "garble(%.2f)" p
+  | Duplicate p -> Printf.sprintf "duplicate(%.2f)" p
+  | Crash_round n -> Printf.sprintf "crash_round(%d)" n
+
+(* Mangle one answer. Three modes: a wrong attribute name and a wrong-typed
+   value are rejected by the engine's validation (exercising the rejection
+   budget); a wrong value of the right type slips through validation and
+   must be caught by redundancy + aggregation. *)
+let garble_values rng values =
+  match values with
+  | [] -> values
+  | (attr, v) :: rest -> (
+      match Random.State.int rng 3 with
+      | 0 -> (attr ^ "?", v) :: rest
+      | 1 ->
+          let wrong =
+            match v with
+            | Reldb.Value.String _ -> Reldb.Value.Int 0
+            | _ -> Reldb.Value.String "garbled"
+          in
+          (attr, wrong) :: rest
+      | _ ->
+          let wrong =
+            match v with
+            | Reldb.Value.String s -> Reldb.Value.String ("~" ^ s)
+            | Reldb.Value.Int i -> Reldb.Value.Int (i + 1000)
+            | Reldb.Value.Float f -> Reldb.Value.Float (f +. 1000.0)
+            | Reldb.Value.Bool b -> Reldb.Value.Bool (not b)
+            | v -> v
+          in
+          (attr, wrong) :: rest)
+
+let target_of (d : Simulator.decision) =
+  match d with
+  | Simulator.Answer (id, _, _) | Simulator.Answer_existence (id, _) -> Some id
+  | Simulator.Pass -> None
+
+let flip rng p = p > 0.0 && Random.State.float rng 1.0 < p
+
+(* The wrapper owns per-worker mutable state (its own RNG stream, a stash
+   of delayed decisions, a memory of past submissions), all keyed off the
+   caller-supplied seed: the same seed replays the same faults. *)
+let wrap ~seed faults (policy : Simulator.policy) : Simulator.policy =
+  let rngs : (Reldb.Value.t, Random.State.t) Hashtbl.t = Hashtbl.create 4 in
+  let stash : (Reldb.Value.t, (int * Simulator.decision) list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let past : (Reldb.Value.t, Simulator.decision list) Hashtbl.t = Hashtbl.create 4 in
+  let rng_for worker =
+    match Hashtbl.find_opt rngs worker with
+    | Some st -> st
+    | None ->
+        let st =
+          Random.State.make [| seed; Hashtbl.hash (Reldb.Value.to_display worker) |]
+        in
+        Hashtbl.replace rngs worker st;
+        st
+  in
+  let crashed_at = List.find_map (function Crash_round n -> Some n | _ -> None) faults in
+  let delay_by = List.find_map (function Delay n -> Some n | _ -> None) faults in
+  let prob f = List.fold_left (fun acc fault -> match fault with
+    | Drop p when f = `Drop -> Float.max acc p
+    | Garble p when f = `Garble -> Float.max acc p
+    | Duplicate p when f = `Duplicate -> Float.max acc p
+    | _ -> acc) 0.0 faults
+  in
+  let p_drop = prob `Drop and p_garble = prob `Garble and p_dup = prob `Duplicate in
+  fun engine ~worker ~rng:_ ~round ->
+    if (match crashed_at with Some n -> round >= n | None -> false) then Simulator.Pass
+    else begin
+      let frng = rng_for worker in
+      let remember d =
+        if target_of d <> None then
+          Hashtbl.replace past worker
+            (d :: Option.value (Hashtbl.find_opt past worker) ~default:[])
+      in
+      (* A decision stashed by [Delay] is released once its round is due;
+         releasing takes the whole turn. *)
+      let due =
+        match Hashtbl.find_opt stash worker with
+        | Some ((at, d) :: rest) when at <= round ->
+            Hashtbl.replace stash worker rest;
+            Some d
+        | _ -> None
+      in
+      match due with
+      | Some d ->
+          remember d;
+          d
+      | None -> (
+          let base = policy engine ~worker ~rng:frng ~round in
+          (* Double submission replays an old decision verbatim — typically
+             a resolved id, which the engine must reject as [Stale]. *)
+          let base =
+            if flip frng p_dup then
+              match Hashtbl.find_opt past worker with
+              | Some (d :: _) -> d
+              | _ -> base
+            else base
+          in
+          match base with
+          | Simulator.Pass -> Simulator.Pass
+          | d when flip frng p_drop ->
+              (* Take the lease, never answer: the task is blocked until
+                 the lease expires and is reclaimed. *)
+              (match (target_of d, Cylog.Engine.lease_config engine) with
+              | Some id, Some _ ->
+                  ignore (Cylog.Engine.assign engine id ~worker ~now:round)
+              | _ -> ());
+              Simulator.Pass
+          | d ->
+              let d =
+                if not (flip frng p_garble) then d
+                else
+                  match d with
+                  | Simulator.Answer (id, values, kind) ->
+                      Simulator.Answer (id, garble_values frng values, kind)
+                  | Simulator.Answer_existence (id, yes) ->
+                      Simulator.Answer_existence (id, not yes)
+                  | Simulator.Pass -> Simulator.Pass
+              in
+              (match delay_by with
+              | Some n when n > 0 ->
+                  Hashtbl.replace stash worker
+                    (Option.value (Hashtbl.find_opt stash worker) ~default:[]
+                    @ [ (round + n, d) ]);
+                  Simulator.Pass
+              | _ ->
+                  remember d;
+                  d))
+    end
+
+let inject ~seed faults workers =
+  List.map (fun (worker, policy) -> (worker, wrap ~seed faults policy)) workers
+
+let drop = [ Drop 0.3 ]
+let delay = [ Delay 2 ]
+let garble = [ Garble 0.4 ]
+let duplicate = [ Duplicate 0.3 ]
+let crash = [ Crash_round 6 ]
+let all = [ Drop 0.15; Delay 1; Garble 0.2; Duplicate 0.15; Crash_round 40 ]
+
+let profiles =
+  [
+    ("drop", drop);
+    ("delay", delay);
+    ("garble", garble);
+    ("duplicate", duplicate);
+    ("crash", crash);
+    ("all", all);
+  ]

@@ -1,0 +1,54 @@
+(** Deterministic fault injection for crowd simulations.
+
+    The survey's quality-control chapters start from the premise that real
+    crowds time out, abandon tasks, answer garbage and double-submit. This
+    module turns any {!Simulator.policy} into an unreliable one by
+    composing seeded fault behaviours over it, so robustness tests can
+    drive the lease/quorum runtime ({!Cylog.Lease},
+    {!Cylog.Engine.set_quorum}) through every failure mode with
+    reproducible randomness: the same [seed] replays the same faults. *)
+
+type fault =
+  | Drop of float
+      (** with this probability, take the task's lease (when the lease
+          runtime is on) and never answer — the task blocks until the
+          lease expires and is reclaimed *)
+  | Delay of int
+      (** submit each decision that many rounds late (stashed in order);
+          under a short lease TTL the answer arrives after expiry *)
+  | Garble of float
+      (** with this probability, mangle the answer: a wrong attribute
+          name or wrong-typed value (rejected by validation, counting
+          against the rejection budget), or a wrong value of the right
+          type (only redundancy + aggregation can catch it); existence
+          answers are flipped *)
+  | Duplicate of float
+      (** with this probability, re-submit a past decision verbatim —
+          usually a resolved id the engine must reject as [Stale] *)
+  | Crash_round of int  (** leave the campaign for good at that round *)
+
+val fault_to_string : fault -> string
+
+val wrap : seed:int -> fault list -> Simulator.policy -> Simulator.policy
+(** Compose the faults over a base policy. Each wrapped worker draws from
+    its own RNG stream derived from [seed] and the worker identity —
+    independent of the simulator's RNG, so fault injection does not
+    perturb the base crowd's behaviour sequence. *)
+
+val inject :
+  seed:int -> fault list ->
+  (Reldb.Value.t * Simulator.policy) list ->
+  (Reldb.Value.t * Simulator.policy) list
+(** [wrap] every worker of a {!Simulator.run} crowd. *)
+
+(** {1 Named profiles} — the fault matrix exercised by the test suite. *)
+
+val drop : fault list
+val delay : fault list
+val garble : fault list
+val duplicate : fault list
+val crash : fault list
+val all : fault list
+
+val profiles : (string * fault list) list
+(** All of the above with their names, for table-driven tests. *)

@@ -22,7 +22,18 @@ type outcome = {
   log : log_entry list;
   rounds : int;
   stop_reason : [ `Stopped | `Stalled | `Max_rounds ];
+  rejections : (Reldb.Value.t * int) list;
+  capped_runs : int;
+  dead_letters : (Cylog.Engine.open_tuple * Cylog.Lease.reason) list;
 }
+
+(* Quorum aggregation backed by Quality.Aggregate's plurality, so
+   engine-level redundant assignment and the post-hoc analyses agree on
+   tie-breaking. *)
+let majority_aggregate votes =
+  List.filter_map
+    (fun (attr, vs) -> Option.map (fun v -> (attr, v)) (Quality.Aggregate.plurality vs))
+    votes
 
 let shuffle rng xs =
   let arr = Array.of_list xs in
@@ -34,10 +45,30 @@ let shuffle rng xs =
   done;
   Array.to_list arr
 
-let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ~stop ~workers
-    engine =
+let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?quorum
+    ~stop ~workers engine =
+  (match lease with
+  | Some _ -> Cylog.Engine.set_lease_config engine lease
+  | None -> ());
+  (match quorum with
+  | Some k ->
+      Cylog.Engine.set_quorum engine
+        (Some { Cylog.Engine.k; relations = None; aggregate = majority_aggregate })
+  | None -> ());
+  let leased = lease <> None in
   let rng = Random.State.make [| seed |] in
   let log = ref [] in
+  let rejected : (Reldb.Value.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let reject worker =
+    Hashtbl.replace rejected worker
+      (1 + Option.value (Hashtbl.find_opt rejected worker) ~default:0)
+  in
+  let capped = ref 0 in
+  let machine () =
+    match Cylog.Engine.run engine with
+    | _, `Capped -> incr capped
+    | _, `Quiescent -> ()
+  in
   let record round worker kind relation values p =
     log :=
       {
@@ -51,15 +82,29 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ~stop ~wo
       }
       :: !log
   in
-  ignore (Cylog.Engine.run engine);
+  machine ();
   (* A stall is only declared after several consecutive all-pass rounds:
      low-diligence workers legitimately sit out whole rounds now and
      then. *)
   let idle_rounds = ref 0 in
+  let rounds_done = ref 0 in
+  (* With the lease runtime on, an answer needs a live lease first; a
+     refused lease is a rejected attempt like any other. *)
+  let take_lease n worker id =
+    if not leased then true
+    else
+      match Cylog.Engine.assign engine id ~worker ~now:n with
+      | Ok _ -> true
+      | Error _ ->
+          reject worker;
+          false
+  in
   let rec rounds n =
     if n > max_rounds then `Max_rounds
     else if stop engine then `Stopped
     else begin
+      rounds_done := n;
+      if leased then ignore (Cylog.Engine.reclaim engine ~now:n);
       let acted = ref false in
       List.iter
         (fun (worker, policy) ->
@@ -67,34 +112,39 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ~stop ~wo
             let p = progress engine in
             match policy engine ~worker ~rng ~round:n with
             | Pass -> ()
-            | Answer (id, values, kind) -> (
-                let relation =
-                  match Cylog.Engine.find_open engine id with
-                  | Some o -> o.Cylog.Engine.relation
-                  | None -> ""
-                in
-                match Cylog.Engine.supply engine id ~worker values with
-                | Ok _ ->
-                    acted := true;
-                    record n worker kind relation values p;
-                    ignore (Cylog.Engine.run engine)
-                | Error _ -> ())
-            | Answer_existence (id, yes) -> (
-                let before = Cylog.Engine.find_open engine id in
-                match Cylog.Engine.answer_existence engine id ~worker yes with
-                | Ok _ ->
-                    acted := true;
-                    let relation, values =
-                      match before with
-                      | Some o ->
-                          (o.Cylog.Engine.relation, Reldb.Tuple.to_list o.Cylog.Engine.bound)
-                      | None -> ("", [])
-                    in
-                    record n worker
-                      (if yes then Select_value else Reject_value)
-                      relation values p;
-                    ignore (Cylog.Engine.run engine)
-                | Error _ -> ())
+            | Answer (id, values, kind) ->
+                if take_lease n worker id then begin
+                  let relation =
+                    match Cylog.Engine.find_open engine id with
+                    | Some o -> o.Cylog.Engine.relation
+                    | None -> ""
+                  in
+                  match Cylog.Engine.supply engine id ~worker values with
+                  | Ok _ ->
+                      acted := true;
+                      record n worker kind relation values p;
+                      machine ()
+                  | Error _ -> reject worker
+                end
+            | Answer_existence (id, yes) ->
+                if take_lease n worker id then begin
+                  let before = Cylog.Engine.find_open engine id in
+                  match Cylog.Engine.answer_existence engine id ~worker yes with
+                  | Ok _ ->
+                      acted := true;
+                      let relation, values =
+                        match before with
+                        | Some o ->
+                            ( o.Cylog.Engine.relation,
+                              Reldb.Tuple.to_list o.Cylog.Engine.bound )
+                        | None -> ("", [])
+                      in
+                      record n worker
+                        (if yes then Select_value else Reject_value)
+                        relation values p;
+                      machine ()
+                  | Error _ -> reject worker
+                end
           end)
         (shuffle rng workers);
       if stop engine then `Stopped
@@ -105,7 +155,15 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ~stop ~wo
     end
   in
   let stop_reason = rounds 1 in
-  let rounds_done =
-    match !log with [] -> 0 | { round; _ } :: _ -> round
+  let rejections =
+    Hashtbl.fold (fun w n acc -> (w, n) :: acc) rejected []
+    |> List.sort (fun (a, _) (b, _) -> Reldb.Value.compare a b)
   in
-  { log = List.rev !log; rounds = rounds_done; stop_reason }
+  {
+    log = List.rev !log;
+    rounds = !rounds_done;
+    stop_reason;
+    rejections;
+    capped_runs = !capped;
+    dead_letters = Cylog.Engine.dead_letters engine;
+  }

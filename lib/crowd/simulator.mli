@@ -39,18 +39,41 @@ type policy =
 
 type outcome = {
   log : log_entry list;  (** chronological *)
-  rounds : int;
+  rounds : int;  (** rounds actually executed (not the last logged round) *)
   stop_reason : [ `Stopped | `Stalled | `Max_rounds ];
       (** [`Stopped]: the stop condition held; [`Stalled]: every worker
           passed on a full round; [`Max_rounds]: safety bound hit *)
+  rejections : (Reldb.Value.t * int) list;
+      (** rejected [supply]/[answer_existence]/[assign] attempts per
+          worker (sorted by worker) — garbage answers, stale ids, lease
+          refusals; workers with none are absent *)
+  capped_runs : int;
+      (** machine runs that hit the step cap instead of quiescing — any
+          nonzero value means the campaign's results are truncated *)
+  dead_letters : (Cylog.Engine.open_tuple * Cylog.Lease.reason) list;
+      (** tasks abandoned by the lease runtime, from
+          {!Cylog.Engine.dead_letters} *)
 }
+
+val majority_aggregate : Cylog.Engine.aggregate
+(** Per-attribute plurality over quorum votes via
+    {!Quality.Aggregate.plurality} — installed by [run ~quorum]. *)
 
 val run :
   ?seed:int -> ?max_rounds:int -> ?progress:(Cylog.Engine.t -> float) ->
+  ?lease:Cylog.Lease.config -> ?quorum:int ->
   stop:(Cylog.Engine.t -> bool) ->
   workers:(Reldb.Value.t * policy) list ->
   Cylog.Engine.t -> outcome
 (** Drive the engine to quiescence, then let workers act one decision per
     turn, re-running the machine after each action, until [stop] holds,
     all workers pass, or [max_rounds] (default 10_000) elapses. [progress]
-    (default: constant 0) is sampled before each action. *)
+    (default: constant 0) is sampled before each action.
+
+    [lease] turns on the engine's lease runtime with the round number as
+    logical time: overdue leases are reclaimed at the start of each round
+    and a worker's decision only goes through if {!Cylog.Engine.assign}
+    grants (or renews) them a lease first — a refusal counts as a
+    rejection and the attempt is skipped. [quorum] installs redundant
+    assignment: undesignated one-shot tasks resolve by
+    {!majority_aggregate} over [k] answers. *)

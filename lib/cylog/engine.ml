@@ -22,6 +22,8 @@ type effect =
   | Awarded of (Reldb.Value.t * Reldb.Value.t) list
   | Open_created of open_id
   | No_effect
+  | Vote_recorded of open_id * int
+  | Dead_lettered of open_id * Lease.reason
 
 type event = {
   clock : int;
@@ -36,6 +38,79 @@ type event = {
 exception Runtime_error of string
 
 let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* --- Typed answer rejections ------------------------------------------------ *)
+
+type reject =
+  | Stale of open_id
+  | Not_lease_holder
+  | Wrong_question
+  | Already_voted
+  | Wrong_attrs of { expected : string list; given : string list }
+  | Type_mismatch of { attr : string; value : Reldb.Value.t }
+
+let reject_to_string = function
+  | Stale id -> Printf.sprintf "no pending open tuple with id %d" id
+  | Not_lease_holder -> "the task is leased or designated to another worker"
+  | Wrong_question -> "value answer to an existence question (or vice versa)"
+  | Already_voted -> "this worker already voted on the task"
+  | Wrong_attrs { expected; _ } ->
+      Printf.sprintf "the answer must bind exactly %s" (String.concat ", " expected)
+  | Type_mismatch { attr; value } ->
+      Printf.sprintf "value %s has the wrong type for attribute %s"
+        (Reldb.Value.to_string value) attr
+
+let pp_reject ppf r = Format.pp_print_string ppf (reject_to_string r)
+
+(* --- Quorum (redundant assignment + aggregation) --------------------------- *)
+
+type aggregate = (string * Reldb.Value.t list) list -> (string * Reldb.Value.t) list
+
+type quorum = { k : int; relations : string list option; aggregate : aggregate }
+
+(* Plurality per attribute, ties toward the earliest-voted value — the
+   built-in fallback when no Quality.Aggregate-backed hook is installed
+   (and the aggregation replayed by {!restore}). *)
+let default_aggregate votes =
+  List.map
+    (fun (attr, vs) ->
+      let counts = ref [] in
+      List.iter
+        (fun v ->
+          match List.assoc_opt v !counts with
+          | Some c -> counts := (v, c + 1) :: List.remove_assoc v !counts
+          | None -> counts := !counts @ [ (v, 1) ])
+        vs;
+      let winner =
+        List.fold_left
+          (fun best (v, c) ->
+            match best with Some (_, bc) when bc >= c -> best | _ -> Some (v, c))
+          None !counts
+      in
+      ( attr,
+        match winner with
+        | Some (v, _) -> v
+        | None -> Reldb.Value.Null ))
+    votes
+
+type vote = Vote_values of (string * Reldb.Value.t) list | Vote_exists of bool
+
+(* --- Journal (checkpoint/replay) ------------------------------------------- *)
+
+(* Every externally-triggered mutation is journaled; a snapshot is the
+   program plus this journal, and [restore] replays it through the public
+   API — determinism of the engine makes the replayed trace identical. *)
+type jentry =
+  | J_run of int
+  | J_step
+  | J_supply of open_id * Reldb.Value.t * (string * Reldb.Value.t) list
+  | J_answer of open_id * Reldb.Value.t * bool
+  | J_decline of open_id
+  | J_assign of open_id * Reldb.Value.t * int
+  | J_reclaim of int
+  | J_add_statement of Ast.statement
+  | J_set_lease of Lease.config option
+  | J_set_quorum of (int * string list option) option
 
 (* Debug instrumentation: enable with Logs.Src.set_level on "cylog.engine". *)
 let log_src = Logs.Src.create "cylog.engine" ~doc:"CyLog evaluation engine"
@@ -91,7 +166,15 @@ type t = {
   mutable events : event list;  (* reverse chronological *)
   path_rels : (string, string list) Hashtbl.t;  (* path relation -> params *)
   views : Ast.view list;
+  program : Ast.program;  (* as loaded, for snapshots *)
+  mutable leases : Lease.t option;  (* None: lease runtime off *)
+  mutable quorum : quorum option;
+  votes : (open_id, (Reldb.Value.t * vote) list) Hashtbl.t;  (* reverse *)
+  mutable dead : (open_tuple * Lease.reason) list;  (* reverse *)
+  mutable journal : jentry list;  (* reverse chronological *)
 }
+
+let journal t e = t.journal <- e :: t.journal
 
 let path_relation_name game = "Path@" ^ game
 
@@ -276,6 +359,12 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) (program : Ast.prog
     events = [];
     path_rels;
     views = program.views;
+    program;
+    leases = None;
+    quorum = None;
+    votes = Hashtbl.create 16;
+    dead = [];
+    journal = [];
   }
 
 let database t = t.db
@@ -317,6 +406,7 @@ let declare_for_statement t (s : Ast.statement) =
     atoms
 
 let add_statement t (s : Ast.statement) =
+  journal t (J_add_statement s);
   declare_for_statement t s;
   (* A new update/delete target forces statements that read the relation
      back to the rescan strategy: their delta queues are dropped, which is
@@ -670,7 +760,7 @@ let rec pop_unfired t idx info (ds : delta_state) =
       ds.queue <- rest;
       if Hashtbl.mem t.fired fp then pop_unfired t idx info ds else Some (m, fp)
 
-let step t =
+let step_internal t =
   let n = Array.length t.infos in
   let rec try_stmt i =
     if i >= n then None
@@ -745,10 +835,18 @@ let step t =
   in
   try_stmt 0
 
+let step t =
+  journal t J_step;
+  step_internal t
+
 let run ?(max_steps = 1_000_000) t =
+  journal t (J_run max_steps);
   let rec loop steps =
-    if steps >= max_steps then steps
-    else match step t with Some _ -> loop (steps + 1) | None -> steps
+    if steps >= max_steps then (steps, `Capped)
+    else
+      match step_internal t with
+      | Some _ -> loop (steps + 1)
+      | None -> (steps, `Quiescent)
   in
   loop 0
 
@@ -780,9 +878,119 @@ let pending_since t ~after =
 
 let find_open t id = Hashtbl.find_opt t.open_tbl id
 
-let resolve t id = Hashtbl.remove t.open_tbl id
+let resolve t id =
+  Hashtbl.remove t.open_tbl id;
+  Hashtbl.remove t.votes id;
+  match t.leases with Some l -> Lease.forget l ~open_id:id | None -> ()
 
-let decline t id = resolve t id
+(* --- Leases, dead letters, quorum ------------------------------------------ *)
+
+let lease_config t = Option.map Lease.config t.leases
+
+let set_lease_config t cfg =
+  journal t (J_set_lease cfg);
+  t.leases <- Option.map Lease.create cfg
+
+let set_quorum t q =
+  journal t (J_set_quorum (Option.map (fun q -> (q.k, q.relations)) q));
+  t.quorum <- q
+
+let quorum_of t = t.quorum
+
+(* Quorum applies to undesignated, non-repeatable tasks: several workers
+   answer the same open tuple and an aggregation policy picks the value.
+   Designated tasks have exactly one eligible worker and standing tasks
+   insert one tuple per answer, so neither can collect k votes. *)
+let quorum_for t (o : open_tuple) =
+  match t.quorum with
+  | None -> None
+  | Some q ->
+      if
+        q.k > 1 && o.asked = None && not o.repeatable
+        && (match q.relations with None -> true | Some rs -> List.mem o.relation rs)
+      then Some q
+      else None
+
+let capacity t o = match quorum_for t o with Some q -> q.k | None -> 1
+
+let dead_letters t = List.rev t.dead
+
+(* Remove a task from the pending pool into the dead-letter pool, leaving
+   an auditable event in the log. *)
+let dead_letter t (o : open_tuple) reason =
+  Hashtbl.remove t.open_tbl o.id;
+  Hashtbl.remove t.votes o.id;
+  (match t.leases with Some l -> Lease.mark_dead l ~open_id:o.id reason | None -> ());
+  t.dead <- (o, reason) :: t.dead;
+  t.clock <- t.clock + 1;
+  record_event t
+    {
+      clock = t.clock;
+      statement = o.statement;
+      label = o.label;
+      valuation = [];
+      fired = false;
+      effects = [ Dead_lettered (o.id, reason) ];
+      by_human = None;
+    }
+
+let decline t id =
+  journal t (J_decline id);
+  match find_open t id with
+  | None -> ()
+  | Some o -> dead_letter t o Lease.Declined
+
+type assign_error =
+  [ `Stale | `Dead of Lease.reason | `Backoff of int | `Held of Reldb.Value.t ]
+
+let assign t id ~worker ~now =
+  journal t (J_assign (id, worker, now));
+  match t.leases with
+  | None ->
+      runtime_error
+        "assign: the lease runtime is not configured (call set_lease_config first)"
+  | Some l -> (
+      match Lease.is_dead l ~open_id:id with
+      | Some r -> Error (`Dead r)
+      | None -> (
+          match find_open t id with
+          | None -> Error `Stale
+          | Some o ->
+              (Lease.assign l ~open_id:id ~worker ~now ~capacity:(capacity t o)
+                :> (Lease.lease, assign_error) result)))
+
+let reclaim t ~now =
+  journal t (J_reclaim now);
+  match t.leases with
+  | None -> []
+  | Some l ->
+      let verdicts = Lease.reclaim l ~now in
+      List.iter
+        (fun (id, verdict) ->
+          match verdict with
+          | `Retry _ -> ()
+          | `Dead reason -> (
+              match find_open t id with
+              | Some o -> dead_letter t o reason
+              | None -> ()))
+        verdicts;
+      verdicts
+
+(* A garbage answer (wrong attributes or types) counts against the task's
+   rejection budget; over budget the task is dead-lettered — a task that
+   only ever attracts garbage must not pend forever. *)
+let note_rejected_answer t (o : open_tuple) =
+  match t.leases with
+  | None -> ()
+  | Some l -> (
+      match Lease.note_rejection l ~open_id:o.id with
+      | `Counted _ -> ()
+      | `Exhausted n -> dead_letter t o (Lease.Rejected_answers n))
+
+let release_lease t (o : open_tuple) worker =
+  match t.leases with
+  | None -> ()
+  | Some l -> Lease.release l ~open_id:o.id ~worker
 
 let human_event t (o : open_tuple) worker effects valuation =
   Log.debug (fun k ->
@@ -803,52 +1011,188 @@ let human_event t (o : open_tuple) worker effects valuation =
   record_event t event;
   event
 
-let check_worker o worker =
+(* A worker may answer when they are the designated worker (if any) and no
+   other workers hold every lease slot of the task. Without the lease
+   runtime only the designation check applies — the seed behaviour. *)
+let worker_may_answer t (o : open_tuple) worker =
   match o.asked with
-  | Some w when not (Reldb.Value.equal w worker) ->
-      Error
-        (Format.asprintf "open tuple %d is designated for worker %a" o.id Reldb.Value.pp w)
-  | Some _ | None -> Ok ()
+  | Some w when not (Reldb.Value.equal w worker) -> false
+  | Some _ | None -> (
+      match t.leases with
+      | None -> true
+      | Some l ->
+          Lease.holds l ~open_id:o.id ~worker
+          || Lease.blocked_for l ~open_id:o.id ~worker ~capacity:(capacity t o) = None)
+
+let already_voted t (o : open_tuple) worker =
+  match Hashtbl.find_opt t.votes o.id with
+  | None -> false
+  | Some votes -> List.exists (fun (w, _) -> Reldb.Value.equal w worker) votes
+
+let ctor_name = function
+  | Reldb.Value.Null -> "null"
+  | Reldb.Value.Bool _ -> "bool"
+  | Reldb.Value.Int _ -> "int"
+  | Reldb.Value.Float _ -> "float"
+  | Reldb.Value.String _ -> "string"
+  | Reldb.Value.List _ -> "list"
+
+(* Schemas declare no types, so the expected type of an open attribute is
+   inferred from the evidence at hand: the first non-null value already
+   stored in that column. An empty column validates anything — without
+   evidence there is nothing to check against. *)
+let column_ctor t relation attr =
+  match Reldb.Database.find t.db relation with
+  | None -> None
+  | Some rel ->
+      let found = ref None in
+      (try
+         Reldb.Relation.iter
+           (fun _ tuple ->
+             match Reldb.Tuple.get_or_null tuple attr with
+             | Reldb.Value.Null -> ()
+             | v ->
+                 found := Some (ctor_name v);
+                 raise Exit)
+           rel
+       with Exit -> ());
+      !found
+
+let type_mismatch t (o : open_tuple) values =
+  List.find_map
+    (fun (attr, v) ->
+      if Reldb.Value.is_null v then None
+      else
+        match column_ctor t o.relation attr with
+        | Some expected when expected <> ctor_name v ->
+            Some (Type_mismatch { attr; value = v })
+        | Some _ | None -> None)
+    values
+
+let record_vote t (o : open_tuple) worker vote =
+  let prev = Option.value (Hashtbl.find_opt t.votes o.id) ~default:[] in
+  Hashtbl.replace t.votes o.id ((worker, vote) :: prev);
+  List.length prev + 1
+
+(* Chronological votes per open attribute, ready for the aggregation hook. *)
+let votes_by_attr t (o : open_tuple) =
+  let chronological =
+    List.rev_map
+      (function
+        | _, Vote_values vs -> vs
+        | _, Vote_exists _ -> [])
+      (Option.value (Hashtbl.find_opt t.votes o.id) ~default:[])
+  in
+  List.map
+    (fun attr ->
+      (attr, List.filter_map (fun vs -> List.assoc_opt attr vs) chronological))
+    o.open_attrs
+
+let aggregate_votes (q : quorum) ballots =
+  let chosen = q.aggregate ballots in
+  List.map
+    (fun (attr, vs) ->
+      match List.assoc_opt attr chosen with
+      | Some v -> (attr, v)
+      | None -> (
+          (* A hook that drops an attribute falls back to the first vote. *)
+          match vs with
+          | v :: _ -> (attr, v)
+          | [] -> (attr, Reldb.Value.Null)))
+    ballots
+
+let supply_checked t id ~worker values =
+  match find_open t id with
+  | None -> Error (Stale id)
+  | Some o ->
+      if o.existence then Error Wrong_question
+      else if not (worker_may_answer t o worker) then Error Not_lease_holder
+      else if already_voted t o worker then Error Already_voted
+      else begin
+        let expected = List.sort String.compare o.open_attrs in
+        let given = List.sort String.compare (List.map fst values) in
+        if expected <> given then begin
+          note_rejected_answer t o;
+          Error (Wrong_attrs { expected; given })
+        end
+        else
+          match type_mismatch t o values with
+          | Some r ->
+              note_rejected_answer t o;
+              Error r
+          | None -> (
+              match quorum_for t o with
+              | Some q ->
+                  let n = record_vote t o worker (Vote_values values) in
+                  if n < q.k then begin
+                    (* The vote is banked; the task stays pending until the
+                       quorum is reached. *)
+                    release_lease t o worker;
+                    Ok (human_event t o worker [ Vote_recorded (o.id, n) ] values)
+                  end
+                  else begin
+                    let chosen = aggregate_votes q (votes_by_attr t o) in
+                    let bound = Reldb.Tuple.to_list o.bound @ chosen in
+                    let effect = insert_tuple t o.relation bound in
+                    resolve t id;
+                    Ok
+                      (human_event t o worker
+                         [ Vote_recorded (o.id, n); effect ]
+                         chosen)
+                  end
+              | None ->
+                  let bound = Reldb.Tuple.to_list o.bound @ values in
+                  let effect = insert_tuple t o.relation bound in
+                  if o.repeatable then release_lease t o worker else resolve t id;
+                  Ok (human_event t o worker [ effect ] values))
+      end
 
 let supply t id ~worker values =
-  match find_open t id with
-  | None -> Error (Printf.sprintf "no pending open tuple with id %d" id)
-  | Some o -> (
-      if o.existence then
-        Error (Printf.sprintf "open tuple %d is an existence question" id)
-      else
-        match check_worker o worker with
-        | Error _ as e -> e
-        | Ok () ->
-            let expected = List.sort String.compare o.open_attrs in
-            let given = List.sort String.compare (List.map fst values) in
-            if expected <> given then
-              Error
-                (Printf.sprintf "open tuple %d expects values for %s" id
-                   (String.concat ", " o.open_attrs))
-            else begin
-              let bound = Reldb.Tuple.to_list o.bound @ values in
-              let effect = insert_tuple t o.relation bound in
-              if not o.repeatable then resolve t id;
-              Ok (human_event t o worker [ effect ] values)
-            end)
+  journal t (J_supply (id, worker, values));
+  supply_checked t id ~worker values
 
-let answer_existence t id ~worker yes =
+let answer_existence_checked t id ~worker yes =
   match find_open t id with
-  | None -> Error (Printf.sprintf "no pending open tuple with id %d" id)
-  | Some o -> (
-      if not o.existence then
-        Error (Printf.sprintf "open tuple %d expects attribute values" id)
-      else
-        match check_worker o worker with
-        | Error _ as e -> e
-        | Ok () ->
+  | None -> Error (Stale id)
+  | Some o ->
+      if not o.existence then Error Wrong_question
+      else if not (worker_may_answer t o worker) then Error Not_lease_holder
+      else if already_voted t o worker then Error Already_voted
+      else (
+        match quorum_for t o with
+        | Some q ->
+            let n = record_vote t o worker (Vote_exists yes) in
+            if n < q.k then begin
+              release_lease t o worker;
+              Ok (human_event t o worker [ Vote_recorded (o.id, n) ] [])
+            end
+            else begin
+              let ayes =
+                List.fold_left
+                  (fun acc (_, v) ->
+                    match v with Vote_exists true -> acc + 1 | _ -> acc)
+                  0
+                  (Hashtbl.find t.votes o.id)
+              in
+              let verdict = 2 * ayes > n in
+              let effects =
+                if verdict then [ insert_tuple t o.relation (Reldb.Tuple.to_list o.bound) ]
+                else [ No_effect ]
+              in
+              resolve t id;
+              Ok (human_event t o worker (Vote_recorded (o.id, n) :: effects) [])
+            end
+        | None ->
             let effects =
               if yes then [ insert_tuple t o.relation (Reldb.Tuple.to_list o.bound) ]
               else [ No_effect ]
             in
             resolve t id;
             Ok (human_event t o worker effects []))
+
+let answer_existence t id ~worker yes =
+  journal t (J_answer (id, worker, yes));
+  answer_existence_checked t id ~worker yes
 
 (* --- Payoffs ------------------------------------------------------------------ *)
 
@@ -894,3 +1238,108 @@ let path_table t game ~params =
       List.mapi
         (fun i tuple -> Reldb.Tuple.set tuple "order" (Reldb.Value.Int (i + 1)))
         rows
+
+(* --- Checkpoint / replay ------------------------------------------------------- *)
+
+let snapshot_header = "CYLOG-SNAPSHOT/1\n"
+
+type snapshot_payload = {
+  snap_use_delta : bool;
+  snap_use_planner : bool;
+  snap_program : Ast.program;
+  snap_journal : jentry list;  (* chronological *)
+}
+
+let snapshot t oc =
+  output_string oc snapshot_header;
+  Marshal.to_channel oc
+    {
+      snap_use_delta = t.use_delta;
+      snap_use_planner = t.use_planner;
+      snap_program = t.program;
+      snap_journal = List.rev t.journal;
+    }
+    []
+
+let snapshot_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snapshot_header;
+  Buffer.add_string buf
+    (Marshal.to_string
+       {
+         snap_use_delta = t.use_delta;
+         snap_use_planner = t.use_planner;
+         snap_program = t.program;
+         snap_journal = List.rev t.journal;
+       }
+       []);
+  Buffer.contents buf
+
+(* Replay through the public entry points so each entry re-journals itself:
+   a restored engine carries the same journal as the original and can be
+   snapshotted again. Answers that were rejected at capture time are
+   rejected identically on replay, so results are deliberately ignored. *)
+let replay_entry t = function
+  | J_run max_steps -> ignore (run ~max_steps t)
+  | J_step -> ignore (step t)
+  | J_supply (id, worker, values) -> ignore (supply t id ~worker values)
+  | J_answer (id, worker, yes) -> ignore (answer_existence t id ~worker yes)
+  | J_decline id -> decline t id
+  | J_assign (id, worker, now) -> ignore (assign t id ~worker ~now)
+  | J_reclaim now -> ignore (reclaim t ~now)
+  | J_add_statement s -> add_statement t s
+  | J_set_lease cfg -> set_lease_config t cfg
+  | J_set_quorum q ->
+      set_quorum t
+        (Option.map
+           (fun (k, relations) -> { k; relations; aggregate = default_aggregate })
+           q)
+
+let restore_payload ?builtins ?aggregate (p : snapshot_payload) =
+  let t =
+    load ?builtins ~use_delta:p.snap_use_delta ~use_planner:p.snap_use_planner
+      p.snap_program
+  in
+  let restore_quorum q =
+    match (q, aggregate) with
+    | Some q, Some aggregate -> Some { q with aggregate }
+    | q, _ -> q
+  in
+  List.iter
+    (fun entry ->
+      (match entry with
+      | J_set_quorum (Some (k, relations)) ->
+          journal t (J_set_quorum (Some (k, relations)));
+          t.quorum <-
+            restore_quorum (Some { k; relations; aggregate = default_aggregate })
+      | entry -> replay_entry t entry))
+    p.snap_journal;
+  t
+
+let read_header ic =
+  let n = String.length snapshot_header in
+  let buf = Bytes.create n in
+  (try really_input ic buf 0 n
+   with End_of_file -> runtime_error "restore: truncated snapshot");
+  if Bytes.to_string buf <> snapshot_header then
+    runtime_error "restore: not a CyLog snapshot (bad header)"
+
+let restore ?builtins ?aggregate ic =
+  read_header ic;
+  let p : snapshot_payload =
+    try Marshal.from_channel ic
+    with Failure _ | Invalid_argument _ | End_of_file ->
+      runtime_error "restore: corrupt snapshot payload"
+  in
+  restore_payload ?builtins ?aggregate p
+
+let restore_string ?builtins ?aggregate s =
+  let n = String.length snapshot_header in
+  if String.length s < n || String.sub s 0 n <> snapshot_header then
+    runtime_error "restore: not a CyLog snapshot (bad header)";
+  let p : snapshot_payload =
+    try Marshal.from_string s n
+    with Failure _ | Invalid_argument _ ->
+      runtime_error "restore: corrupt snapshot payload"
+  in
+  restore_payload ?builtins ?aggregate p

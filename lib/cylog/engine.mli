@@ -51,6 +51,10 @@ type effect =
   | Awarded of (Reldb.Value.t * Reldb.Value.t) list  (** player, delta *)
   | Open_created of open_id
   | No_effect  (** e.g. duplicate insertion *)
+  | Vote_recorded of open_id * int
+      (** a quorum task banked its [n]-th answer (see {!set_quorum}) *)
+  | Dead_lettered of open_id * Lease.reason
+      (** the task left the pending pool unanswered (see {!dead_letters}) *)
 
 type event = {
   clock : int;
@@ -63,6 +67,39 @@ type event = {
 }
 
 exception Runtime_error of string
+
+(** Why {!supply}/{!answer_existence} rejected an answer. Typed so
+    simulators and quality layers can react per cause instead of parsing
+    message strings. *)
+type reject =
+  | Stale of open_id  (** no pending open tuple with that id *)
+  | Not_lease_holder
+      (** the task is designated for, or leased at capacity to, others *)
+  | Wrong_question
+      (** [supply] on an existence question, or [answer_existence] on a
+          value question *)
+  | Already_voted  (** this worker already answered this quorum task *)
+  | Wrong_attrs of { expected : string list; given : string list }
+      (** attribute sets differ (both sorted) *)
+  | Type_mismatch of { attr : string; value : Reldb.Value.t }
+      (** the value's type contradicts the relation's existing column *)
+
+val reject_to_string : reject -> string
+val pp_reject : Format.formatter -> reject -> unit
+
+type aggregate = (string * Reldb.Value.t list) list -> (string * Reldb.Value.t) list
+(** Aggregation policy for quorum tasks: per open attribute, the votes in
+    arrival order; returns the chosen value per attribute. *)
+
+type quorum = {
+  k : int;  (** answers collected before resolving; [k > 1] to take effect *)
+  relations : string list option;  (** limit to these relations; [None] = all *)
+  aggregate : aggregate;
+}
+
+val default_aggregate : aggregate
+(** Plurality per attribute, earliest vote winning ties — the engine-level
+    counterpart of [Quality.Aggregate.majority]. *)
 
 val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
   ?use_planner:bool -> Ast.program -> t
@@ -109,9 +146,11 @@ val step : t -> event option
 (** Fire (or evaluate-and-reject) the single highest-priority new instance;
     [None] when no machine work remains. *)
 
-val run : ?max_steps:int -> t -> int
-(** Step until quiescent; returns the number of steps taken. Stops early at
-    [max_steps] (default 1_000_000). *)
+val run : ?max_steps:int -> t -> int * [ `Quiescent | `Capped ]
+(** Step until quiescent; returns the number of steps taken and whether
+    evaluation actually quiesced or was cut off at [max_steps] (default
+    1_000_000) with machine work still pending — callers that [ignore] the
+    distinction cannot tell a finished campaign from a truncated one. *)
 
 val pending : t -> open_tuple list
 (** Unresolved open tuples, oldest first. *)
@@ -134,21 +173,73 @@ val task_view : t -> open_tuple -> string option
     declares no view. *)
 
 val supply : t -> open_id -> worker:Reldb.Value.t ->
-  (string * Reldb.Value.t) list -> (event, string) result
+  (string * Reldb.Value.t) list -> (event, reject) result
 (** [supply t id ~worker values] valuates a pending open tuple: the human
     consequence. [values] must bind exactly the open attributes; the
-    designated worker (if any) must match. On success the completed tuple
-    is inserted and machine evaluation may resume. Auto-increment
-    attributes are filled by the machine, never asked. A {!field-repeatable}
-    open tuple stays pending; others resolve. *)
+    designated worker (if any) must match, and when the lease runtime is
+    on ({!set_lease_config}) the task must not be leased at capacity to
+    other workers. On success the completed tuple is inserted and machine
+    evaluation may resume. Auto-increment attributes are filled by the
+    machine, never asked. A {!field-repeatable} open tuple stays pending;
+    others resolve.
+
+    Under a quorum policy ({!set_quorum}) an eligible task banks each
+    answer as a vote ([Vote_recorded] effect) and only the [k]-th answer
+    aggregates and inserts. [Wrong_attrs]/[Type_mismatch] rejections count
+    against the task's rejection budget when leases are configured. *)
 
 val answer_existence : t -> open_id -> worker:Reldb.Value.t -> bool ->
-  (event, string) result
+  (event, reject) result
 (** Answer an existence question: [true] inserts the bound tuple, [false]
-    just resolves the open tuple. *)
+    just resolves the open tuple. Quorum tasks resolve on the [k]-th vote
+    by strict majority of yes-votes. *)
 
 val decline : t -> open_id -> unit
-(** Drop a pending open tuple without an answer (e.g. end of campaign). *)
+(** Drop a pending open tuple without an answer (e.g. end of campaign).
+    The task moves to the dead-letter pool with reason {!Lease.Declined}
+    and leaves a [Dead_lettered] event in the log; declining an unknown id
+    is a no-op. *)
+
+(** {1 Leases, dead letters, quorum}
+
+    Off by default — an engine behaves exactly as before until
+    {!set_lease_config}/{!set_quorum} are called. Logical time ([now]) is
+    caller-supplied and monotone: the crowd simulator uses its round
+    number. *)
+
+val set_lease_config : t -> Lease.config option -> unit
+(** Turn the lease runtime on (fresh lease table) or off. *)
+
+val lease_config : t -> Lease.config option
+
+val set_quorum : t -> quorum option -> unit
+(** Install a redundant-assignment policy: eligible tasks (undesignated,
+    non-repeatable, in [relations] if given) resolve through [aggregate]
+    after [k] answers. *)
+
+val quorum_of : t -> quorum option
+
+type assign_error =
+  [ `Stale  (** no such pending task *)
+  | `Dead of Lease.reason  (** the task was dead-lettered *)
+  | `Backoff of int  (** reassignable at that round, not before *)
+  | `Held of Reldb.Value.t  (** leased at capacity; one current holder *) ]
+
+val assign : t -> open_id -> worker:Reldb.Value.t -> now:int ->
+  (Lease.lease, assign_error) result
+(** Lease a pending task to [worker] until [now + ttl]. Quorum-eligible
+    tasks carry [k] lease slots (redundant assignment); all others are
+    exclusive. Re-assigning to a holder renews their deadline.
+    @raise Runtime_error when the lease runtime is not configured. *)
+
+val reclaim : t -> now:int -> (open_id * [ `Retry of int | `Dead of Lease.reason ]) list
+(** Expire overdue leases ({!Lease.reclaim}); tasks over their retry
+    budget are dead-lettered (with a [Dead_lettered] event). Call once per
+    round before assigning. Without the lease runtime, returns []. *)
+
+val dead_letters : t -> (open_tuple * Lease.reason) list
+(** Tasks dropped from the pending pool without resolution, in
+    dead-lettering order — the campaign post-mortem. *)
 
 val payoffs : t -> (Reldb.Value.t * Reldb.Value.t) list
 (** Accumulated payoff per player, from the [Payoff] relation. *)
@@ -169,3 +260,28 @@ val path_table : t -> string -> params:(string * Reldb.Value.t) list -> Reldb.Tu
 
 val path_relation_name : string -> string
 (** Name of the internal relation backing a game's path tables. *)
+
+(** {1 Checkpoint / replay}
+
+    A snapshot is the loaded program plus the journal of every
+    externally-triggered mutation ([run]/[step]/[supply]/
+    [answer_existence]/[decline]/[assign]/[reclaim]/[add_statement]/
+    [set_lease_config]/[set_quorum], in order). [restore] replays the
+    journal through the public API; because evaluation is deterministic
+    the restored engine reproduces the original event trace byte for byte
+    and can itself be snapshotted again. The format is a
+    ["CYLOG-SNAPSHOT/1\n"] header followed by a marshalled payload.
+
+    Closures are not serialised: pass [?builtins] matching the original
+    engine's registry, and [?aggregate] to reinstate a custom quorum
+    policy (the default plurality vote is assumed otherwise). *)
+
+val snapshot : t -> out_channel -> unit
+
+val snapshot_string : t -> string
+
+val restore : ?builtins:Builtin.registry -> ?aggregate:aggregate -> in_channel -> t
+(** @raise Runtime_error on a bad header or corrupt payload. *)
+
+val restore_string : ?builtins:Builtin.registry -> ?aggregate:aggregate -> string -> t
+(** @raise Runtime_error on a bad header or corrupt payload. *)

@@ -1,0 +1,156 @@
+type reason = Timed_out | Rejected_answers of int | Declined
+
+let reason_to_string = function
+  | Timed_out -> "timed out"
+  | Rejected_answers n -> Printf.sprintf "%d rejected answers" n
+  | Declined -> "declined"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_to_string r)
+
+type config = {
+  ttl : int;
+  max_timeouts : int;
+  backoff_base : int;
+  max_rejections : int;
+}
+
+let default_config = { ttl = 3; max_timeouts = 3; backoff_base = 1; max_rejections = 4 }
+
+type lease = {
+  open_id : int;
+  worker : Reldb.Value.t;
+  granted_at : int;
+  deadline : int;
+}
+
+type task = {
+  mutable holders : lease list;  (* grant order *)
+  mutable timeouts : int;
+  mutable rejections : int;
+  mutable not_before : int;
+}
+
+type t = {
+  config : config;
+  tasks : (int, task) Hashtbl.t;
+  dead : (int, reason) Hashtbl.t;
+  mutable dead_order : int list;  (* reverse *)
+  mutable now : int;
+}
+
+let create config =
+  { config; tasks = Hashtbl.create 64; dead = Hashtbl.create 16; dead_order = []; now = 0 }
+
+let config t = t.config
+let now t = t.now
+let observe t n = if n > t.now then t.now <- n
+
+let task_of t open_id =
+  match Hashtbl.find_opt t.tasks open_id with
+  | Some task -> task
+  | None ->
+      let task = { holders = []; timeouts = 0; rejections = 0; not_before = 0 } in
+      Hashtbl.replace t.tasks open_id task;
+      task
+
+let valid t lease = t.now < lease.deadline
+
+type assign_error = [ `Dead of reason | `Backoff of int | `Held of Reldb.Value.t ]
+
+let assign t ~open_id ~worker ~now ~capacity =
+  observe t now;
+  match Hashtbl.find_opt t.dead open_id with
+  | Some r -> Error (`Dead r)
+  | None ->
+      let task = task_of t open_id in
+      if now < task.not_before then Error (`Backoff task.not_before)
+      else begin
+        let live = List.filter (valid t) task.holders in
+        match List.find_opt (fun l -> Reldb.Value.equal l.worker worker) live with
+        | Some mine ->
+            (* Renewal: fresh deadline, same slot. *)
+            let renewed = { mine with granted_at = now; deadline = now + t.config.ttl } in
+            task.holders <-
+              renewed :: List.filter (fun l -> not (Reldb.Value.equal l.worker worker)) live;
+            Ok renewed
+        | None ->
+            if List.length live >= capacity then Error (`Held (List.hd live).worker)
+            else begin
+              let lease = { open_id; worker; granted_at = now; deadline = now + t.config.ttl } in
+              task.holders <- live @ [ lease ];
+              Ok lease
+            end
+      end
+
+let holds t ~open_id ~worker =
+  match Hashtbl.find_opt t.tasks open_id with
+  | None -> false
+  | Some task ->
+      List.exists
+        (fun l -> Reldb.Value.equal l.worker worker && valid t l)
+        task.holders
+
+let blocked_for t ~open_id ~worker ~capacity =
+  match Hashtbl.find_opt t.tasks open_id with
+  | None -> None
+  | Some task ->
+      let live = List.filter (valid t) task.holders in
+      if
+        List.length live >= capacity
+        && not (List.exists (fun l -> Reldb.Value.equal l.worker worker) live)
+      then Some (List.hd live).worker
+      else None
+
+let release t ~open_id ~worker =
+  match Hashtbl.find_opt t.tasks open_id with
+  | None -> ()
+  | Some task ->
+      task.holders <-
+        List.filter (fun l -> not (Reldb.Value.equal l.worker worker)) task.holders
+
+let drop_state t open_id = Hashtbl.remove t.tasks open_id
+
+let mark_dead t ~open_id reason =
+  if not (Hashtbl.mem t.dead open_id) then begin
+    Hashtbl.replace t.dead open_id reason;
+    t.dead_order <- open_id :: t.dead_order
+  end;
+  drop_state t open_id
+
+let is_dead t ~open_id = Hashtbl.find_opt t.dead open_id
+
+let dead_letters t =
+  List.rev_map (fun id -> (id, Hashtbl.find t.dead id)) t.dead_order
+
+let forget t ~open_id = drop_state t open_id
+
+let note_rejection t ~open_id =
+  let task = task_of t open_id in
+  task.rejections <- task.rejections + 1;
+  if task.rejections >= t.config.max_rejections then `Exhausted task.rejections
+  else `Counted task.rejections
+
+let reclaim t ~now =
+  observe t now;
+  let touched = ref [] in
+  Hashtbl.iter
+    (fun open_id task ->
+      let live, expired = List.partition (fun l -> now < l.deadline) task.holders in
+      if expired <> [] then begin
+        task.holders <- live;
+        task.timeouts <- task.timeouts + List.length expired;
+        touched := (open_id, task) :: !touched
+      end)
+    t.tasks;
+  List.sort (fun (a, _) (b, _) -> compare a b) !touched
+  |> List.map (fun (open_id, task) ->
+         if task.timeouts >= t.config.max_timeouts then begin
+           mark_dead t ~open_id Timed_out;
+           (open_id, `Dead Timed_out)
+         end
+         else begin
+           (* Exponential backoff in rounds: 1, 2, 4, ... times the base. *)
+           let delay = t.config.backoff_base * (1 lsl (task.timeouts - 1)) in
+           task.not_before <- now + delay;
+           (open_id, `Retry task.not_before)
+         end)

@@ -1,0 +1,107 @@
+(** Task leases for unreliable crowds.
+
+    Real crowds time out, abandon tasks and answer garbage, so an open
+    tuple needs an {e assignment lifecycle} rather than pending forever:
+    a worker takes an exclusive lease with a logical-clock deadline; a
+    lease that expires is reclaimed and the task becomes assignable again
+    after an exponential backoff, up to a per-task retry budget; tasks
+    that exhaust their budget (or keep attracting rejected answers) move
+    to a dead-letter pool with a typed reason.
+
+    The module is pure bookkeeping over caller-supplied logical time
+    (engine clock, simulator round — any monotone counter): it never
+    touches the database or the open-tuple pool. {!Cylog.Engine} embeds
+    one instance and drives it from [assign]/[reclaim]/[supply]. *)
+
+type reason =
+  | Timed_out  (** the retry budget was exhausted by expired leases *)
+  | Rejected_answers of int
+      (** that many answers were rejected (wrong attributes or types) *)
+  | Declined  (** dropped without an answer ({!Cylog.Engine.decline}) *)
+
+val reason_to_string : reason -> string
+val pp_reason : Format.formatter -> reason -> unit
+
+type config = {
+  ttl : int;  (** rounds a lease stays valid after being granted *)
+  max_timeouts : int;
+      (** expired leases tolerated per task before dead-lettering *)
+  backoff_base : int;
+      (** after the [n]-th timeout the task is reassignable only
+          [backoff_base * 2^(n-1)] rounds later *)
+  max_rejections : int;
+      (** rejected answers tolerated per task before dead-lettering *)
+}
+
+val default_config : config
+(** [ttl = 3], [max_timeouts = 3], [backoff_base = 1],
+    [max_rejections = 4]. *)
+
+type lease = {
+  open_id : int;
+  worker : Reldb.Value.t;
+  granted_at : int;
+  deadline : int;  (** valid while [now < deadline] *)
+}
+
+type t
+
+val create : config -> t
+(** Fresh lease table; logical time starts at 0. *)
+
+val config : t -> config
+
+val now : t -> int
+(** Latest logical time observed through [assign]/[reclaim]. *)
+
+type assign_error =
+  [ `Dead of reason  (** the task is in the dead-letter pool *)
+  | `Backoff of int  (** reassignable at that time, not before *)
+  | `Held of Reldb.Value.t  (** capacity exhausted; one current holder *) ]
+
+val assign :
+  t -> open_id:int -> worker:Reldb.Value.t -> now:int -> capacity:int ->
+  (lease, assign_error) result
+(** Grant [worker] a lease on the task. At most [capacity] valid leases
+    (one per worker) coexist — capacity > 1 implements redundant
+    assignment for quorum tasks. Re-assigning to a current holder renews
+    their deadline. Advances the table's logical time to [now]. *)
+
+val holds : t -> open_id:int -> worker:Reldb.Value.t -> bool
+(** Does [worker] hold a lease valid at {!now}? *)
+
+val blocked_for :
+  t -> open_id:int -> worker:Reldb.Value.t -> capacity:int ->
+  Reldb.Value.t option
+(** When every one of the task's [capacity] slots is taken by a valid
+    lease of a {e different} worker, one such holder; [None] otherwise
+    (the task is open to [worker]). *)
+
+val release : t -> open_id:int -> worker:Reldb.Value.t -> unit
+(** Drop [worker]'s lease (their answer was accepted); retry/rejection
+    counters are kept for the remaining holders. *)
+
+val note_rejection : t -> open_id:int -> [ `Counted of int | `Exhausted of int ]
+(** Record a rejected answer for the task. [`Exhausted n] signals the
+    rejection budget is spent — the caller should dead-letter the task
+    with [Rejected_answers n]. *)
+
+val reclaim :
+  t -> now:int -> (int * [ `Retry of int | `Dead of reason ]) list
+(** Expire every lease overdue at [now]. Each expiry counts one timeout
+    against its task's budget: tasks within budget become reassignable at
+    the returned backoff time ([`Retry]); tasks over budget are moved to
+    the dead-letter pool ([`Dead Timed_out]). Results are sorted by task
+    id (deterministic). Advances logical time to [now]. *)
+
+val forget : t -> open_id:int -> unit
+(** The task resolved normally: drop all its lease state. *)
+
+val mark_dead : t -> open_id:int -> reason -> unit
+(** Move the task to the dead-letter pool (idempotent: the first reason
+    wins) and drop its lease state. *)
+
+val is_dead : t -> open_id:int -> reason option
+
+val dead_letters : t -> (int * reason) list
+(** Dead-lettered task ids with reasons, in dead-lettering order. *)

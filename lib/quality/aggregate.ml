@@ -14,6 +14,23 @@ let by_item votes =
     votes;
   List.rev_map (fun item -> (item, List.rev !(Hashtbl.find groups item))) !order
 
+(* Plurality over one item's votes in arrival order — the building block
+   behind [majority], exposed so per-attribute aggregation hooks (the
+   engine's quorum policy) can reuse the exact same tie-breaking. *)
+let plurality values =
+  let counts = ref [] in
+  List.iter
+    (fun value ->
+      match List.assoc_opt value !counts with
+      | Some c -> counts := (value, c + 1) :: List.remove_assoc value !counts
+      | None -> counts := !counts @ [ (value, 1) ])
+    values;
+  List.fold_left
+    (fun best (value, c) ->
+      match best with Some (_, bc) when bc >= c -> best | _ -> Some (value, c))
+    None !counts
+  |> Option.map fst
+
 let majority votes =
   List.map
     (fun (item, vs) ->

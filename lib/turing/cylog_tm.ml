@@ -82,7 +82,7 @@ let read_result engine engine_steps =
 
 let run ?(max_steps = 100_000) ?use_planner m ~input =
   let engine = load ?use_planner m ~input in
-  let steps = Cylog.Engine.run engine ~max_steps in
+  let steps, _ = Cylog.Engine.run engine ~max_steps in
   read_result engine steps
 
 let agrees_with_direct ?max_steps m ~input =
@@ -128,7 +128,7 @@ rules:
         | Ok _ ->
             ignore (Cylog.Engine.run engine);
             Ok ()
-        | Error e -> Error e)
+        | Error e -> Error (Cylog.Engine.reject_to_string e))
     | [] -> Error "the machine is not asking anything"
 
   let run ~answers =

@@ -78,7 +78,7 @@ let collect_extracts db =
             int_of (Reldb.Tuple.get_or_null t "rid") ))
         (Reldb.Relation.tuples rel)
 
-let run ?(seed = 7) ?corpus ?workers ?use_planner variant =
+let run ?(seed = 7) ?corpus ?workers ?use_planner ?lease ?quorum ?faults variant =
   let corpus = match corpus with Some c -> c | None -> Tweets.Generator.corpus () in
   let workers = match workers with Some w -> w | None -> default_workers variant in
   let names = List.map (fun (w : Crowd.Worker.profile) -> w.name) workers in
@@ -91,6 +91,11 @@ let run ?(seed = 7) ?corpus ?workers ?use_planner variant =
         (Reldb.Value.String w.name, Policies.policy shared w))
       workers
   in
+  let sim_workers =
+    match faults with
+    | Some fs -> Crowd.Faults.inject ~seed fs sim_workers
+    | None -> sim_workers
+  in
   let target = 2 * List.length corpus in
   let agreed_count engine =
     match Reldb.Database.find (Cylog.Engine.database engine) "Agreed" with
@@ -99,7 +104,10 @@ let run ?(seed = 7) ?corpus ?workers ?use_planner variant =
   in
   let stop engine = agreed_count engine >= target in
   let progress engine = float_of_int (agreed_count engine) /. float_of_int target in
-  let sim = Crowd.Simulator.run ~seed ~progress ~stop ~workers:sim_workers engine in
+  let sim =
+    Crowd.Simulator.run ~seed ~progress ?lease ?quorum ~stop ~workers:sim_workers
+      engine
+  in
   let db = Cylog.Engine.database engine in
   {
     variant;

@@ -27,12 +27,16 @@ val default_workers : Programs.variant -> Crowd.Worker.profile list
 val run :
   ?seed:int -> ?corpus:Tweets.Generator.tweet list ->
   ?workers:Crowd.Worker.profile list -> ?use_planner:bool ->
+  ?lease:Cylog.Lease.config -> ?quorum:int -> ?faults:Crowd.Faults.fault list ->
   Programs.variant -> outcome
 (** Run a variant to termination (all (tweet, attribute) pairs agreed) on
     the standard corpus (463 tweets) with the default crowd. [use_planner]
     is passed through to {!Cylog.Engine.load} — setting it to [false]
     selects the reference left-to-right join order, for differential
-    testing of the planner. *)
+    testing of the planner. [lease] and [quorum] are passed through to
+    {!Crowd.Simulator.run} (lease runtime and redundant assignment);
+    [faults] wraps every worker with {!Crowd.Faults.inject} under the same
+    [seed]. *)
 
 val completion : outcome -> float
 (** Fraction of (tweet, attribute) pairs with an agreed value — 1.0 on a

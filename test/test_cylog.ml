@@ -284,7 +284,7 @@ let figure13_src =
 
 let test_figure13_order () =
   let engine = Engine.load (Parser.parse_exn figure13_src) in
-  let steps = Engine.run engine in
+  let steps, _ = Engine.run engine in
   Alcotest.(check int) "8 evaluation steps" 8 steps;
   let trace =
     List.map
@@ -356,7 +356,7 @@ let test_ve_agreement () =
     | Some w -> (
         match Engine.supply engine o.id ~worker:w [ ("value", v_str value) ] with
         | Ok _ -> ()
-        | Error m -> Alcotest.fail m)
+        | Error m -> Alcotest.fail (Engine.reject_to_string m))
     | None -> Alcotest.fail "expected designated worker"
   in
   (match Engine.pending engine with
@@ -386,7 +386,7 @@ let test_ve_disagreement_no_output () =
       let value = if i = 0 then "rainy" else "wet" in
       match Engine.supply engine o.id ~worker:w [ ("value", v_str value) ] with
       | Ok _ -> ()
-      | Error m -> Alcotest.fail m)
+      | Error m -> Alcotest.fail (Engine.reject_to_string m))
     (Engine.pending engine);
   ignore (Engine.run engine);
   let out = Reldb.Database.find_exn (Engine.database engine) "Output" in
@@ -414,7 +414,7 @@ let run_vei answers =
       let w = Option.get o.asked in
       match Engine.supply engine o.id ~worker:w [ ("value", v_str (List.nth answers i)) ] with
       | Ok _ -> ()
-      | Error m -> Alcotest.fail m)
+      | Error m -> Alcotest.fail (Engine.reject_to_string m))
     (Engine.pending engine);
   ignore (Engine.run engine);
   engine
@@ -547,7 +547,7 @@ let test_existence_question () =
       | Ok _ -> Alcotest.fail "supply should be rejected");
       (match Engine.answer_existence engine o.id ~worker:(v_int 9) true with
       | Ok _ -> ()
-      | Error m -> Alcotest.fail m);
+      | Error m -> Alcotest.fail (Engine.reject_to_string m));
       let inputs = Reldb.Database.find_exn (Engine.database engine) "Inputs" in
       Alcotest.(check int) "tuple inserted on yes" 1 (Reldb.Relation.cardinal inputs)
   | _ -> Alcotest.fail "expected one open tuple"
@@ -567,7 +567,7 @@ let test_existence_no_leaves_relation_empty () =
   | [ o ] -> (
       match Engine.answer_existence engine o.id ~worker:(v_int 9) false with
       | Ok _ -> ()
-      | Error m -> Alcotest.fail m)
+      | Error m -> Alcotest.fail (Engine.reject_to_string m))
   | _ -> Alcotest.fail "expected one open tuple");
   let inputs = Reldb.Database.find_exn (Engine.database engine) "Inputs" in
   Alcotest.(check int) "no tuple on no" 0 (Reldb.Relation.cardinal inputs);
@@ -601,7 +601,7 @@ let test_standing_task_rule_entry () =
             [ ("cond", v_str cond); ("attr", v_str "weather"); ("value", v_str value) ]
         with
         | Ok _ -> ()
-        | Error m -> Alcotest.fail m
+        | Error m -> Alcotest.fail (Engine.reject_to_string m)
       in
       enter "rain" "rainy";
       enter "sun" "sunny";
@@ -707,7 +707,7 @@ let test_supply_resolved_open_rejected () =
   | [ o ] -> (
       (match Engine.supply engine o.id ~worker:(v_int 1) [ ("v", v_str "a") ] with
       | Ok _ -> ()
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Engine.reject_to_string e));
       match Engine.supply engine o.id ~worker:(v_int 1) [ ("v", v_str "b") ] with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "resolved open must reject a second answer")

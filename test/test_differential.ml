@@ -365,6 +365,71 @@ let test_turing_planner_differential () =
       (Turing.Machine.binary_increment, [ "1"; "0"; "1"; "1" ]);
       (Turing.Machine.parity, [ "1"; "1"; "1" ]) ]
 
+(* --- Snapshot / replay differential --------------------------------------- *)
+
+(* Checkpoint/recovery is event-sourced: a snapshot is the program plus
+   the API-call journal, and restore replays the journal through the very
+   same public entry points. So for ANY driving sequence — machine steps,
+   human answers, declines — the restored engine must reproduce the event
+   trace exactly, and re-snapshotting it must give back the same bytes
+   (the replayed journal is the journal). *)
+let drive_engine_with_canonical_human program =
+  let engine = Engine.load program in
+  ignore (Engine.run engine ~max_steps:20_000);
+  let rec answer rounds =
+    if rounds > 500 then ()
+    else
+      let pending =
+        List.sort
+          (fun (a : Engine.open_tuple) (b : Engine.open_tuple) ->
+            compare
+              (a.relation, Reldb.Tuple.to_string a.bound)
+              (b.relation, Reldb.Tuple.to_string b.bound))
+          (Engine.pending engine)
+      in
+      match pending with
+      | [] -> ()
+      | o :: _ ->
+          let value = Reldb.Value.Int (Reldb.Tuple.hash o.bound mod 5) in
+          (match
+             Engine.supply engine o.id ~worker:(Reldb.Value.String "human")
+               (List.map (fun a -> (a, value)) o.open_attrs)
+           with
+          | Ok _ -> ()
+          | Error _ -> Engine.decline engine o.id);
+          ignore (Engine.run engine ~max_steps:20_000);
+          answer (rounds + 1)
+  in
+  answer 0;
+  engine
+
+let prop_snapshot_replay_is_trace_identical =
+  QCheck.Test.make ~name:"snapshot -> restore replays the exact trace" ~count:100
+    gen_program (fun program ->
+      let program = with_open_rule program in
+      let engine = drive_engine_with_canonical_human program in
+      let snap = Engine.snapshot_string engine in
+      let restored = Engine.restore_string snap in
+      engine_trace restored = engine_trace engine
+      && db_facts (Engine.database restored) = db_facts (Engine.database engine)
+      && Engine.snapshot_string restored = snap)
+
+let test_tweetpecker_snapshot_replay () =
+  List.iter
+    (fun variant ->
+      let corpus = Tweets.Generator.generate ~seed:5 12 in
+      let o = Tweetpecker.Runner.run ~seed:11 ~corpus variant in
+      let snap = Engine.snapshot_string o.engine in
+      let restored = Engine.restore_string snap in
+      let name = Tweetpecker.Programs.variant_name variant in
+      Alcotest.(check bool) (name ^ ": trace identical") true
+        (engine_trace restored = engine_trace o.engine);
+      Alcotest.(check bool) (name ^ ": database identical") true
+        (db_facts (Engine.database restored) = db_facts (Engine.database o.engine));
+      Alcotest.(check bool) (name ^ ": re-snapshot byte-identical") true
+        (Engine.snapshot_string restored = snap))
+    Tweetpecker.Programs.[ VE; VEI; VRE; VREI ]
+
 (* Views carve-out robustness: random raw template bodies (any characters,
    balanced braces) survive the pre-lexing split and do not disturb the
    rules around them. *)
@@ -407,8 +472,10 @@ let suite =
           prop_engine_deterministic; prop_fixpoint_is_stable; prop_monotone_growth;
           prop_planner_preserves_trace; prop_planner_preserves_trace_with_humans;
           prop_parse_print_roundtrip; prop_printed_program_runs_identically;
-          prop_views_split_preserves_rules ]
+          prop_views_split_preserves_rules; prop_snapshot_replay_is_trace_identical ]
       @ [ Alcotest.test_case "tweetpecker variants: planner on = off" `Slow
             test_tweetpecker_planner_differential;
+          Alcotest.test_case "tweetpecker variants: snapshot replay" `Slow
+            test_tweetpecker_snapshot_replay;
           Alcotest.test_case "figure 16 turing: planner on = off" `Quick
             test_turing_planner_differential ] ) ]

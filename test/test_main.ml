@@ -3,4 +3,5 @@ let () =
   Alcotest.run "cylog"
     (Test_reldb.suite @ Test_regex.suite @ Test_cylog.suite @ Test_game.suite
    @ Test_tweets.suite @ Test_crowd.suite @ Test_tweetpecker.suite
-   @ Test_turing.suite @ Test_quality.suite @ Test_differential.suite)
+   @ Test_turing.suite @ Test_quality.suite @ Test_differential.suite
+   @ Test_robustness.suite)
