@@ -585,13 +585,17 @@ type joins_run = {
   j_seconds : float;
   j_rows_scanned : int;
   j_steps : int;
+  j_cache_hits : int;
+  j_cache_misses : int;
   j_out : Reldb.Tuple.t list;
   j_trace : (int * string option * (string * Reldb.Value.t) list * bool) list;
 }
 
-let joins_run ~scale ~use_planner =
+let joins_run ?(metrics = true) ~scale ~use_planner () =
   let n = 40 * scale and t = 2 * scale in
   let engine = Cylog.Engine.load ~use_planner (Cylog.Parser.parse_exn joins_src) in
+  if not metrics then
+    Cylog.Telemetry.Metrics.set_enabled (Cylog.Engine.metrics engine) false;
   let db = Cylog.Engine.database engine in
   let ins name fields =
     ignore
@@ -614,6 +618,13 @@ let joins_run ~scale ~use_planner =
         !steps)
   in
   let j_rows_scanned = Cylog.Eval.rows_scanned () in
+  let counter = Cylog.Telemetry.Metrics.counter (Cylog.Engine.metrics engine) in
+  let j_cache_hits =
+    counter "planner.rescan_cache.hits" + counter "planner.delta_cache.hits"
+  in
+  let j_cache_misses =
+    counter "planner.rescan_cache.misses" + counter "planner.delta_cache.misses"
+  in
   let j_out =
     List.sort compare (Reldb.Relation.tuples (Reldb.Database.find_exn db "Out"))
   in
@@ -622,14 +633,14 @@ let joins_run ~scale ~use_planner =
       (fun (e : Cylog.Engine.event) -> (e.statement, e.label, e.valuation, e.fired))
       (Cylog.Engine.events engine)
   in
-  { j_seconds; j_rows_scanned; j_steps; j_out; j_trace }
+  { j_seconds; j_rows_scanned; j_steps; j_cache_hits; j_cache_misses; j_out; j_trace }
 
 type joins_row = { scale : int; naive : joins_run; planned : joins_run }
 
 let joins_row scale =
   { scale;
-    naive = joins_run ~scale ~use_planner:false;
-    planned = joins_run ~scale ~use_planner:true }
+    naive = joins_run ~scale ~use_planner:false ();
+    planned = joins_run ~scale ~use_planner:true () }
 
 let joins_identical r =
   r.naive.j_out = r.planned.j_out && r.naive.j_trace = r.planned.j_trace
@@ -639,7 +650,11 @@ let pp_joins_row r =
   Format.printf
     "  %4dx  naive: %8.3fs %10d rows   planned: %8.3fs %10d rows   speedup %6.1fx  identical: %b@."
     r.scale r.naive.j_seconds r.naive.j_rows_scanned r.planned.j_seconds
-    r.planned.j_rows_scanned speedup (joins_identical r)
+    r.planned.j_rows_scanned speedup (joins_identical r);
+  Format.printf
+    "         plan cache  naive: %d hits / %d misses   planned: %d hits / %d misses@."
+    r.naive.j_cache_hits r.naive.j_cache_misses r.planned.j_cache_hits
+    r.planned.j_cache_misses
 
 let joins_json rows =
   let buf = Buffer.create 1024 in
@@ -651,8 +666,9 @@ let joins_json rows =
     (fun i r ->
       let run label (m : joins_run) =
         Printf.sprintf
-          "      \"%s\": { \"seconds\": %.6f, \"rows_scanned\": %d, \"steps\": %d }"
-          label m.j_seconds m.j_rows_scanned m.j_steps
+          "      \"%s\": { \"seconds\": %.6f, \"rows_scanned\": %d, \"steps\": %d, \
+           \"plan_cache_hits\": %d, \"plan_cache_misses\": %d }"
+          label m.j_seconds m.j_rows_scanned m.j_steps m.j_cache_hits m.j_cache_misses
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -703,6 +719,188 @@ let run_joins_smoke () =
     r.planned.j_rows_scanned r.naive.j_rows_scanned
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: JSON-output smoke test and null-sink overhead gate       *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON well-formedness checker, enough for the dialect
+   Telemetry emits (objects, arrays, strings with escapes, ints/floats,
+   booleans, null). Validates the whole input is one JSON value. *)
+exception Bad_json
+
+let json_parses s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else raise Bad_json in
+  let adv () = incr i in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      adv ()
+    done
+  in
+  let expect c = if peek () <> c then raise Bad_json else adv () in
+  let keyword k = String.iter (fun c -> if peek () <> c then raise Bad_json else adv ()) k in
+  let pstring () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | '"' -> adv ()
+      | '\\' -> adv (); ignore (peek ()); adv (); go ()
+      | _ -> adv (); go ()
+    in
+    go ()
+  in
+  let digits () =
+    let saw = ref false in
+    while !i < n && (match s.[!i] with '0' .. '9' -> true | _ -> false) do
+      saw := true;
+      adv ()
+    done;
+    if not !saw then raise Bad_json
+  in
+  let number () =
+    if peek () = '-' then adv ();
+    digits ();
+    if !i < n && s.[!i] = '.' then (adv (); digits ());
+    if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+      adv ();
+      if !i < n && (s.[!i] = '+' || s.[!i] = '-') then adv ();
+      digits ()
+    end
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | '{' ->
+        adv ();
+        skip_ws ();
+        if peek () = '}' then adv ()
+        else
+          let rec members () =
+            skip_ws (); pstring (); skip_ws (); expect ':'; value (); skip_ws ();
+            if peek () = ',' then (adv (); members ()) else expect '}'
+          in
+          members ()
+    | '[' ->
+        adv ();
+        skip_ws ();
+        if peek () = ']' then adv ()
+        else
+          let rec elements () =
+            value (); skip_ws ();
+            if peek () = ',' then (adv (); elements ()) else expect ']'
+          in
+          elements ()
+    | '"' -> pstring ()
+    | 't' -> keyword "true"
+    | 'f' -> keyword "false"
+    | 'n' -> keyword "null"
+    | '-' | '0' .. '9' -> number ()
+    | _ -> raise Bad_json);
+    skip_ws ()
+  in
+  try
+    value ();
+    !i = n
+  with Bad_json -> false
+
+(* The counters any campaign with tasks, leases and a quorum must have
+   produced — the smoke contract for --metrics-out consumers. *)
+let mandatory_metric_keys =
+  [ "engine.events"; "engine.fired"; "open.created"; "answers.accepted";
+    "lease.granted"; "quorum.votes"; "db.inserted" ]
+
+let run_telemetry_smoke () =
+  section "Telemetry smoke: faulted quorum campaign under the JSON sink";
+  let src =
+    {|rules:
+  Item(id:1); Item(id:2); Item(id:3); Item(id:4);
+  Q: LabelOf(id, label)/open <- Item(id);
+|}
+  in
+  let engine = Cylog.Engine.load (Cylog.Parser.parse_exn src) in
+  let spans = ref [] in
+  Cylog.Engine.set_sink engine
+    (Cylog.Telemetry.Sink.fn (fun s -> spans := s :: !spans));
+  let policy engine ~worker:_ ~rng ~round:_ =
+    match Cylog.Engine.pending engine with
+    | [] -> Crowd.Simulator.Pass
+    | pending ->
+        let o = List.nth pending (Random.State.int rng (List.length pending)) in
+        let label = [| "cat"; "dog" |].(Random.State.int rng 2) in
+        Crowd.Simulator.Answer
+          ( o.Cylog.Engine.id,
+            [ ("label", Reldb.Value.String label) ],
+            Crowd.Simulator.Enter_value )
+  in
+  let workers =
+    List.map (fun w -> (Reldb.Value.String w, policy)) [ "w1"; "w2"; "w3"; "w4" ]
+  in
+  let workers = Crowd.Faults.inject ~seed:5 (List.assoc "drop" Crowd.Faults.profiles) workers in
+  let outcome =
+    Crowd.Simulator.run ~seed:5 ~max_rounds:200 ~lease:Cylog.Lease.default_config
+      ~quorum:2
+      ~stop:(fun e -> Cylog.Engine.pending e = [] && Cylog.Engine.run e |> snd = `Quiescent)
+      ~workers engine
+  in
+  Format.printf "  campaign: %d rounds, %d events, %d spans@." outcome.rounds
+    (List.length (Cylog.Engine.events engine))
+    (List.length !spans);
+  let failures = ref 0 in
+  let check what ok =
+    if not ok then begin
+      incr failures;
+      Format.printf "  FAIL: %s@." what
+    end
+  in
+  let metrics_json = Cylog.Telemetry.Metrics.to_json (Cylog.Engine.metrics engine) in
+  check "metrics JSON does not parse" (json_parses metrics_json);
+  check "no spans were emitted" (!spans <> []);
+  List.iter
+    (fun s -> check "span JSON line does not parse" (json_parses (Cylog.Telemetry.span_to_json s)))
+    !spans;
+  List.iter
+    (fun key ->
+      check
+        (Printf.sprintf "mandatory metric %s missing" key)
+        (Cylog.Telemetry.Metrics.counter (Cylog.Engine.metrics engine) key > 0))
+    mandatory_metric_keys;
+  (* The derivability invariant, end to end: recounting the journal must
+     reproduce every journal-derived counter of the live registry. *)
+  let recount = Cylog.Engine.metrics_of_events (Cylog.Engine.events engine) in
+  let derived m =
+    List.filter
+      (fun (k, _) -> Cylog.Engine.journal_derived k)
+      (Cylog.Telemetry.Metrics.counters m)
+  in
+  check "journal recount disagrees with live registry"
+    (derived recount = derived (Cylog.Engine.metrics engine));
+  if !failures > 0 then exit 1;
+  Format.printf "  ok: JSON parses, %d mandatory keys present, journal recount agrees@."
+    (List.length mandatory_metric_keys)
+
+let run_telemetry_overhead () =
+  section "Telemetry overhead: joins with the metrics registry on vs off (null sink)";
+  (* Wall-clock assertions flake; take best-of-3 and accept either the
+     2%% relative bound or a small absolute floor at this tiny scale. *)
+  let best f =
+    List.fold_left
+      (fun acc _ -> Float.min acc (f ()).j_seconds)
+      Float.infinity [ (); (); () ]
+  in
+  ignore (joins_run ~scale:10 ~use_planner:true ()) (* warm-up *);
+  let on = best (fun () -> joins_run ~scale:10 ~use_planner:true ()) in
+  let off = best (fun () -> joins_run ~metrics:false ~scale:10 ~use_planner:true ()) in
+  let delta = on -. off in
+  let pct = 100.0 *. delta /. Float.max 1e-9 off in
+  Format.printf "  metrics on: %.4fs   off: %.4fs   delta %+.4fs (%+.1f%%)@." on off
+    delta pct;
+  if delta > 0.05 && pct > 2.0 then begin
+    Format.printf "  FAIL: instrumentation overhead above 2%% (and 0.05s)@.";
+    exit 1
+  end;
+  Format.printf "  ok: overhead within tolerance (<=2%% or <=0.05s)@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -711,7 +909,9 @@ let experiments =
     ("figure10", run_figure10); ("figure11", run_figure11); ("figure12", run_figure12);
     ("figure13", run_figure13); ("figure14", run_figure14); ("figure16", run_figure16);
     ("theorems", run_theorems); ("ablations", run_ablations);
-    ("joins", run_joins); ("joins-smoke", run_joins_smoke); ("bench", run_bench) ]
+    ("joins", run_joins); ("joins-smoke", run_joins_smoke);
+    ("telemetry-smoke", run_telemetry_smoke);
+    ("telemetry-overhead", run_telemetry_overhead); ("bench", run_bench) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in

@@ -116,12 +116,34 @@ let drive_engine interactive max_steps checkpoint engine =
           Format.printf "  %s: %s@." (Reldb.Value.to_display p) (Reldb.Value.to_display s))
         payoffs
 
-let run_cmd interactive max_steps checkpoint path =
+(* Install --trace-out / --metrics-out around a driver invocation: the
+   trace sink streams spans as the engine runs; the metrics registry is
+   dumped once at the end. *)
+let with_telemetry_outputs metrics_out trace_out engine k =
+  let trace_oc = Option.map open_out trace_out in
+  (match trace_oc with
+  | Some oc -> Cylog.Engine.set_sink engine (Cylog.Telemetry.Sink.jsonl oc)
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Cylog.Telemetry.Metrics.to_json (Cylog.Engine.metrics engine));
+          output_char oc '\n';
+          close_out oc
+      | None -> ());
+      Option.iter close_out_noerr trace_oc)
+    k
+
+let run_cmd interactive max_steps checkpoint metrics_out trace_out path =
   let program = or_die (parse_file path) in
   let engine = Cylog.Engine.load program in
-  drive_engine interactive max_steps checkpoint engine
+  with_telemetry_outputs metrics_out trace_out engine (fun () ->
+      drive_engine interactive max_steps checkpoint engine)
 
-let resume_cmd interactive max_steps checkpoint path =
+let resume_cmd interactive max_steps checkpoint metrics_out trace_out path =
   let engine =
     let ic = open_in_bin path in
     Fun.protect
@@ -134,7 +156,8 @@ let resume_cmd interactive max_steps checkpoint path =
   in
   Format.printf "restored %s (clock %d, %d events)@." path (Cylog.Engine.clock engine)
     (List.length (Cylog.Engine.events engine));
-  drive_engine interactive max_steps checkpoint engine
+  with_telemetry_outputs metrics_out trace_out engine (fun () ->
+      drive_engine interactive max_steps checkpoint engine)
 
 let check_cmd path =
   let program = or_die (parse_file path) in
@@ -170,6 +193,12 @@ let repl_help () =
     \  :answer ID a=v ...   valuate an open tuple (string values)\n\
     \  :yes ID / :no ID     answer an existence question\n\
     \  :trace               show the firing log\n\
+    \  :events [FILTER]     page the journal; FILTER is a kind (fired,\n\
+    \                       filtered, human, machine, insert, update,\n\
+    \                       delete, payoff, open, vote, dead), a rule\n\
+    \                       label, or a worker name\n\
+    \  :stats               dump the metrics registry\n\
+    \  :explain             show plans, leases and quorum state\n\
     \  :dead                show dead-lettered tasks\n\
     \  :snapshot FILE       checkpoint the session to FILE\n\
     \  :help                this message\n\
@@ -225,11 +254,43 @@ let repl_cmd file =
     | [ ":pending" ] -> show_pending (); `Continue
     | [ ":trace" ] ->
         List.iter
-          (fun (e : Cylog.Engine.event) ->
-            Format.printf "  %d: stmt %s%s@." e.clock
-              (Option.value e.label ~default:(string_of_int e.statement))
-              (if e.fired then "" else " (rejected)"))
+          (fun e -> Format.printf "  %a@." Cylog.Pretty.pp_event e)
           (Cylog.Engine.events engine);
+        `Continue
+    | ":events" :: filters ->
+        let events = Cylog.Engine.events engine in
+        let tags (e : Cylog.Engine.event) =
+          (if e.fired then [ "fired" ] else [ "filtered" ])
+          @ (match e.by_human with
+            | Some w -> [ "human"; Reldb.Value.to_display w ]
+            | None -> [ "machine" ])
+          @ (match e.label with Some l -> [ l ] | None -> [])
+          @ List.concat_map
+              (fun (eff : Cylog.Engine.effect) ->
+                match eff with
+                | Inserted _ -> [ "insert" ]
+                | Updated _ -> [ "update" ]
+                | Deleted _ -> [ "delete" ]
+                | Awarded _ -> [ "payoff" ]
+                | Open_created _ -> [ "open" ]
+                | No_effect -> []
+                | Vote_recorded _ -> [ "vote" ]
+                | Dead_lettered _ -> [ "dead" ])
+              e.effects
+        in
+        let selected =
+          match filters with
+          | [] -> events
+          | fs -> List.filter (fun e -> List.for_all (fun f -> List.mem f (tags e)) fs) events
+        in
+        List.iter (fun e -> Format.printf "  %a@." Cylog.Pretty.pp_event e) selected;
+        Format.printf "(%d of %d events)@." (List.length selected) (List.length events);
+        `Continue
+    | [ ":stats" ] ->
+        Format.printf "%a" Cylog.Telemetry.Metrics.pp (Cylog.Engine.metrics engine);
+        `Continue
+    | [ ":explain" ] ->
+        print_string (Cylog.Engine.explain engine);
         `Continue
     | [ ":dead" ] ->
         (match Cylog.Engine.dead_letters engine with
@@ -315,13 +376,30 @@ let checkpoint_arg =
         ~doc:"Write a snapshot to $(docv) when the run finishes; resume it later \
               with the $(b,resume) subcommand.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the final metrics registry to $(docv) as JSON.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Stream tracing spans to $(docv) as JSON lines while running.")
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Execute a CyLog program")
-      Term.(const run_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg $ file_arg);
+      Term.(
+        const run_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg
+        $ metrics_out_arg $ trace_out_arg $ file_arg);
     Cmd.v
       (Cmd.info "resume" ~doc:"Resume a run from a snapshot written by --checkpoint")
       Term.(
         const resume_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg
+        $ metrics_out_arg $ trace_out_arg
         $ Arg.(
             required
             & pos 0 (some file) None

@@ -110,11 +110,34 @@ let print_outcome o =
             (Cylog.Lease.reason_to_string reason))
         dead
 
-let run_cmd variant n seed export faults lease quorum =
+let run_cmd variant n seed export faults lease quorum metrics_out trace_out events =
   let lease = if lease then Some Cylog.Lease.default_config else None in
+  let trace_oc = Option.map open_out trace_out in
+  let sink = Option.map Cylog.Telemetry.Sink.jsonl trace_oc in
   let o =
-    Tweetpecker.Runner.run ~seed ~corpus:(corpus n) ?faults ?lease ?quorum variant
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
+      (fun () ->
+        Tweetpecker.Runner.run ~seed ~corpus:(corpus n) ?faults ?lease ?quorum
+          ?sink variant)
   in
+  (match metrics_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Cylog.Telemetry.Metrics.to_json (Cylog.Engine.metrics o.engine));
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  if events > 0 then begin
+    let journal = Cylog.Engine.events o.engine in
+    let total = List.length journal in
+    let skip = max 0 (total - events) in
+    Format.printf "@.last %d of %d journal events:@." (total - skip) total;
+    List.iteri
+      (fun i e -> if i >= skip then Format.printf "  %a@." Cylog.Pretty.pp_event e)
+      journal
+  end;
   match export with
   | None -> print_outcome o
   | Some relation -> (
@@ -165,11 +188,32 @@ let export_arg =
     & info [ "export" ] ~docv:"RELATION"
         ~doc:"Print the named relation of the final database as CSV (e.g. Agreed, Rules, Extracts, Inputs).")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the final metrics registry to $(docv) as JSON.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Stream tracing spans to $(docv) as JSON lines while the campaign runs.")
+
+let events_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "events" ] ~docv:"N"
+        ~doc:"Print the last $(docv) journal events after the run.")
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Run one variant and print its metrics")
       Term.(
         const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg $ faults_arg
-        $ lease_flag $ quorum_arg);
+        $ lease_flag $ quorum_arg $ metrics_out_arg $ trace_out_arg $ events_arg);
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
       Term.(const table1_cmd $ tweets_arg $ seed_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")

@@ -57,9 +57,13 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
   | None -> ());
   let leased = lease <> None in
   let rng = Random.State.make [| seed |] in
+  let tel = Cylog.Engine.telemetry engine in
+  let mets = Cylog.Engine.metrics engine in
   let log = ref [] in
   let rejected : (Reldb.Value.t, int) Hashtbl.t = Hashtbl.create 8 in
   let reject worker =
+    Cylog.Telemetry.Metrics.incr mets
+      ("sim.rejected.worker." ^ Reldb.Value.to_display worker);
     Hashtbl.replace rejected worker
       (1 + Option.value (Hashtbl.find_opt rejected worker) ~default:0)
   in
@@ -81,6 +85,16 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
         progress = p;
       }
       :: !log
+  in
+  (* The campaign span roots the simulator side of the trace hierarchy
+     (campaign > round > rule > atom-match); task spans stay siblings of
+     rounds because tasks outlive the round that created them. *)
+  let campaign =
+    Cylog.Telemetry.enter tel "campaign"
+      ~attrs:
+        [ ("seed", string_of_int seed);
+          ("workers", string_of_int (List.length workers)) ]
+      ~clock:(Cylog.Engine.clock engine)
   in
   machine ();
   (* A stall is only declared after several consecutive all-pass rounds:
@@ -104,6 +118,11 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
     else if stop engine then `Stopped
     else begin
       rounds_done := n;
+      let rspan =
+        Cylog.Telemetry.enter tel "round"
+          ~attrs:[ ("round", string_of_int n) ]
+          ~clock:(Cylog.Engine.clock engine)
+      in
       if leased then ignore (Cylog.Engine.reclaim engine ~now:n);
       let acted = ref false in
       List.iter
@@ -147,14 +166,33 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
                 end
           end)
         (shuffle rng workers);
-      if stop engine then `Stopped
-      else begin
-        if !acted then idle_rounds := 0 else incr idle_rounds;
-        if !idle_rounds >= 5 then `Stalled else rounds (n + 1)
-      end
+      let verdict =
+        if stop engine then `Stop
+        else begin
+          if !acted then idle_rounds := 0 else incr idle_rounds;
+          if !idle_rounds >= 5 then `Stall else `Next
+        end
+      in
+      Cylog.Telemetry.exit tel rspan
+        ~attrs:[ ("acted", string_of_bool !acted) ]
+        ~clock:(Cylog.Engine.clock engine);
+      match verdict with
+      | `Stop -> `Stopped
+      | `Stall -> `Stalled
+      | `Next -> rounds (n + 1)
     end
   in
   let stop_reason = rounds 1 in
+  Cylog.Telemetry.Metrics.set_gauge mets "sim.rounds" !rounds_done;
+  Cylog.Telemetry.Metrics.set_gauge mets "sim.capped_runs" !capped;
+  Cylog.Telemetry.exit tel campaign
+    ~attrs:
+      [ ( "stop",
+          match stop_reason with
+          | `Stopped -> "stopped"
+          | `Stalled -> "stalled"
+          | `Max_rounds -> "max-rounds" ) ]
+    ~clock:(Cylog.Engine.clock engine);
   let rejections =
     Hashtbl.fold (fun w n acc -> (w, n) :: acc) rejected []
     |> List.sort (fun (a, _) (b, _) -> Reldb.Value.compare a b)

@@ -62,6 +62,21 @@ let reject_to_string = function
 
 let pp_reject ppf r = Format.pp_print_string ppf (reject_to_string r)
 
+(* Stable, space-free identifiers for metric-key suffixes (unlike the
+   prose of [reject_to_string]/[Lease.reason_to_string]). *)
+let reject_key = function
+  | Stale _ -> "stale"
+  | Not_lease_holder -> "not_lease_holder"
+  | Wrong_question -> "wrong_question"
+  | Already_voted -> "already_voted"
+  | Wrong_attrs _ -> "wrong_attrs"
+  | Type_mismatch _ -> "type_mismatch"
+
+let reason_key = function
+  | Lease.Timed_out -> "timed_out"
+  | Lease.Rejected_answers _ -> "rejected_answers"
+  | Lease.Declined -> "declined"
+
 (* --- Quorum (redundant assignment + aggregation) --------------------------- *)
 
 type aggregate = (string * Reldb.Value.t list) list -> (string * Reldb.Value.t) list
@@ -111,6 +126,20 @@ type jentry =
   | J_add_statement of Ast.statement
   | J_set_lease of Lease.config option
   | J_set_quorum of (int * string list option) option
+
+(* Fold state for deriving metrics from the event journal: each open id's
+   creation clock (for the age-at-dead-letter histogram) and the value
+   ballots banked so far on pending quorum tasks (for the agreement rate
+   computed when the task resolves). The engine keeps one instance in sync
+   with its live registry; [metrics_of_events] rebuilds a fresh one. *)
+type count_state = {
+  cs_created : (open_id, int) Hashtbl.t;
+  cs_ballots : (open_id, (string * Reldb.Value.t) list list) Hashtbl.t;
+      (* reverse arrival order *)
+}
+
+let fresh_count_state () =
+  { cs_created = Hashtbl.create 64; cs_ballots = Hashtbl.create 16 }
 
 (* Debug instrumentation: enable with Logs.Src.set_level on "cylog.engine". *)
 let log_src = Logs.Src.create "cylog.engine" ~doc:"CyLog evaluation engine"
@@ -172,6 +201,13 @@ type t = {
   votes : (open_id, (Reldb.Value.t * vote) list) Hashtbl.t;  (* reverse *)
   mutable dead : (open_tuple * Lease.reason) list;  (* reverse *)
   mutable journal : jentry list;  (* reverse chronological *)
+  tel : Telemetry.t;
+  counting : count_state;
+      (* per-open-id fold state (creation clocks, banked ballots) that
+         keeps the live registry equal to a recount over [events] *)
+  task_spans : (open_id, Telemetry.handle) Hashtbl.t;
+      (* span id of each pending task's "task" span (tracing only), so
+         lease/vote/resolve spans can parent to it across steps *)
 }
 
 let journal t e = t.journal <- e :: t.journal
@@ -365,6 +401,9 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) (program : Ast.prog
     votes = Hashtbl.create 16;
     dead = [];
     journal = [];
+    tel = Telemetry.create ();
+    counting = fresh_count_state ();
+    task_spans = Hashtbl.create 16;
   }
 
 let database t = t.db
@@ -434,6 +473,128 @@ let builtins t = t.builtins
 let clock t = t.clock
 let events t = List.rev t.events
 
+(* --- Telemetry --------------------------------------------------------------- *)
+
+let telemetry t = t.tel
+let metrics t = Telemetry.metrics t.tel
+let set_sink t sink = Telemetry.set_sink t.tel sink
+
+let stmt_key label statement =
+  match label with Some l -> l | None -> string_of_int statement
+
+(* The one event-counting fold. [record_event] applies it to the live
+   registry and [metrics_of_events] to a fresh one, so "the live counters
+   match a recount over the journal" holds by construction. [st] carries
+   each open id's creation clock forward to its dead-letter event (for the
+   age histogram) and each pending quorum task's value ballots forward to
+   its resolution (for the agreement rate). *)
+let count_event st m (ev : event) =
+  let module M = Telemetry.Metrics in
+  M.incr m "engine.events";
+  (match ev.by_human with
+  | Some w ->
+      M.incr m "answers.accepted";
+      M.incr m ("answers.accepted.worker." ^ Reldb.Value.to_display w)
+  | None ->
+      if ev.fired then begin
+        M.incr m "engine.fired";
+        M.incr m ("engine.fired.rule." ^ stmt_key ev.label ev.statement)
+      end
+      else if ev.effects = [] then M.incr m "engine.tail_filtered");
+  let votes = ref 0 and others = ref 0 and voted_id = ref None in
+  List.iter
+    (fun eff ->
+      match eff with
+      | Inserted _ ->
+          incr others;
+          M.incr m "db.inserted"
+      | Updated _ ->
+          incr others;
+          M.incr m "db.updated"
+      | Deleted (_, n) ->
+          incr others;
+          M.incr m ~by:n "db.deleted_rows"
+      | Awarded _ ->
+          incr others;
+          M.incr m "payoff.awards"
+      | Open_created id ->
+          incr others;
+          Hashtbl.replace st.cs_created id ev.clock;
+          M.incr m "open.created"
+      | Vote_recorded (id, _) ->
+          incr votes;
+          voted_id := Some id;
+          M.incr m "quorum.votes"
+      | Dead_lettered (id, reason) ->
+          M.incr m "open.dead_lettered";
+          M.incr m ("open.dead_lettered.reason." ^ reason_key reason);
+          (match Hashtbl.find_opt st.cs_created id with
+          | Some c -> M.observe m "open.age_at_dead_letter" (ev.clock - c)
+          | None -> ());
+          Hashtbl.remove st.cs_ballots id
+      | No_effect -> incr others)
+    ev.effects;
+  match !voted_id with
+  | Some id when !others = 0 ->
+      (* A vote was banked and the task stays pending: remember the ballot
+         (existence votes carry no valuation and are skipped). *)
+      if ev.valuation <> [] then
+        Hashtbl.replace st.cs_ballots id
+          (ev.valuation :: Option.value (Hashtbl.find_opt st.cs_ballots id) ~default:[])
+  | Some id ->
+      (* The quorum task resolved: the same event banked its final vote and
+         applied (or explicitly skipped) the aggregated answer. For value
+         tasks [ev.valuation] is the chosen tuple, so the banked ballots
+         yield the agreement rate: the share of earlier per-attribute votes
+         that match the final choice. (Existence ballots are not journaled
+         per voter, so existence tasks contribute no agreement sample.) *)
+      M.incr m "quorum.resolved";
+      (match (ev.valuation, Hashtbl.find_opt st.cs_ballots id) with
+      | (_ :: _ as chosen), Some ballots ->
+          let agree = ref 0 and total = ref 0 in
+          List.iter
+            (fun ballot ->
+              List.iter
+                (fun (attr, v) ->
+                  match List.assoc_opt attr ballot with
+                  | Some b ->
+                      Stdlib.incr total;
+                      if Reldb.Value.equal b v then Stdlib.incr agree
+                  | None -> ())
+                chosen)
+            ballots;
+          M.incr m ~by:!agree "quorum.votes_agreeing";
+          M.incr m ~by:(!total - !agree) "quorum.votes_disagreeing";
+          if !total > 0 then
+            M.observe m "quorum.agreement_pct" (100 * !agree / !total)
+      | _ -> ());
+      Hashtbl.remove st.cs_ballots id
+  | None -> ()
+
+let metrics_of_events events =
+  let m = Telemetry.Metrics.create () in
+  let st = fresh_count_state () in
+  List.iter (count_event st m) events;
+  m
+
+let journal_derived_prefixes =
+  [
+    "engine.events";
+    "engine.fired";
+    "engine.tail_filtered";
+    "answers.accepted";
+    "db.";
+    "open.";
+    "payoff.";
+    "quorum.";
+  ]
+
+let journal_derived name =
+  List.exists
+    (fun p ->
+      String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+    journal_derived_prefixes
+
 (* --- Memoisation ----------------------------------------------------------- *)
 
 let fingerprint idx info (support : (string * int * int) list) =
@@ -469,8 +630,10 @@ let rescan_plan t info ~gen =
   if not t.use_planner then None
   else begin
     (match info.rescan_plan with
-    | Some _ when info.rescan_plan_gen = gen -> ()
+    | Some _ when info.rescan_plan_gen = gen ->
+        Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.rescan_cache.hits"
     | _ ->
+        Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.rescan_cache.misses";
         info.rescan_plan <- Some (Planner.plan t.db info.prefix);
         info.rescan_plan_gen <- gen);
     match info.rescan_plan with
@@ -485,10 +648,12 @@ let delta_plans t info ~n_atoms ~gen =
   if not t.use_planner then None
   else begin
     if info.delta_plans_gen <> gen || Array.length info.delta_plans <> n_atoms then begin
+      Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.delta_cache.misses";
       info.delta_plans <-
         Array.init n_atoms (fun i -> Planner.plan ~exact_atom:i t.db info.prefix);
       info.delta_plans_gen <- gen
-    end;
+    end
+    else Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.delta_cache.hits";
     Some info.delta_plans
   end
 
@@ -625,6 +790,19 @@ let create_open t idx (info : stmt_info) env (atom : Ast.atom) worker_expr bound
   in
   Hashtbl.replace t.open_tbl id open_tuple;
   t.open_order <- id :: t.open_order;
+  Telemetry.Metrics.set_gauge (Telemetry.metrics t.tel) "open.pending"
+    (Hashtbl.length t.open_tbl);
+  if Telemetry.tracing t.tel then begin
+    (* A zero-width "task" span, nested under the creating rule's span;
+       later lease/vote/resolve spans parent to it by id. *)
+    let h =
+      Telemetry.enter t.tel "task"
+        ~attrs:[ ("open", string_of_int id); ("relation", atom.pred) ]
+        ~clock:t.clock
+    in
+    Telemetry.exit t.tel h ~clock:t.clock;
+    Hashtbl.replace t.task_spans id h
+  end;
   Open_created id
 
 let apply_head t idx info env head =
@@ -649,7 +827,14 @@ let apply_head t idx info env head =
 
 (* --- Stepping ------------------------------------------------------------- *)
 
-let record_event t event = t.events <- event :: t.events
+let record_event t event =
+  t.events <- event :: t.events;
+  let m = Telemetry.metrics t.tel in
+  (* Guarded here (not only inside [incr]) so the disabled path never
+     allocates the per-rule / per-worker key strings. Toggling metrics
+     mid-run therefore voids journal-derivability; recount with
+     [metrics_of_events] instead. *)
+  if Telemetry.Metrics.enabled m then count_event t.counting m event
 
 let check_tail t env tail =
   let rec loop env = function
@@ -698,6 +883,30 @@ let fire t idx (info : stmt_info) (m : Eval.matched) fp =
       in
       record_event t event;
       event
+
+(* Fire under a "rule" span when tracing, with an "atom-match" child
+   carrying the scan work spent finding the instance this step. *)
+let fire_traced t idx (info : stmt_info) ~rows0 (m : Eval.matched) fp =
+  if not (Telemetry.tracing t.tel) then fire t idx info m fp
+  else begin
+    let h =
+      Telemetry.enter t.tel "rule"
+        ~attrs:[ ("stmt", stmt_key info.stmt.Ast.label idx) ]
+        ~clock:t.clock
+    in
+    Telemetry.emit t.tel "atom-match"
+      ~attrs:
+        [
+          ("strategy", (if info.delta = None then "rescan" else "delta"));
+          ("rows_scanned", string_of_int (Eval.rows_scanned () - rows0));
+        ]
+      ~clock:t.clock;
+    let event = fire t idx info m fp in
+    Telemetry.exit t.tel h
+      ~attrs:[ ("fired", string_of_bool event.fired) ]
+      ~clock:t.clock;
+    event
+  end
 
 (* Seminaive discovery: every prefix valuation involving at least one row
    at or above an atom's frontier is found exactly once — a combination
@@ -760,7 +969,7 @@ let rec pop_unfired t idx info (ds : delta_state) =
       ds.queue <- rest;
       if Hashtbl.mem t.fired fp then pop_unfired t idx info ds else Some (m, fp)
 
-let step_internal t =
+let step_core t ~rows0 =
   let n = Array.length t.infos in
   let rec try_stmt i =
     if i >= n then None
@@ -772,7 +981,7 @@ let step_internal t =
           match pop_unfired t i info ds with
           | None -> try_stmt (i + 1)
           | Some (m, fp) -> (
-              try Some (fire t i info m fp)
+              try Some (fire_traced t i info ~rows0 m fp)
               with Eval.Error msg ->
                 runtime_error "statement %s: %s"
                   (Option.value info.stmt.Ast.label ~default:(string_of_int i))
@@ -826,7 +1035,7 @@ let step_internal t =
                 info.exhausted_gen <- gen;
                 try_stmt (i + 1)
             | Some (m, fp) -> (
-                try Some (fire t i info m fp)
+                try Some (fire_traced t i info ~rows0 m fp)
                 with Eval.Error msg ->
                   runtime_error "statement %s: %s"
                     (Option.value info.stmt.Ast.label ~default:(string_of_int i))
@@ -834,6 +1043,21 @@ let step_internal t =
           end
   in
   try_stmt 0
+
+(* One machine step, metered: step count and the step's share of the
+   process-wide row-scan counter (sampled as a before/after delta, so
+   external resets between steps — e.g. the bench harness — don't skew
+   it). *)
+let step_internal t =
+  let m = Telemetry.metrics t.tel in
+  let rows0 = Eval.rows_scanned () in
+  let result = step_core t ~rows0 in
+  Telemetry.Metrics.incr m "engine.steps";
+  Telemetry.Metrics.incr m ~by:(Eval.rows_scanned () - rows0) "eval.rows_scanned";
+  (match result with
+  | None -> Telemetry.Metrics.incr m "engine.steps.empty"
+  | Some _ -> ());
+  result
 
 let step t =
   journal t J_step;
@@ -881,7 +1105,24 @@ let find_open t id = Hashtbl.find_opt t.open_tbl id
 let resolve t id =
   Hashtbl.remove t.open_tbl id;
   Hashtbl.remove t.votes id;
+  Hashtbl.remove t.task_spans id;
+  Telemetry.Metrics.set_gauge (Telemetry.metrics t.tel) "open.pending"
+    (Hashtbl.length t.open_tbl);
   match t.leases with Some l -> Lease.forget l ~open_id:id | None -> ()
+
+(* Parent handle for spans about a pending task: its "task" span if one
+   was recorded (tracing was on at creation), else the root. *)
+let task_parent t id =
+  match Hashtbl.find_opt t.task_spans id with
+  | Some h -> h
+  | None -> Telemetry.none
+
+(* Emit a point span about a pending task, parented to its "task" span.
+   [attrs] is a thunk so the untraced path allocates nothing. *)
+let emit_task_span t open_id name attrs =
+  if Telemetry.tracing t.tel then
+    Telemetry.emit t.tel name ~parent:(task_parent t open_id) ~attrs:(attrs ())
+      ~clock:t.clock
 
 (* --- Leases, dead letters, quorum ------------------------------------------ *)
 
@@ -918,8 +1159,12 @@ let dead_letters t = List.rev t.dead
 (* Remove a task from the pending pool into the dead-letter pool, leaving
    an auditable event in the log. *)
 let dead_letter t (o : open_tuple) reason =
+  let parent = task_parent t o.id in
   Hashtbl.remove t.open_tbl o.id;
   Hashtbl.remove t.votes o.id;
+  Hashtbl.remove t.task_spans o.id;
+  Telemetry.Metrics.set_gauge (Telemetry.metrics t.tel) "open.pending"
+    (Hashtbl.length t.open_tbl);
   (match t.leases with Some l -> Lease.mark_dead l ~open_id:o.id reason | None -> ());
   t.dead <- (o, reason) :: t.dead;
   t.clock <- t.clock + 1;
@@ -932,7 +1177,11 @@ let dead_letter t (o : open_tuple) reason =
       fired = false;
       effects = [ Dead_lettered (o.id, reason) ];
       by_human = None;
-    }
+    };
+  if Telemetry.tracing t.tel then
+    Telemetry.emit t.tel "dead-letter" ~parent
+      ~attrs:[ ("open", string_of_int o.id); ("reason", reason_key reason) ]
+      ~clock:t.clock
 
 let decline t id =
   journal t (J_decline id);
@@ -945,19 +1194,32 @@ type assign_error =
 
 let assign t id ~worker ~now =
   journal t (J_assign (id, worker, now));
-  match t.leases with
-  | None ->
-      runtime_error
-        "assign: the lease runtime is not configured (call set_lease_config first)"
-  | Some l -> (
-      match Lease.is_dead l ~open_id:id with
-      | Some r -> Error (`Dead r)
-      | None -> (
-          match find_open t id with
-          | None -> Error `Stale
-          | Some o ->
-              (Lease.assign l ~open_id:id ~worker ~now ~capacity:(capacity t o)
-                :> (Lease.lease, assign_error) result)))
+  let result =
+    match t.leases with
+    | None ->
+        runtime_error
+          "assign: the lease runtime is not configured (call set_lease_config first)"
+    | Some l -> (
+        match Lease.is_dead l ~open_id:id with
+        | Some r -> Error (`Dead r)
+        | None -> (
+            match find_open t id with
+            | None -> Error `Stale
+            | Some o ->
+                (Lease.assign l ~open_id:id ~worker ~now ~capacity:(capacity t o)
+                  :> (Lease.lease, assign_error) result)))
+  in
+  let m = Telemetry.metrics t.tel in
+  (match result with
+  | Ok _ ->
+      Telemetry.Metrics.incr m "lease.granted";
+      emit_task_span t id "lease" (fun () ->
+          [ ("open", string_of_int id); ("worker", Reldb.Value.to_display worker) ])
+  | Error `Stale -> Telemetry.Metrics.incr m "lease.refused.stale"
+  | Error (`Dead _) -> Telemetry.Metrics.incr m "lease.refused.dead"
+  | Error (`Backoff _) -> Telemetry.Metrics.incr m "lease.refused.backoff"
+  | Error (`Held _) -> Telemetry.Metrics.incr m "lease.refused.held");
+  result
 
 let reclaim t ~now =
   journal t (J_reclaim now);
@@ -965,11 +1227,13 @@ let reclaim t ~now =
   | None -> []
   | Some l ->
       let verdicts = Lease.reclaim l ~now in
+      let m = Telemetry.metrics t.tel in
       List.iter
         (fun (id, verdict) ->
           match verdict with
-          | `Retry _ -> ()
+          | `Retry _ -> Telemetry.Metrics.incr m "lease.reclaimed.retry"
           | `Dead reason -> (
+              Telemetry.Metrics.incr m "lease.reclaimed.dead";
               match find_open t id with
               | Some o -> dead_letter t o reason
               | None -> ()))
@@ -1147,9 +1411,64 @@ let supply_checked t id ~worker values =
                   Ok (human_event t o worker [ effect ] values))
       end
 
+(* Engine-local outcome counters for human answers. Accepted answers are
+   counted by the event fold; rejections leave no event, so they are
+   counted here (and are deliberately NOT journal-derived). Guarded so the
+   disabled path never allocates the key strings. *)
+let note_answer_metrics t ~worker result =
+  let m = Telemetry.metrics t.tel in
+  if Telemetry.Metrics.enabled m then
+    match result with
+    | Ok _ -> ()
+    | Error r ->
+        Telemetry.Metrics.incr m "answers.rejected";
+        Telemetry.Metrics.incr m ("answers.rejected.reason." ^ reject_key r);
+        Telemetry.Metrics.incr m
+          ("answers.rejected.worker." ^ Reldb.Value.to_display worker)
+
+(* The task-lifecycle spans of an answer, parented to the task's "task"
+   span: "vote" while a quorum task stays pending, "resolve" when the task
+   left the pool, "answer" for accepted answers to standing tasks, and
+   "answer-rejected" with the typed reason otherwise. [parent] is sampled
+   before the answer runs — resolution drops the task's span record. *)
+let trace_answer t id ~worker ~parent result =
+  if Telemetry.tracing t.tel then
+    match result with
+    | Error r ->
+        Telemetry.emit t.tel "answer-rejected" ~parent
+          ~attrs:
+            [
+              ("open", string_of_int id);
+              ("worker", Reldb.Value.to_display worker);
+              ("reason", reject_key r);
+            ]
+          ~clock:t.clock
+    | Ok (ev : event) ->
+        let vote =
+          List.find_map
+            (function Vote_recorded (_, n) -> Some n | _ -> None)
+            ev.effects
+        in
+        let resolved = not (Hashtbl.mem t.open_tbl id) in
+        let name =
+          if resolved then "resolve" else if vote <> None then "vote" else "answer"
+        in
+        Telemetry.emit t.tel name ~parent
+          ~attrs:
+            ([
+               ("open", string_of_int id);
+               ("worker", Reldb.Value.to_display worker);
+             ]
+            @ match vote with Some n -> [ ("votes", string_of_int n) ] | None -> [])
+          ~clock:t.clock
+
 let supply t id ~worker values =
   journal t (J_supply (id, worker, values));
-  supply_checked t id ~worker values
+  let parent = if Telemetry.tracing t.tel then task_parent t id else Telemetry.none in
+  let result = supply_checked t id ~worker values in
+  note_answer_metrics t ~worker result;
+  trace_answer t id ~worker ~parent result;
+  result
 
 let answer_existence_checked t id ~worker yes =
   match find_open t id with
@@ -1192,7 +1511,91 @@ let answer_existence_checked t id ~worker yes =
 
 let answer_existence t id ~worker yes =
   journal t (J_answer (id, worker, yes));
-  answer_existence_checked t id ~worker yes
+  let parent = if Telemetry.tracing t.tel then task_parent t id else Telemetry.none in
+  let result = answer_existence_checked t id ~worker yes in
+  note_answer_metrics t ~worker result;
+  trace_answer t id ~worker ~parent result;
+  result
+
+(* --- EXPLAIN -------------------------------------------------------------------- *)
+
+(* Render the evidence behind the engine's current evaluation choices:
+   per rule the strategy, the join order the planner would pick against
+   today's statistics (with the estimated rows that justified each pick),
+   and whether the cached compiled plan is still valid; then the lease and
+   quorum runtime state the pending tasks live under. Planning here calls
+   [Planner.plan] directly — it never touches the plan caches or their
+   hit/miss counters, so EXPLAIN is observation-only. *)
+let pp_explain fmt t =
+  Format.fprintf fmt "EXPLAIN  (clock %d, %d statements, planner %s)@." t.clock
+    (Array.length t.infos)
+    (if t.use_planner then "on" else "off");
+  Array.iteri
+    (fun i info ->
+      let gen = body_generation t info in
+      Format.fprintf fmt "@.rule %s  [%s]@."
+        (stmt_key info.stmt.Ast.label i)
+        (if info.delta = None then "rescan" else "delta");
+      (match info.pos_preds with
+      | [] -> Format.fprintf fmt "  join: none (fact or filter-only body)@."
+      | _ when not t.use_planner ->
+          Format.fprintf fmt "  join: %s  (left-to-right, planner off)@."
+            (String.concat " -> " info.pos_preds)
+      | _ ->
+          let plan = Planner.plan t.db info.prefix in
+          Format.fprintf fmt "  join: %s%s@."
+            (String.concat " -> "
+               (List.map
+                  (fun (pred, est, card) ->
+                    Printf.sprintf "%s(est %d of %d)" pred est card)
+                  plan.Planner.steps))
+            (if plan.Planner.identity then "  (identity order)" else "");
+          let cache =
+            if info.delta <> None then
+              if Array.length info.delta_plans = 0 then "not yet compiled"
+              else if info.delta_plans_gen = gen then "fresh"
+              else "stale (relations changed)"
+            else
+              match info.rescan_plan with
+              | None -> "not yet compiled"
+              | Some _ when info.rescan_plan_gen = gen -> "fresh"
+              | Some _ -> "stale (relations changed)"
+          in
+          Format.fprintf fmt "  plan cache: %s  (body generation %d)@." cache gen);
+      if info.tail <> [] then
+        Format.fprintf fmt "  tail: %d filter(s) checked after the join@."
+          (List.length info.tail))
+    t.infos;
+  (match t.leases with
+  | None -> Format.fprintf fmt "@.leases: off@."
+  | Some l ->
+      let c = Lease.config l in
+      Format.fprintf fmt
+        "@.leases: ttl %d, max timeouts %d, backoff base %d, max rejections %d  \
+         (logical time %d, %d dead-lettered)@."
+        c.Lease.ttl c.Lease.max_timeouts c.Lease.backoff_base c.Lease.max_rejections
+        (Lease.now l)
+        (List.length (Lease.dead_letters l)));
+  (match t.quorum with
+  | None -> Format.fprintf fmt "quorum: off@."
+  | Some q ->
+      Format.fprintf fmt "quorum: k = %d%s@." q.k
+        (match q.relations with
+        | None -> "  (all eligible relations)"
+        | Some rs -> "  on " ^ String.concat ", " rs));
+  let pend = pending t in
+  Format.fprintf fmt "pending tasks: %d  (dead letters: %d)@." (List.length pend)
+    (List.length t.dead);
+  List.iter
+    (fun (o : open_tuple) ->
+      match Hashtbl.find_opt t.votes o.id with
+      | Some votes when votes <> [] ->
+          Format.fprintf fmt "  #%d %s: %d/%d votes banked@." o.id o.relation
+            (List.length votes) (capacity t o)
+      | _ -> ())
+    pend
+
+let explain t = Format.asprintf "%a" pp_explain t
 
 (* --- Payoffs ------------------------------------------------------------------ *)
 

@@ -250,6 +250,46 @@ val payoff_of : t -> Reldb.Value.t -> Reldb.Value.t
 val events : t -> event list
 (** All events, chronological. *)
 
+(** {1 Telemetry}
+
+    Every engine carries a {!Cylog.Telemetry.t}: a metrics registry that is
+    always on (single boolean test per update when disabled) and a tracing
+    sink that defaults to {!Cylog.Telemetry.Sink.null} (spans cost one
+    pointer compare until a real sink is installed). See
+    [docs/OBSERVABILITY.md] for the span model and the metric names. *)
+
+val telemetry : t -> Telemetry.t
+
+val metrics : t -> Telemetry.Metrics.t
+(** Shorthand for [Telemetry.metrics (telemetry t)]. *)
+
+val set_sink : t -> Telemetry.Sink.t -> unit
+(** Install a tracing sink (ring buffer, JSON-lines writer, callback).
+    Spans carry deterministic sequence ids and logical-clock timestamps,
+    so traces are replay-stable. *)
+
+val metrics_of_events : event list -> Telemetry.Metrics.t
+(** Recompute the journal-derived metrics from an event list. For any
+    engine whose registry stayed enabled for the whole run, the
+    {!journal_derived} subset of the live registry equals
+    [metrics_of_events (events t)] — the invariant the telemetry
+    differential tests pin down, and what makes [snapshot]/[restore]
+    reproduce identical counters. *)
+
+val journal_derived : string -> bool
+(** Whether a metric name is recomputable from {!events} (as opposed to
+    engine-local operational counters such as planner cache hits, lease
+    refusals or rejected answers, which leave no event). *)
+
+val explain : t -> string
+(** Render the engine's current evaluation evidence: per rule the
+    strategy (delta/rescan), the join order the planner picks against the
+    live statistics with its row estimates, and the compiled-plan cache
+    status; then the lease config, quorum policy and pending-task vote
+    counts. Observation-only: never touches the plan caches or metrics. *)
+
+val pp_explain : Format.formatter -> t -> unit
+
 val game_instances : t -> string -> Reldb.Tuple.t list
 (** Distinct Skolem-parameter tuples for which a game instance has a
     non-empty path, in first-play order. *)

@@ -140,8 +140,17 @@ let check_filter builtins db env (lit : Ast.literal) =
       | Ast.Eq, Ast.Var v, None, _, Some b -> `Pass (Binding.bind env v b)
       | Ast.Eq, _, Some a, Ast.Var v, None -> `Pass (Binding.bind env v a)
       | _ ->
-          error "comparison %s uses unbound variables"
-            (Format.asprintf "%a" Pretty.pp_literal lit))
+          let op_str =
+            match op with
+            | Ast.Eq -> "=" | Ast.Neq -> "!=" | Ast.Lt -> "<"
+            | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">="
+          in
+          let side e v = match (e, v) with
+            | Ast.Var name, None -> name
+            | _ -> "<expr>"
+          in
+          error "comparison %s %s %s uses unbound variables" (side lhs lv)
+            op_str (side rhs rv))
 
 type matched = { env : Binding.t; support : (string * int * int) list }
 

@@ -34,6 +34,7 @@ type t = {
   literals : Ast.literal list;
   order : int array;
   identity : bool;
+  steps : (string * int * int) list;
 }
 
 (* Variables appearing in [Var] leaves under [List] constructors: the
@@ -127,6 +128,7 @@ let plan ?exact_atom db prefix =
   in
   let emitted = ref [] (* reverse planned literal order *)
   and order = ref [] (* reverse positive-atom order, original ordinals *)
+  and steps = ref [] (* reverse (pred, est, card) per chosen atom *)
   and bound = ref S.empty
   and remaining = ref atoms
   and queue = ref filters in
@@ -160,13 +162,19 @@ let plan ?exact_atom db prefix =
     in
     match best with
     | None -> ()
-    | Some (_, ((ordinal, _, atom) as chosen)) ->
+    | Some (((est, card), _), ((ordinal, _, atom) as chosen)) ->
         remaining := List.filter (fun c -> c != chosen) !remaining;
         emitted := Ast.Pos atom :: !emitted;
         order := ordinal :: !order;
+        steps := (atom.Ast.pred, est, card) :: !steps;
         bound := atom_binds !bound atom;
         flush_filters ()
   done;
   List.iter (fun (_, lit) -> emitted := lit :: !emitted) !queue;
   let literals = List.rev !emitted in
-  { literals; order = Array.of_list (List.rev !order); identity = literals = prefix }
+  {
+    literals;
+    order = Array.of_list (List.rev !order);
+    identity = literals = prefix;
+    steps = List.rev !steps;
+  }

@@ -22,6 +22,11 @@ type t = {
   order : int array;
       (** evaluation position -> original positive-atom position *)
   identity : bool;  (** the plan is the original left-to-right order *)
+  steps : (string * int * int) list;
+      (** per chosen atom, in planned order: relation, estimated rows
+          given the bindings available when it was picked, and the
+          relation's cardinality at planning time — the evidence behind
+          the ordering, surfaced by [Engine.explain] *)
 }
 
 val plan : ?exact_atom:int -> Reldb.Database.t -> Ast.literal list -> t

@@ -107,3 +107,46 @@ let pp_program ppf { Ast.schemas; statements; games; views } =
 
 let statement_to_string s = Format.asprintf "%a" pp_statement s
 let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p
+
+(* -- Journal events ------------------------------------------------------ *)
+
+let pp_effect ppf (eff : Engine.effect) =
+  match eff with
+  | Engine.Inserted (rel, tuple) ->
+      Format.fprintf ppf "+%s%s" rel (Reldb.Tuple.to_string tuple)
+  | Engine.Updated (rel, tuple) ->
+      Format.fprintf ppf "~%s%s" rel (Reldb.Tuple.to_string tuple)
+  | Engine.Deleted (rel, n) -> Format.fprintf ppf "-%s x%d" rel n
+  | Engine.Awarded deltas ->
+      Format.fprintf ppf "payoff %s"
+        (String.concat ","
+           (List.map
+              (fun (player, delta) ->
+                let d = Reldb.Value.to_display delta in
+                let d = if String.length d > 0 && d.[0] <> '-' then "+" ^ d else d in
+                Reldb.Value.to_display player ^ d)
+              deltas))
+  | Engine.Open_created id -> Format.fprintf ppf "open #%d" id
+  | Engine.No_effect -> Format.fprintf ppf "(no effect)"
+  | Engine.Vote_recorded (id, n) -> Format.fprintf ppf "vote #%d (%d banked)" id n
+  | Engine.Dead_lettered (id, reason) ->
+      Format.fprintf ppf "dead #%d (%s)" id (Lease.reason_to_string reason)
+
+let pp_event ppf (e : Engine.event) =
+  let rule =
+    match e.label with Some l -> l | None -> "#" ^ string_of_int e.statement
+  in
+  Format.fprintf ppf "c%-4d %-12s" e.clock rule;
+  (match e.by_human with
+  | Some w -> Format.fprintf ppf " by %-8s" (Reldb.Value.to_display w)
+  | None -> ());
+  if (not e.fired) && e.effects = [] then Format.fprintf ppf " (tail-filtered)";
+  if e.valuation <> [] then
+    Format.fprintf ppf " {%s}"
+      (String.concat ", "
+         (List.map
+            (fun (attr, v) -> attr ^ "=" ^ Reldb.Value.to_display v)
+            e.valuation));
+  List.iter (fun eff -> Format.fprintf ppf "  %a" pp_effect eff) e.effects
+
+let event_to_string e = Format.asprintf "%a" pp_event e

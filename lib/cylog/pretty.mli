@@ -14,3 +14,19 @@ val pp_program : Format.formatter -> Ast.program -> unit
 
 val statement_to_string : Ast.statement -> string
 val program_to_string : Ast.program -> string
+
+(** {1 Journal events}
+
+    One-line human-readable renderings of the engine's event journal —
+    the shared formatting behind the CLIs' trace output and the REPL's
+    [:events] pager (see docs/OBSERVABILITY.md). *)
+
+val pp_effect : Format.formatter -> Engine.effect -> unit
+(** e.g. [+Out(x:1)], [-R x2], [open #4], [vote #4 (2 banked)],
+    [dead #4 (timed out)], [payoff alice+1]. *)
+
+val pp_event : Format.formatter -> Engine.event -> unit
+(** One line: clock, rule label (or statement index), worker for
+    human-caused events, valuation, then each effect. *)
+
+val event_to_string : Engine.event -> string

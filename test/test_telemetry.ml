@@ -1,0 +1,237 @@
+(* Telemetry differential tests.
+
+   The central invariant (docs/OBSERVABILITY.md): every journal-derived
+   metric — the [Engine.journal_derived] namespaces, plus all histograms —
+   is ONE fold over [Engine.events], applied both incrementally by the
+   live registry and from scratch by [Engine.metrics_of_events]. So for
+   any driving sequence whatsoever (random programs, canonical humans,
+   faulted lease/quorum campaigns, all TweetPecker variants), recounting
+   the journal must reproduce the live values exactly — and because
+   checkpoint/restore replays the journal through the same public entry
+   points, a restored engine must carry the same registry too.
+
+   Tracing gets the analogous treatment: span ids are sequence counters
+   and timestamps are the logical clock, so two identical runs under a
+   ring sink must produce byte-identical span lists. *)
+
+open Cylog
+
+(* --- Comparable registry views ------------------------------------------- *)
+
+let derived_counters m =
+  List.filter (fun (k, _) -> Engine.journal_derived k) (Telemetry.Metrics.counters m)
+
+(* Derived counters + all histograms: everything [metrics_of_events] is
+   contracted to reproduce. *)
+let derived_view m = (derived_counters m, Telemetry.Metrics.histograms m)
+
+let recount_agrees engine =
+  derived_view (Engine.metrics_of_events (Engine.events engine))
+  = derived_view (Engine.metrics engine)
+
+(* --- Random programs driven by the canonical human ------------------------ *)
+
+let drive_canonical program =
+  let engine = Engine.load program in
+  ignore (Engine.run engine ~max_steps:20_000);
+  let rec answer rounds =
+    if rounds > 500 then ()
+    else
+      let pending =
+        List.sort
+          (fun (a : Engine.open_tuple) (b : Engine.open_tuple) ->
+            compare
+              (a.relation, Reldb.Tuple.to_string a.bound)
+              (b.relation, Reldb.Tuple.to_string b.bound))
+          (Engine.pending engine)
+      in
+      match pending with
+      | [] -> ()
+      | o :: _ ->
+          let value = Reldb.Value.Int (Reldb.Tuple.hash o.bound mod 5) in
+          (match
+             Engine.supply engine o.id ~worker:(Reldb.Value.String "human")
+               (List.map (fun a -> (a, value)) o.open_attrs)
+           with
+          | Ok _ -> ()
+          | Error _ -> Engine.decline engine o.id);
+          ignore (Engine.run engine ~max_steps:20_000);
+          answer (rounds + 1)
+  in
+  answer 0;
+  engine
+
+let prop_recount_matches_live =
+  QCheck.Test.make ~name:"metrics recounted from the journal = live registry"
+    ~count:150 Test_differential.gen_program (fun program ->
+      let engine = drive_canonical (Test_differential.with_open_rule program) in
+      recount_agrees engine)
+
+let prop_recount_survives_restore =
+  QCheck.Test.make ~name:"registry survives snapshot/restore (replayed = derived)"
+    ~count:100 Test_differential.gen_program (fun program ->
+      let engine = drive_canonical (Test_differential.with_open_rule program) in
+      let restored = Engine.restore_string (Engine.snapshot_string engine) in
+      recount_agrees restored
+      && derived_view (Engine.metrics restored) = derived_view (Engine.metrics engine))
+
+(* --- Faulted lease/quorum campaigns --------------------------------------- *)
+
+let quorum_campaign ?faults ~seed () =
+  let src =
+    {|rules:
+  Item(id:1); Item(id:2); Item(id:3);
+  Q: LabelOf(id, label)/open <- Item(id);
+|}
+  in
+  let engine = Engine.load (Parser.parse_exn src) in
+  let policy engine ~worker:_ ~rng ~round:_ =
+    match Engine.pending engine with
+    | [] -> Crowd.Simulator.Pass
+    | pending ->
+        let o = List.nth pending (Random.State.int rng (List.length pending)) in
+        let label = [| "cat"; "dog"; "eel" |].(Random.State.int rng 3) in
+        Crowd.Simulator.Answer
+          ( o.Engine.id,
+            [ ("label", Reldb.Value.String label) ],
+            Crowd.Simulator.Enter_value )
+  in
+  let workers =
+    List.map (fun w -> (Reldb.Value.String w, policy)) [ "w1"; "w2"; "w3"; "w4" ]
+  in
+  let workers =
+    match faults with
+    | Some fs -> Crowd.Faults.inject ~seed fs workers
+    | None -> workers
+  in
+  let outcome =
+    Crowd.Simulator.run ~seed ~max_rounds:100 ~lease:Lease.default_config ~quorum:2
+      ~stop:(fun e -> Engine.pending e = [])
+      ~workers engine
+  in
+  ignore outcome;
+  engine
+
+let test_campaign_recount () =
+  List.iter
+    (fun seed ->
+      let clean = quorum_campaign ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "clean campaign (seed %d): recount = live" seed)
+        true (recount_agrees clean);
+      let faulted =
+        quorum_campaign ~faults:(List.assoc "all" Crowd.Faults.profiles) ~seed ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "faulted campaign (seed %d): recount = live" seed)
+        true (recount_agrees faulted);
+      (* Quorum really was exercised — the agreement-rate metrics exist. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "campaign (seed %d): quorum votes counted" seed)
+        true
+        (Telemetry.Metrics.counter (Engine.metrics clean) "quorum.votes" > 0);
+      let restored = Engine.restore_string (Engine.snapshot_string faulted) in
+      Alcotest.(check bool)
+        (Printf.sprintf "faulted campaign (seed %d): restored recount = live" seed)
+        true (recount_agrees restored);
+      Alcotest.(check bool)
+        (Printf.sprintf "faulted campaign (seed %d): restored = original registry" seed)
+        true
+        (derived_view (Engine.metrics restored) = derived_view (Engine.metrics faulted)))
+    [ 1; 7; 23 ]
+
+(* --- TweetPecker variants -------------------------------------------------- *)
+
+let test_tweetpecker_recount () =
+  let corpus = Tweets.Generator.generate ~seed:5 12 in
+  List.iter
+    (fun variant ->
+      let name = Tweetpecker.Programs.variant_name variant in
+      let o = Tweetpecker.Runner.run ~seed:11 ~corpus variant in
+      Alcotest.(check bool) (name ^ ": recount = live") true (recount_agrees o.engine);
+      let restored = Engine.restore_string (Engine.snapshot_string o.engine) in
+      Alcotest.(check bool)
+        (name ^ ": restored recount = live")
+        true (recount_agrees restored);
+      Alcotest.(check bool)
+        (name ^ ": restored = original registry")
+        true
+        (derived_view (Engine.metrics restored) = derived_view (Engine.metrics o.engine)))
+    Tweetpecker.Programs.[ VE; VEI; VRE; VREI ]
+
+(* --- Tracing determinism --------------------------------------------------- *)
+
+let ring_spans program =
+  let engine = Engine.load program in
+  let sink = Telemetry.Sink.ring 10_000 in
+  Engine.set_sink engine sink;
+  ignore (Engine.run engine ~max_steps:20_000);
+  Telemetry.Sink.contents sink
+
+let prop_tracing_deterministic =
+  QCheck.Test.make ~name:"two identical runs emit identical span lists" ~count:100
+    Test_differential.gen_program (fun program ->
+      ring_spans program = ring_spans program)
+
+let test_tweetpecker_tracing_deterministic () =
+  let corpus = Tweets.Generator.generate ~seed:5 8 in
+  let spans () =
+    let sink = Telemetry.Sink.ring 100_000 in
+    ignore (Tweetpecker.Runner.run ~seed:11 ~corpus ~sink Tweetpecker.Programs.VREI);
+    Telemetry.Sink.contents sink
+  in
+  let a = spans () and b = spans () in
+  Alcotest.(check bool) "VREI campaign: span streams identical" true (a = b);
+  Alcotest.(check bool) "VREI campaign: spans were emitted" true (a <> []);
+  let names = List.map (fun (s : Telemetry.span) -> s.name) a in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "VREI campaign: a %S span exists" expected)
+        true (List.mem expected names))
+    [ "campaign"; "round"; "rule"; "atom-match"; "task" ]
+
+(* --- Off switches ----------------------------------------------------------- *)
+
+let test_disabled_registry_stays_empty () =
+  let program =
+    Parser.parse_exn "rules:\n  R(x:1); R(x:2);\n  T(x) <- R(x);\n"
+  in
+  let engine = Engine.load program in
+  Telemetry.Metrics.set_enabled (Engine.metrics engine) false;
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair string int)))
+    "no counters accumulate while disabled" []
+    (Telemetry.Metrics.counters (Engine.metrics engine));
+  (* Re-enabling does not resurrect the missed window, but the journal
+     recount still reconstructs it in a fresh registry. *)
+  let recount = Engine.metrics_of_events (Engine.events engine) in
+  Alcotest.(check bool) "recount still reconstructs the blackout" true
+    (Telemetry.Metrics.counter recount "engine.events"
+     = List.length (Engine.events engine)
+    && Telemetry.Metrics.counter recount "engine.events" > 0)
+
+let test_null_sink_emits_nothing () =
+  let program = Parser.parse_exn "rules:\n  R(x:1);\n  T(x) <- R(x);\n" in
+  let engine = Engine.load program in
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "null sink has no contents" true
+    (Telemetry.Sink.contents (Telemetry.sink (Engine.telemetry engine)) = []);
+  Alcotest.(check bool) "explain renders" true
+    (String.length (Engine.explain engine) > 0)
+
+let suite =
+  [ ( "telemetry",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_recount_matches_live; prop_recount_survives_restore;
+          prop_tracing_deterministic ]
+      @ [ Alcotest.test_case "faulted quorum campaigns: recount = live" `Quick
+            test_campaign_recount;
+          Alcotest.test_case "tweetpecker variants: recount = live" `Slow
+            test_tweetpecker_recount;
+          Alcotest.test_case "tweetpecker tracing: deterministic spans" `Slow
+            test_tweetpecker_tracing_deterministic;
+          Alcotest.test_case "disabled registry stays empty" `Quick
+            test_disabled_registry_stays_empty;
+          Alcotest.test_case "null sink emits nothing" `Quick
+            test_null_sink_emits_nothing ] ) ]
