@@ -278,7 +278,7 @@ let run_figure14 () =
   section "Figure 14: precedence graph of the Figure 13 rules";
   let program = Cylog.Parser.parse_exn figure13_src in
   let g = Cylog.Precedence.build program.Cylog.Ast.statements in
-  Format.printf "%a@." Cylog.Precedence.pp g;
+  Format.printf "%a@." Cylog.Pretty.pp_precedence g;
   Format.printf "@.data complete: rule 6 %b (paper: yes), rule 3 %b (paper: no)@."
     (Cylog.Precedence.data_complete g 5)
     (Cylog.Precedence.data_complete g 2);

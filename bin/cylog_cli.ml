@@ -3,7 +3,7 @@
    Subcommands:
      run FILE       load a program, run the machine, answer open tuples
                     interactively on stdin, print the database at fixpoint
-     check FILE     parse and report errors
+     check FILE     parse and statically check a program (Cylog.Lint)
      graph FILE     print the rule precedence graph (Figure 14 style)
      classify FILE  print the game class (G_N or G_star) of the program
      pretty FILE    parse and pretty-print the program *)
@@ -30,6 +30,14 @@ let or_die = function
   | Error msg ->
       prerr_endline msg;
       exit 1
+
+(* Load under the engine's default Strict lint, rendering diagnostics the
+   same way [cylog check] does when the program is rejected. *)
+let load_or_die ?lint path program =
+  try Cylog.Engine.load ?lint program
+  with Cylog.Lint.Rejected diags ->
+    List.iter (fun d -> prerr_endline (Cylog.Lint.render ~file:path d)) diags;
+    exit 1
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -139,7 +147,7 @@ let with_telemetry_outputs metrics_out trace_out engine k =
 
 let run_cmd interactive max_steps checkpoint metrics_out trace_out path =
   let program = or_die (parse_file path) in
-  let engine = Cylog.Engine.load program in
+  let engine = load_or_die path program in
   with_telemetry_outputs metrics_out trace_out engine (fun () ->
       drive_engine interactive max_steps checkpoint engine)
 
@@ -159,24 +167,79 @@ let resume_cmd interactive max_steps checkpoint metrics_out trace_out path =
   with_telemetry_outputs metrics_out trace_out engine (fun () ->
       drive_engine interactive max_steps checkpoint engine)
 
-let check_cmd path =
-  let program = or_die (parse_file path) in
-  Format.printf "%s: %d statements, %d schema declarations, %d games — OK@." path
-    (List.length program.Cylog.Ast.statements)
-    (List.length program.Cylog.Ast.schemas)
-    (List.length program.Cylog.Ast.games)
+(* --- check --------------------------------------------------------------- *)
+
+let parse_override spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "invalid -W %S (expected CODE=LEVEL)" spec)
+  | Some i -> (
+      let code = String.sub spec 0 i in
+      let level = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if not (Cylog.Lint.is_known_code code) then
+        Error (Printf.sprintf "unknown diagnostic code %S (see docs/LINT.md)" code)
+      else
+        match String.lowercase_ascii level with
+        | "error" | "err" -> Ok (code, `Error)
+        | "warning" | "warn" -> Ok (code, `Warning)
+        | "off" -> Ok (code, `Off)
+        | other ->
+            Error
+              (Printf.sprintf "invalid level %S in -W %s (error|warning|off)" other
+                 code))
+
+let parse_error_diagnostic (e : Cylog.Parser.error) =
+  {
+    Cylog.Lint.code = "parse-error";
+    severity = Cylog.Lint.Error;
+    span =
+      {
+        Cylog.Ast.start_line = e.line;
+        start_col = e.col;
+        end_line = e.end_line;
+        end_col = e.end_col;
+      };
+    message = e.message;
+  }
+
+let check_cmd format warnings path =
+  let overrides = List.map (fun spec -> or_die (parse_override spec)) warnings in
+  let emit diags =
+    match format with
+    | `Json -> print_endline (Cylog.Lint.render_json ~file:path diags)
+    | `Text ->
+        List.iter (fun d -> print_endline (Cylog.Lint.render ~file:path d)) diags
+  in
+  match Cylog.Parser.parse (read_file path) with
+  | Error e ->
+      emit [ parse_error_diagnostic e ];
+      exit 1
+  | Ok program ->
+      let diags = Cylog.Lint.check ~overrides program in
+      emit diags;
+      (match (format, diags) with
+      | `Text, [] ->
+          Format.printf "%s: %d statements, %d schema declarations, %d games — OK@."
+            path
+            (List.length program.Cylog.Ast.statements)
+            (List.length program.Cylog.Ast.schemas)
+            (List.length program.Cylog.Ast.games)
+      | _ -> ());
+      if Cylog.Lint.has_errors diags then exit 1
 
 let graph_cmd path =
   let program = or_die (parse_file path) in
-  let engine = Cylog.Engine.load program in
+  let engine = load_or_die path program in
   let statements = List.map fst (Cylog.Engine.statements engine) in
   let g = Cylog.Precedence.build statements in
-  Format.printf "%a@." Cylog.Precedence.pp g;
+  Format.printf "%a@." Cylog.Pretty.pp_precedence g;
   Format.printf "@.stratified: %b@." (Cylog.Precedence.stratified g)
 
 let classify_cmd path =
   let program = or_die (parse_file path) in
-  Format.printf "%a@." Game.Classes.pp (Game.Classes.classify program)
+  try Format.printf "%a@." Game.Classes.pp (Game.Classes.classify program)
+  with Cylog.Lint.Rejected diags ->
+    List.iter (fun d -> prerr_endline (Cylog.Lint.render ~file:path d)) diags;
+    exit 1
 
 let pretty_cmd path =
   let program = or_die (parse_file path) in
@@ -199,19 +262,22 @@ let repl_help () =
     \                       label, or a worker name\n\
     \  :stats               dump the metrics registry\n\
     \  :explain             show plans, leases and quorum state\n\
+    \  :check               lint the program (preloaded + typed statements)\n\
     \  :dead                show dead-lettered tasks\n\
     \  :snapshot FILE       checkpoint the session to FILE\n\
     \  :help                this message\n\
     \  :quit                leave\n"
 
 let repl_cmd file =
-  let engine =
+  let base_program, base_file =
     match file with
-    | Some path ->
-        let program = or_die (parse_file path) in
-        Cylog.Engine.load program
-    | None -> Cylog.Engine.load Cylog.Ast.empty_program
+    | Some path -> (or_die (parse_file path), path)
+    | None -> (Cylog.Ast.empty_program, "<repl>")
   in
+  let engine = load_or_die base_file base_program in
+  (* Statements typed at the prompt, in entry order — [:check] lints the
+     preloaded source plus these, not the engine's desugared forms. *)
+  let typed = ref [] in
   let show_pending () =
     match Cylog.Engine.pending engine with
     | [] -> print_endline "no pending open tuples"
@@ -292,6 +358,20 @@ let repl_cmd file =
     | [ ":explain" ] ->
         print_string (Cylog.Engine.explain engine);
         `Continue
+    | [ ":check" ] ->
+        let program =
+          {
+            base_program with
+            Cylog.Ast.statements = base_program.Cylog.Ast.statements @ List.rev !typed;
+          }
+        in
+        (match Cylog.Lint.check program with
+        | [] -> print_endline "no diagnostics"
+        | diags ->
+            List.iter
+              (fun d -> print_endline (Cylog.Lint.render ~file:base_file d))
+              diags);
+        `Continue
     | [ ":dead" ] ->
         (match Cylog.Engine.dead_letters engine with
         | [] -> print_endline "no dead-lettered tasks"
@@ -351,6 +431,7 @@ let repl_cmd file =
           | Ok statements -> (
               try
                 List.iter (Cylog.Engine.add_statement engine) statements;
+                typed := List.rev_append statements !typed;
                 run_machine ()
               with Cylog.Engine.Runtime_error m -> print_endline m)
           | Error e -> Format.printf "%a@." Cylog.Parser.pp_error e);
@@ -390,6 +471,23 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Stream tracing spans to $(docv) as JSON lines while running.")
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Diagnostic output format: $(b,text) (one line per diagnostic) or \
+              $(b,json) (one array).")
+
+let warn_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "W" ] ~docv:"CODE=LEVEL"
+        ~doc:"Override the severity of diagnostic $(i,CODE); $(i,LEVEL) is \
+              $(b,error), $(b,warning) or $(b,off). Repeatable. See docs/LINT.md \
+              for the code catalogue.")
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Execute a CyLog program")
       Term.(
@@ -404,8 +502,11 @@ let cmds =
             required
             & pos 0 (some file) None
             & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file"));
-    Cmd.v (Cmd.info "check" ~doc:"Parse a CyLog program")
-      Term.(const check_cmd $ file_arg);
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Statically check a CyLog program (safety, stratification, schemas, \
+               liveness, games)")
+      Term.(const check_cmd $ format_arg $ warn_arg $ file_arg);
     Cmd.v (Cmd.info "graph" ~doc:"Print the rule precedence graph")
       Term.(const graph_cmd $ file_arg);
     Cmd.v (Cmd.info "classify" ~doc:"Print the game class (G_N / G_*)")

@@ -1,3 +1,14 @@
+type span = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let no_span = { start_line = 0; start_col = 0; end_line = 0; end_col = 0 }
+
+let span_is_known s = s <> no_span
+
 type binop = Add | Sub | Mul | Div
 
 type expr =
@@ -13,21 +24,34 @@ and bind = Auto | Bound of expr
 
 type atom = { pred : string; args : arg list }
 
-type literal =
+type lit =
   | Pos of atom
   | Neg of atom
   | Cmp of expr * cmpop * expr
   | Call of string * expr list
 
+type literal = { lit : lit; lit_span : span }
+
 type head_kind = Assert | Open of expr option | Update | Delete
 
-type head =
+type head_node =
   | Head_atom of { atom : atom; kind : head_kind }
   | Head_payoff of (string * expr) list
 
-type statement = { label : string option; heads : head list; body : literal list }
+type head = { head : head_node; head_span : span }
 
-type schema_decl = { rel_name : string; rel_attrs : (string * bool * bool) list }
+type statement = {
+  label : string option;
+  heads : head list;
+  body : literal list;
+  stmt_span : span;
+}
+
+type schema_decl = {
+  rel_name : string;
+  rel_attrs : (string * bool * bool) list;
+  decl_span : span;
+}
 
 type game_decl = {
   game_name : string;
@@ -47,6 +71,51 @@ type program = {
 
 let empty_program = { schemas = []; statements = []; games = []; views = [] }
 
+(* -- Smart constructors -------------------------------------------------- *)
+
+let literal ?(span = no_span) lit = { lit; lit_span = span }
+
+let head_atom ?(span = no_span) ?(kind = Assert) atom =
+  { head = Head_atom { atom; kind }; head_span = span }
+
+let head_payoff ?(span = no_span) updates =
+  { head = Head_payoff updates; head_span = span }
+
+let statement ?label ?(span = no_span) heads body =
+  { label; heads; body; stmt_span = span }
+
+(* -- Span erasure (for span-insensitive structural equality) ------------- *)
+
+let strip_literal l = { l with lit_span = no_span }
+let strip_head h = { h with head_span = no_span }
+
+let strip_statement s =
+  {
+    s with
+    heads = List.map strip_head s.heads;
+    body = List.map strip_literal s.body;
+    stmt_span = no_span;
+  }
+
+let strip_schema_decl (d : schema_decl) = { d with decl_span = no_span }
+
+let strip_game g =
+  {
+    g with
+    path_rules = List.map strip_statement g.path_rules;
+    payoff_rules = List.map strip_statement g.payoff_rules;
+  }
+
+let strip_program p =
+  {
+    p with
+    schemas = List.map strip_schema_decl p.schemas;
+    statements = List.map strip_statement p.statements;
+    games = List.map strip_game p.games;
+  }
+
+(* -- Helpers ------------------------------------------------------------- *)
+
 let rec expr_vars = function
   | Const _ -> []
   | Var v -> [ v ]
@@ -55,19 +124,22 @@ let rec expr_vars = function
 
 let expr_vars e = List.sort_uniq String.compare (expr_vars e)
 
-let literal_positive_preds = function
+let literal_positive_preds l =
+  match l.lit with
   | Pos { pred; _ } -> [ pred ]
   | Neg _ | Cmp _ | Call _ -> []
 
 let body_preds body =
   List.sort_uniq String.compare
     (List.concat_map
-       (function
+       (fun l ->
+         match l.lit with
          | Pos { pred; _ } | Neg { pred; _ } -> [ pred ]
          | Cmp _ | Call _ -> [])
        body)
 
-let head_pred = function
+let head_pred h =
+  match h.head with
   | Head_atom { atom; _ } -> Some atom.pred
   | Head_payoff _ -> None
 
@@ -78,8 +150,8 @@ let statement_is_fact s = s.body = []
 
 let statement_is_open s =
   List.exists
-    (function
+    (fun h ->
+      match h.head with
       | Head_atom { kind = Open _; _ } -> true
       | Head_atom _ | Head_payoff _ -> false)
     s.heads
-

@@ -4,7 +4,28 @@
     section (facts and rules in priority order — the order in the source
     text is the evaluation priority), and a [games] section (game aspects:
     one Skolem function plus path and payoff rules per game). The paper's
-    views section is presentation-only and not modelled. *)
+    views section is presentation-only and not modelled.
+
+    Statements, heads, literals and schema declarations each carry a
+    source {!span} so analyses ({!module:Lint}) and error reports can point
+    at the offending source range. Spans are metadata: use
+    {!strip_program} before comparing programs structurally. *)
+
+(** Half-open source range: [start_line]/[start_col] is the first character
+    (both 1-based, matching {!Lexer.located}), and [end_line]/[end_col] is
+    the position just past the last character. *)
+type span = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+val no_span : span
+(** The unknown span (all zeros) — used for synthesised nodes. *)
+
+val span_is_known : span -> bool
+(** True iff the span differs from {!no_span}. *)
 
 type binop = Add | Sub | Mul | Div
 
@@ -26,12 +47,15 @@ and bind = Auto | Bound of expr
 type atom = { pred : string; args : arg list }
 
 (** A body element, evaluated left to right. *)
-type literal =
+type lit =
   | Pos of atom  (** relation membership; branches over live tuples *)
   | Neg of atom  (** [not R(...)]: no live tuple matches *)
   | Cmp of expr * cmpop * expr
       (** comparison; [v = e] with [v] unbound binds [v] to [e] *)
   | Call of string * expr list  (** builtin such as [matches(cond, tw)] *)
+
+(** A body literal together with its source range. *)
+type literal = { lit : lit; lit_span : span }
 
 (** Head annotations. [Open (Some e)] is [/open[e]]: the worker denoted by
     [e] is asked. [Update] merges the head's explicitly mentioned attributes
@@ -39,11 +63,14 @@ type literal =
     removes live tuples matching the head pattern. *)
 type head_kind = Assert | Open of expr option | Update | Delete
 
-type head =
+type head_node =
   | Head_atom of { atom : atom; kind : head_kind }
   | Head_payoff of (string * expr) list
       (** [Payoff[p1 += e1, p2 += e2]]: accumulate payoff deltas per
           player variable — the paper's syntactic sugar *)
+
+(** A head together with its source range. *)
+type head = { head : head_node; head_span : span }
 
 type statement = {
   label : string option;  (** [VE1:]-style label, for traces and analysis *)
@@ -51,12 +78,14 @@ type statement = {
       (** usually a single head; comma-separated heads (Figure 16's Turing
           machine rule) apply atomically under one valuation *)
   body : literal list;  (** empty body = fact *)
+  stmt_span : span;  (** the full statement, label through terminator *)
 }
 
 (** Relation declaration: attribute name, key flag, auto-increment flag. *)
 type schema_decl = {
   rel_name : string;
   rel_attrs : (string * bool * bool) list;
+  decl_span : span;
 }
 
 type game_decl = {
@@ -79,6 +108,27 @@ type program = {
 
 val empty_program : program
 (** Program with no declarations, statements or games. *)
+
+(** {2 Smart constructors}
+
+    Convenience builders for synthesised AST nodes (desugaring, tests).
+    The span defaults to {!no_span}. *)
+
+val literal : ?span:span -> lit -> literal
+val head_atom : ?span:span -> ?kind:head_kind -> atom -> head
+val head_payoff : ?span:span -> (string * expr) list -> head
+val statement : ?label:string -> ?span:span -> head list -> literal list -> statement
+
+(** {2 Span erasure} *)
+
+val strip_literal : literal -> literal
+val strip_head : head -> head
+val strip_statement : statement -> statement
+val strip_program : program -> program
+(** Copy with every span replaced by {!no_span}, for span-insensitive
+    structural equality (e.g. pretty-print round-trip tests). *)
+
+(** {2 Traversal helpers} *)
 
 val expr_vars : expr -> string list
 (** Variables occurring in an expression, without duplicates. *)

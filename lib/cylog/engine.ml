@@ -224,15 +224,17 @@ let rewrite_atom game params (atom : Ast.atom) =
       args = List.map (fun p -> { Ast.attr = p; bind = Ast.Auto }) params @ atom.args;
     }
 
-let rewrite_literal game params = function
-  | Ast.Pos a -> Ast.Pos (rewrite_atom game params a)
-  | Ast.Neg a -> Ast.Neg (rewrite_atom game params a)
-  | (Ast.Cmp _ | Ast.Call _) as l -> l
+let rewrite_literal game params (l : Ast.literal) =
+  match l.Ast.lit with
+  | Ast.Pos a -> { l with Ast.lit = Ast.Pos (rewrite_atom game params a) }
+  | Ast.Neg a -> { l with Ast.lit = Ast.Neg (rewrite_atom game params a) }
+  | Ast.Cmp _ | Ast.Call _ -> l
 
-let rewrite_head game params = function
+let rewrite_head game params (h : Ast.head) =
+  match h.Ast.head with
   | Ast.Head_atom { atom; kind } ->
-      Ast.Head_atom { atom = rewrite_atom game params atom; kind }
-  | Ast.Head_payoff _ as h -> h
+      { h with Ast.head = Ast.Head_atom { atom = rewrite_atom game params atom; kind } }
+  | Ast.Head_payoff _ -> h
 
 let rewrite_statement game params (s : Ast.statement) =
   {
@@ -269,11 +271,13 @@ let declare_relations db (program : Ast.program) statements path_rels =
   let scan_atom (a : Ast.atom) =
     List.iter (fun (arg : Ast.arg) -> add_attr seen order a.pred arg.attr) a.args
   in
-  let scan_literal = function
+  let scan_literal (l : Ast.literal) =
+    match l.Ast.lit with
     | Ast.Pos a | Ast.Neg a -> scan_atom a
     | Ast.Cmp _ | Ast.Call _ -> ()
   in
-  let scan_head = function
+  let scan_head (h : Ast.head) =
+    match h.Ast.head with
     | Ast.Head_atom { atom; _ } -> scan_atom atom
     | Ast.Head_payoff _ -> ()
   in
@@ -326,7 +330,8 @@ let declare_relations db (program : Ast.program) statements path_rels =
 
 let update_delete_targets (s : Ast.statement) =
   List.filter_map
-    (function
+    (fun (h : Ast.head) ->
+      match h.Ast.head with
       | Ast.Head_atom { atom; kind = Ast.Update | Ast.Delete } -> Some atom.Ast.pred
       | Ast.Head_atom _ | Ast.Head_payoff _ -> None)
     s.heads
@@ -334,13 +339,19 @@ let update_delete_targets (s : Ast.statement) =
 let make_info ~use_delta ~updatable ((s : Ast.statement), origin) =
   let prefix, tail = Eval.split_tail s.body in
   let pos_preds =
-    List.filter_map (function Ast.Pos a -> Some a.Ast.pred | _ -> None) prefix
+    List.filter_map
+      (fun (l : Ast.literal) ->
+        match l.Ast.lit with Ast.Pos a -> Some a.Ast.pred | _ -> None)
+      prefix
   in
   let delta_ok =
     use_delta
     && pos_preds <> []
     && List.for_all (fun r -> not (Hashtbl.mem updatable r)) (Ast.body_preds s.body)
-    && List.for_all (function Ast.Neg _ -> false | _ -> true) prefix
+    && List.for_all
+         (fun (l : Ast.literal) ->
+           match l.Ast.lit with Ast.Neg _ -> false | _ -> true)
+         prefix
   in
   {
     stmt = s;
@@ -362,7 +373,19 @@ let make_info ~use_delta ~updatable ((s : Ast.statement), origin) =
        else None);
   }
 
-let load ?builtins ?(use_delta = true) ?(use_planner = true) (program : Ast.program) =
+let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
+    (program : Ast.program) =
+  (match lint with
+  | `Off -> ()
+  | `Strict | `Warn -> (
+      let diags = Lint.check program in
+      match lint with
+      | `Strict when Lint.has_errors diags -> raise (Lint.Rejected diags)
+      | _ ->
+          List.iter
+            (fun (d : Lint.diagnostic) ->
+              Logs.warn (fun m -> m "lint: %s" (Lint.render d)))
+            diags));
   let builtins = match builtins with Some b -> b | None -> Builtin.default () in
   let path_rels = Hashtbl.create 4 in
   List.iter
@@ -414,12 +437,16 @@ let statements t = Array.to_list (Array.map (fun i -> (i.stmt, i.origin)) t.info
 let declare_for_statement t (s : Ast.statement) =
   let atoms =
     List.filter_map
-      (function
+      (fun (h : Ast.head) ->
+        match h.Ast.head with
         | Ast.Head_atom { atom; _ } -> Some atom
         | Ast.Head_payoff _ -> None)
       s.heads
     @ List.filter_map
-        (function Ast.Pos a | Ast.Neg a -> Some a | Ast.Cmp _ | Ast.Call _ -> None)
+        (fun (l : Ast.literal) ->
+          match l.Ast.lit with
+          | Ast.Pos a | Ast.Neg a -> Some a
+          | Ast.Cmp _ | Ast.Call _ -> None)
         s.body
   in
   List.iter
@@ -805,8 +832,8 @@ let create_open t idx (info : stmt_info) env (atom : Ast.atom) worker_expr bound
   end;
   Open_created id
 
-let apply_head t idx info env head =
-  match head with
+let apply_head t idx info env (head : Ast.head) =
+  match head.Ast.head with
   | Ast.Head_payoff updates -> award_payoffs t env updates
   | Ast.Head_atom { atom; kind } -> (
       let bound, opens = eval_head_args t env atom in
@@ -1293,13 +1320,7 @@ let already_voted t (o : open_tuple) worker =
   | None -> false
   | Some votes -> List.exists (fun (w, _) -> Reldb.Value.equal w worker) votes
 
-let ctor_name = function
-  | Reldb.Value.Null -> "null"
-  | Reldb.Value.Bool _ -> "bool"
-  | Reldb.Value.Int _ -> "int"
-  | Reldb.Value.Float _ -> "float"
-  | Reldb.Value.String _ -> "string"
-  | Reldb.Value.List _ -> "list"
+let ctor_name = Reldb.Value.type_name
 
 (* Schemas declare no types, so the expected type of an open attribute is
    inferred from the evidence at hand: the first non-null value already

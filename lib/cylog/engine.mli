@@ -102,10 +102,17 @@ val default_aggregate : aggregate
     counterpart of [Quality.Aggregate.majority]. *)
 
 val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
-  ?use_planner:bool -> Ast.program -> t
+  ?use_planner:bool -> ?lint:[ `Strict | `Warn | `Off ] -> Ast.program -> t
 (** Build an engine: declare schemas (inferring schemas of undeclared
     relations from usage), desugar game aspects into path/payoff statements,
     and declare the [Payoff] relation and per-game path tables.
+
+    [lint] (default [`Strict]) runs {!Lint.check} over the source program
+    first: [`Strict] raises {!Lint.Rejected} when any error-severity
+    diagnostic is reported (warnings are logged); [`Warn] only logs every
+    diagnostic through [Logs]; [`Off] skips the analysis entirely.
+    Statements added later through {!add_statement} are not linted — the
+    REPL's incremental path keeps its runtime checks.
 
     [use_delta] (default [true]) enables seminaive evaluation for
     statements over insert-only relations; with [false] every statement
@@ -120,7 +127,8 @@ val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
     order and the conflict-resolution winner is selected explicitly (see
     {!Eval.enumerate}) — so [false] exists purely as the reference
     strategy for differential testing and ablation.
-    @raise Runtime_error on inconsistent declarations. *)
+    @raise Runtime_error on inconsistent declarations.
+    @raise Lint.Rejected in [`Strict] mode on ill-formed programs. *)
 
 val database : t -> Reldb.Database.t
 (** The live database (shared, not a copy). *)

@@ -119,7 +119,7 @@ let compare_values op a b =
   | Ast.Ge -> c >= 0
 
 let check_filter builtins db env (lit : Ast.literal) =
-  match lit with
+  match lit.Ast.lit with
   | Ast.Pos _ -> error "check_filter applied to a positive atom"
   | Ast.Neg atom -> if neg_holds builtins db env atom then `Pass env else `Fail
   | Ast.Call (name, args) -> (
@@ -195,7 +195,7 @@ let candidate_rows builtins db env (atom : Ast.atom) range =
 let replay builtins db body ~init tuples =
   let rec go pos_idx env support = function
     | [] -> Some { env; support = List.rev support }
-    | Ast.Pos atom :: rest -> (
+    | { Ast.lit = Ast.Pos atom; _ } :: rest -> (
         let i, tuple = tuples.(pos_idx) in
         match match_atom env atom tuple ~builtins with
         | Some env' ->
@@ -223,7 +223,7 @@ let enumerate ?(plan = fun _ -> All) ?reordered builtins db body ~init ~f =
         | [] ->
             if not !stop then
               if f { env; support = List.rev support } = `Stop then stop := true
-        | Ast.Pos atom :: rest ->
+        | { Ast.lit = Ast.Pos atom; _ } :: rest ->
             let rel = Reldb.Database.find db atom.pred in
             let version i =
               match rel with Some r -> Reldb.Relation.row_version r i | None -> 0
@@ -262,7 +262,7 @@ let enumerate ?(plan = fun _ -> All) ?reordered builtins db body ~init ~f =
               | Some m -> if f m = `Stop then stop := true
               | None -> ()  (* unreachable: the planned match succeeded *)
             end
-        | Ast.Pos atom :: rest ->
+        | { Ast.lit = Ast.Pos atom; _ } :: rest ->
             let rec try_rows = function
               | [] -> ()
               | (i, tuple) :: more ->
@@ -287,8 +287,8 @@ let enumerate ?(plan = fun _ -> All) ?reordered builtins db body ~init ~f =
 let split_tail body =
   let last_pos =
     List.fold_left
-      (fun (idx, last) lit ->
-        match lit with
+      (fun (idx, last) (lit : Ast.literal) ->
+        match lit.Ast.lit with
         | Ast.Pos _ -> (idx + 1, idx)
         | Ast.Neg _ | Ast.Cmp _ | Ast.Call _ -> (idx + 1, last))
       (0, -1) body

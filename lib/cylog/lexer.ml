@@ -27,7 +27,13 @@ type token =
   | PLUSEQ
   | EOF
 
-type located = { token : token; line : int; col : int }
+type located = {
+  token : token;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+}
 
 exception Error of { line : int; col : int; message : string }
 
@@ -141,7 +147,12 @@ let skip_block_comment st =
 let tokenize src =
   let st = { src; pos = 0; line = 1; col = 1 } in
   let tokens = ref [] in
-  let emit token line col = tokens := { token; line; col } :: !tokens in
+  (* [emit] runs after the token's characters have been consumed, so the
+     lexer state holds the exclusive end position at that point. *)
+  let emit token line col =
+    tokens :=
+      { token; line; col; end_line = st.line; end_col = st.col } :: !tokens
+  in
   let rec loop () =
     let line = st.line and col = st.col in
     match peek st with

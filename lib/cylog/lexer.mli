@@ -29,7 +29,17 @@ type token =
   | PLUSEQ  (** [+=] in payoff heads *)
   | EOF
 
-type located = { token : token; line : int; col : int }
+(** A token with its exact source range: [line]/[col] is the first
+    character (both 1-based) and [end_line]/[end_col] the position just
+    past the last character — exact for multi-character operators and
+    string literals. *)
+type located = {
+  token : token;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+}
 
 exception Error of { line : int; col : int; message : string }
 

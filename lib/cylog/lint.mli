@@ -1,0 +1,71 @@
+(** Static analysis of CyLog programs.
+
+    [check] runs five families of source-located checks over a parsed
+    program, before any evaluation:
+
+    - {b safety / range restriction}: every head variable, and every
+      variable in a negated atom, comparison or builtin call, must be
+      bound by a positive body atom (Section 4.1's well-formedness;
+      open slots and delete wildcards are exempt);
+    - {b stratification}: negation must not observe a relation a later
+      statement still asserts into ({!Precedence.negation_violations},
+      Section 9.1 / Figure 14) — updates are the paper's fill-if-absent
+      idiom and stay legal;
+    - {b schema conformance}: duplicate declarations, duplicate or
+      multiply-auto attributes, atoms over attributes the declared schema
+      lacks, and evidence-based column typing over constant arguments
+      (sharing the engine's value typing via {!Reldb.Value.type_name});
+    - {b liveness}: relations read but never defined, declared but never
+      used, rules that can never fire, [/delete] heads over relations
+      nothing populates;
+    - {b game aspects}: payoff heads paying unbound variables or sitting
+      outside game blocks, games without path rules, games whose path
+      rules can never fire, open heads in dead game rules.
+
+    Diagnostics carry the {!Ast.span} of the offending node. See
+    docs/LINT.md for the full catalogue with triggering examples. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  code : string;  (** stable machine-readable code, e.g. ["unsafe-head-var"] *)
+  severity : severity;
+  span : Ast.span;  (** {!Ast.no_span} when no source location applies *)
+  message : string;
+}
+
+exception Rejected of diagnostic list
+(** Raised by {!Engine.load} in [`Strict] mode when [check] reports at
+    least one error-severity diagnostic. Carries every diagnostic of the
+    offending program (warnings included). *)
+
+val all_codes : (string * severity * string) list
+(** Every diagnostic code with its default severity and a one-line
+    description — the catalogue behind docs/LINT.md and the CLI's [-W]
+    validation. *)
+
+val is_known_code : string -> bool
+
+val check :
+  ?overrides:(string * [ `Error | `Warning | `Off ]) list ->
+  Ast.program ->
+  diagnostic list
+(** Run every check. Diagnostics are sorted by source position, then
+    code. [overrides] remaps the severity of (or silences) specific codes
+    — the CLI's [-W code=level] flags. *)
+
+val errors : diagnostic list -> diagnostic list
+(** The error-severity subset. *)
+
+val has_errors : diagnostic list -> bool
+
+val severity_name : severity -> string
+(** ["error"] or ["warning"]. *)
+
+val render : ?file:string -> diagnostic -> string
+(** One line: [file:line:col-line:col: severity: code message] (position
+    omitted for unknown spans). [file] defaults to ["<input>"]. *)
+
+val render_json : ?file:string -> diagnostic list -> string
+(** The whole list as one JSON array of objects with [file], [code],
+    [severity], [message] and [span] fields. *)

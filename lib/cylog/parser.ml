@@ -1,4 +1,10 @@
-type error = { line : int; col : int; message : string }
+type error = {
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  message : string;
+}
 
 exception Fail of error
 
@@ -14,8 +20,23 @@ let peek2 st =
 let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
 
 let fail st message =
-  let { Lexer.line; col; _ } = current st in
-  raise (Fail { line; col; message })
+  let { Lexer.line; col; end_line; end_col; _ } = current st in
+  raise (Fail { line; col; end_line; end_col; message })
+
+(* Span bookkeeping: capture the current token's start before parsing a
+   node, and close the span with the end of the last consumed token. *)
+let start_pos st =
+  let t = current st in
+  (t.Lexer.line, t.Lexer.col)
+
+let span_from st (start_line, start_col) =
+  let t = st.tokens.(max 0 (st.pos - 1)) in
+  {
+    Ast.start_line;
+    start_col;
+    end_line = t.Lexer.end_line;
+    end_col = t.Lexer.end_col;
+  }
 
 let expect st token =
   if peek st = token then advance st
@@ -147,44 +168,48 @@ let cmpop_of_token = function
   | _ -> None
 
 let parse_literal st =
-  match peek st with
-  | Lexer.IDENT "not" ->
-      advance st;
-      (match peek st with
-      | Lexer.UIDENT name ->
-          advance st;
-          Ast.Neg (parse_atom st name)
-      | t -> fail st (Format.asprintf "expected a relation after 'not', found %a" Lexer.pp_token t))
-  | Lexer.UIDENT name ->
-      advance st;
-      Ast.Pos (parse_atom st name)
-  | Lexer.IDENT name when peek2 st = Some Lexer.LPAREN ->
-      advance st;
-      advance st;
-      let rec exprs acc =
-        match peek st with
-        | Lexer.RPAREN -> List.rev acc
-        | _ ->
-            let e = parse_expr st in
-            if peek st = Lexer.COMMA then begin
-              advance st;
-              exprs (e :: acc)
-            end
-            else List.rev (e :: acc)
-      in
-      let args = exprs [] in
-      expect st Lexer.RPAREN;
-      Ast.Call (name, args)
-  | _ -> (
-      let left = parse_expr st in
-      match cmpop_of_token (peek st) with
-      | Some op ->
-          advance st;
-          Ast.Cmp (left, op, parse_expr st)
-      | None ->
-          fail st
-            (Format.asprintf "expected a comparison operator, found %a" Lexer.pp_token
-               (peek st)))
+  let start = start_pos st in
+  let lit =
+    match peek st with
+    | Lexer.IDENT "not" ->
+        advance st;
+        (match peek st with
+        | Lexer.UIDENT name ->
+            advance st;
+            Ast.Neg (parse_atom st name)
+        | t -> fail st (Format.asprintf "expected a relation after 'not', found %a" Lexer.pp_token t))
+    | Lexer.UIDENT name ->
+        advance st;
+        Ast.Pos (parse_atom st name)
+    | Lexer.IDENT name when peek2 st = Some Lexer.LPAREN ->
+        advance st;
+        advance st;
+        let rec exprs acc =
+          match peek st with
+          | Lexer.RPAREN -> List.rev acc
+          | _ ->
+              let e = parse_expr st in
+              if peek st = Lexer.COMMA then begin
+                advance st;
+                exprs (e :: acc)
+              end
+              else List.rev (e :: acc)
+        in
+        let args = exprs [] in
+        expect st Lexer.RPAREN;
+        Ast.Call (name, args)
+    | _ -> (
+        let left = parse_expr st in
+        match cmpop_of_token (peek st) with
+        | Some op ->
+            advance st;
+            Ast.Cmp (left, op, parse_expr st)
+        | None ->
+            fail st
+              (Format.asprintf "expected a comparison operator, found %a" Lexer.pp_token
+                 (peek st)))
+  in
+  Ast.literal ~span:(span_from st start) lit
 
 let parse_body st =
   let rec loop acc =
@@ -203,8 +228,9 @@ let parse_body st =
    rule head list or at a block prefix, we parse comma-separated elements
    generically. *)
 type element =
-  | E_atom of Ast.atom * Ast.head_kind option  (* kind set iff /open etc. seen *)
-  | E_payoff of (string * Ast.expr) list
+  | E_atom of Ast.atom * Ast.head_kind option * Ast.span
+      (* kind set iff /open etc. seen *)
+  | E_payoff of (string * Ast.expr) list * Ast.span
   | E_literal of Ast.literal
 
 let parse_head_kind st =
@@ -245,32 +271,35 @@ let parse_payoff_updates st =
   updates
 
 let parse_element st =
+  let start = start_pos st in
   match peek st with
   | Lexer.UIDENT name when peek2 st = Some Lexer.LBRACKET ->
       advance st;
       advance st;
       if name <> "Payoff" then
         fail st (Printf.sprintf "only Payoff accepts [player += delta] syntax, not %s" name);
-      E_payoff (parse_payoff_updates st)
+      let updates = parse_payoff_updates st in
+      E_payoff (updates, span_from st start)
   | Lexer.UIDENT name ->
       advance st;
       let atom = parse_atom st name in
       if peek st = Lexer.SLASH then begin
         advance st;
-        E_atom (atom, Some (parse_head_kind st))
+        let kind = parse_head_kind st in
+        E_atom (atom, Some kind, span_from st start)
       end
-      else E_atom (atom, None)
+      else E_atom (atom, None, span_from st start)
   | _ -> E_literal (parse_literal st)
 
 let element_to_head st = function
-  | E_atom (atom, Some kind) -> Ast.Head_atom { atom; kind }
-  | E_atom (atom, None) -> Ast.Head_atom { atom; kind = Ast.Assert }
-  | E_payoff updates -> Ast.Head_payoff updates
+  | E_atom (atom, Some kind, span) -> Ast.head_atom ~span ~kind atom
+  | E_atom (atom, None, span) -> Ast.head_atom ~span atom
+  | E_payoff (updates, span) -> Ast.head_payoff ~span updates
   | E_literal _ -> fail st "comparisons cannot appear in a rule head"
 
 let element_to_literal st = function
-  | E_atom (atom, None) -> Ast.Pos atom
-  | E_atom (_, Some _) -> fail st "head annotations cannot appear in a block prefix"
+  | E_atom (atom, None, span) -> Ast.literal ~span (Ast.Pos atom)
+  | E_atom (_, Some _, _) -> fail st "head annotations cannot appear in a block prefix"
   | E_payoff _ -> fail st "payoff updates cannot appear in a block prefix"
   | E_literal l -> l
 
@@ -279,6 +308,7 @@ let element_to_literal st = function
 let rec parse_items st ~prefix ~stop acc =
   if stop st then List.rev acc
   else
+    let stmt_start = start_pos st in
     let label =
       match (peek st, peek2 st) with
       | (Lexer.UIDENT name | Lexer.IDENT name), Some Lexer.COLON
@@ -323,16 +353,19 @@ let rec parse_items st ~prefix ~stop acc =
         expect st Lexer.SEMI;
         let heads = List.map (element_to_head st) elements in
         parse_items st ~prefix ~stop
-          ({ Ast.label; heads; body = prefix @ body } :: acc)
+          (Ast.statement ?label ~span:(span_from st stmt_start) heads (prefix @ body)
+          :: acc)
     | Lexer.SEMI ->
         advance st;
         let heads = List.map (element_to_head st) elements in
-        parse_items st ~prefix ~stop ({ Ast.label; heads; body = prefix } :: acc)
+        parse_items st ~prefix ~stop
+          (Ast.statement ?label ~span:(span_from st stmt_start) heads prefix :: acc)
     | Lexer.RBRACE ->
         (* A closing brace may end the last statement of a block without an
            explicit semicolon (Figure 16 style). *)
         let heads = List.map (element_to_head st) elements in
-        parse_items st ~prefix ~stop ({ Ast.label; heads; body = prefix } :: acc)
+        parse_items st ~prefix ~stop
+          (Ast.statement ?label ~span:(span_from st stmt_start) heads prefix :: acc)
     | t ->
         fail st
           (Format.asprintf "expected '<-', ';' or '{' after statement head, found %a"
@@ -340,7 +373,7 @@ let rec parse_items st ~prefix ~stop acc =
 
 (* --- Schema section ----------------------------------------------------- *)
 
-let parse_schema_decl st name =
+let parse_schema_decl st name start =
   expect st Lexer.LPAREN;
   let rec attrs acc =
     let attr = eat_ident st in
@@ -368,7 +401,7 @@ let parse_schema_decl st name =
   let rel_attrs = attrs [] in
   expect st Lexer.RPAREN;
   expect st Lexer.SEMI;
-  { Ast.rel_name = name; rel_attrs }
+  { Ast.rel_name = name; rel_attrs; decl_span = span_from st start }
 
 (* --- Games section ------------------------------------------------------ *)
 
@@ -466,8 +499,9 @@ let parse_program views st =
         let rec decls () =
           match peek st with
           | Lexer.UIDENT name ->
+              let start = start_pos st in
               advance st;
-              schemas := !schemas @ [ parse_schema_decl st name ];
+              schemas := !schemas @ [ parse_schema_decl st name start ];
               decls ()
           | _ -> ()
         in
@@ -512,12 +546,14 @@ let with_state src f =
     Ok (f st)
   with
   | Fail e -> Error e
-  | Lexer.Error { line; col; message } -> Error { line; col; message }
+  | Lexer.Error { line; col; message } ->
+      Error { line; col; end_line = line; end_col = col; message }
 
 let parse src =
   (* View templates are raw markup, carved out before lexing. *)
   match Views.split src with
-  | exception Views.Error { line; message } -> Error { line; col = 1; message }
+  | exception Views.Error { line; message } ->
+      Error { line; col = 1; end_line = line; end_col = 1; message }
   | cleaned, views -> with_state cleaned (parse_program views)
 
 let parse_statements src =
@@ -526,7 +562,7 @@ let parse_statements src =
       expect st Lexer.EOF;
       items)
 
-let pp_error ppf { line; col; message } =
+let pp_error ppf { line; col; message; _ } =
   Format.fprintf ppf "parse error at line %d, column %d: %s" line col message
 
 let parse_exn src =

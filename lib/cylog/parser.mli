@@ -33,7 +33,16 @@
     heads form a single multi-head statement. A [views:] section is accepted
     and skipped (presentation only). *)
 
-type error = { line : int; col : int; message : string }
+(** A parse error with its source range: [line]/[col] point at the first
+    offending character (both 1-based), [end_line]/[end_col] just past the
+    last one. *)
+type error = {
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  message : string;
+}
 
 val parse : string -> (Ast.program, error) result
 (** Parse a whole program. *)

@@ -80,7 +80,8 @@ let pattern_attrs bound (atom : Ast.atom) =
    Eval.check_filter: a negation evaluates all its arguments; an [Eq]
    comparison with an unbound plain-variable side is a binder needing only
    the other side. *)
-let filter_needs bound = function
+let filter_needs bound (l : Ast.literal) =
+  match l.Ast.lit with
   | Ast.Neg atom ->
       List.concat_map
         (fun (arg : Ast.arg) ->
@@ -96,7 +97,8 @@ let filter_needs bound = function
       | _ -> Ast.expr_vars l @ Ast.expr_vars r)
   | Ast.Pos _ -> []
 
-let filter_binds bound = function
+let filter_binds bound (l : Ast.literal) =
+  match l.Ast.lit with
   | Ast.Cmp (Ast.Var v, Ast.Eq, _) when not (S.mem v bound) -> S.add v bound
   | Ast.Cmp (_, Ast.Eq, Ast.Var v) when not (S.mem v bound) -> S.add v bound
   | Ast.Neg _ | Ast.Call _ | Ast.Cmp _ | Ast.Pos _ -> bound
@@ -119,12 +121,16 @@ let plan ?exact_atom db prefix =
   let items = List.mapi (fun i lit -> (i, lit)) prefix in
   let atoms =
     List.filter_map
-      (function i, Ast.Pos a -> Some (i, a) | _ -> None)
+      (fun (i, (l : Ast.literal)) ->
+        match l.Ast.lit with Ast.Pos a -> Some (i, a, l) | _ -> None)
       items
-    |> List.mapi (fun ordinal (i, a) -> (ordinal, i, a))
+    |> List.mapi (fun ordinal (i, a, l) -> (ordinal, i, a, l))
   in
   let filters =
-    List.filter (function _, Ast.Pos _ -> false | _ -> true) items
+    List.filter
+      (fun (_, (l : Ast.literal)) ->
+        match l.Ast.lit with Ast.Pos _ -> false | _ -> true)
+      items
   in
   let emitted = ref [] (* reverse planned literal order *)
   and order = ref [] (* reverse positive-atom order, original ordinals *)
@@ -133,7 +139,7 @@ let plan ?exact_atom db prefix =
   and remaining = ref atoms
   and queue = ref filters in
   let atoms_before lit_idx =
-    List.exists (fun (_, i, _) -> i < lit_idx) !remaining
+    List.exists (fun (_, i, _, _) -> i < lit_idx) !remaining
   in
   let flush_filters () =
     let rec loop () =
@@ -153,7 +159,7 @@ let plan ?exact_atom db prefix =
   while !remaining <> [] do
     let best =
       List.fold_left
-        (fun acc ((ordinal, _, atom) as cand) ->
+        (fun acc ((ordinal, _, atom, _) as cand) ->
           let key = (estimate ?exact_atom db !bound (ordinal, atom), ordinal) in
           match acc with
           | Some (best_key, _) when best_key <= key -> acc
@@ -162,9 +168,9 @@ let plan ?exact_atom db prefix =
     in
     match best with
     | None -> ()
-    | Some (((est, card), _), ((ordinal, _, atom) as chosen)) ->
+    | Some (((est, card), _), ((ordinal, _, atom, lit) as chosen)) ->
         remaining := List.filter (fun c -> c != chosen) !remaining;
-        emitted := Ast.Pos atom :: !emitted;
+        emitted := lit :: !emitted;
         order := ordinal :: !order;
         steps := (atom.Ast.pred, est, card) :: !steps;
         bound := atom_binds !bound atom;

@@ -9,7 +9,10 @@ type t = {
 
 let neg_preds body =
   List.sort_uniq String.compare
-    (List.filter_map (function Ast.Neg a -> Some a.Ast.pred | _ -> None) body)
+    (List.filter_map
+       (fun (l : Ast.literal) ->
+         match l.Ast.lit with Ast.Neg a -> Some a.Ast.pred | _ -> None)
+       body)
 
 let build statements =
   let stmts = Array.of_list statements in
@@ -17,7 +20,8 @@ let build statements =
   let writes i = Ast.statement_preds stmts.(i) in
   let update_delete_preds i =
     List.filter_map
-      (function
+      (fun (h : Ast.head) ->
+        match h.Ast.head with
         | Ast.Head_atom { atom; kind = Ast.Update | Ast.Delete } -> Some atom.Ast.pred
         | Ast.Head_atom _ | Ast.Head_payoff _ -> None)
       stmts.(i).Ast.heads
@@ -66,6 +70,7 @@ let build statements =
   { statements = stmts; edges; reach }
 
 let size g = Array.length g.statements
+let statement_at g i = g.statements.(i)
 let edges g = g.edges
 let depends_on g q i = q >= 0 && q < size g && i >= 0 && i < size g && g.reach.(q).(i)
 
@@ -112,16 +117,73 @@ let vertex_name g i =
   let name = match preds with [] -> "Payoff" | p :: _ -> p in
   Printf.sprintf "%s_%d" name (i + 1)
 
-let pp ppf g =
-  Format.fprintf ppf "@[<v>vertices:";
-  for i = 0 to size g - 1 do
-    Format.fprintf ppf "@,  %s: %a" (vertex_name g i) Pretty.pp_statement g.statements.(i)
-  done;
-  Format.fprintf ppf "@,edges:";
-  List.iter
-    (fun e ->
-      Format.fprintf ppf "@,  %s %s %s (via %s)" (vertex_name g e.src)
-        (if e.forward then "->" else "-->")
-        (vertex_name g e.dst) e.via)
-    g.edges;
-  Format.fprintf ppf "@]"
+(* -- Stratification witnesses -------------------------------------------- *)
+
+type violation = {
+  vertex : int;
+  negated : string;
+  writer : int;
+  cycle : int list;
+}
+
+(* Relations a statement populates through Assert or Open heads. Update
+   and Delete heads are deliberately excluded: updating a relation after a
+   later rule negated it is the paper's fill-if-absent idiom (Figure 16's
+   Fill/Step pair), not a stratification hazard — the negation tests
+   existence, and updates only rewrite tuples already observed. *)
+let assert_writes stmts i =
+  List.filter_map
+    (fun (h : Ast.head) ->
+      match h.Ast.head with
+      | Ast.Head_atom { atom; kind = Ast.Assert | Ast.Open _ } ->
+          Some atom.Ast.pred
+      | Ast.Head_atom _ | Ast.Head_payoff _ -> None)
+    stmts.(i).Ast.heads
+
+(* Shortest direct-edge path from [src] to [dst], as a vertex list
+   [src; ...; dst], when one exists. *)
+let path g ~src ~dst =
+  let n = size g in
+  if src < 0 || dst < 0 || src >= n || dst >= n then None
+  else begin
+    let prev = Array.make n (-1) in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(src) <- true;
+    Queue.push src queue;
+    let found = ref (src = dst) in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun e ->
+          if e.src = v && not seen.(e.dst) then begin
+            seen.(e.dst) <- true;
+            prev.(e.dst) <- v;
+            if e.dst = dst then found := true else Queue.push e.dst queue
+          end)
+        g.edges
+    done;
+    if not !found then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk prev.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let negation_violations g =
+  let n = size g in
+  List.concat
+    (List.init n (fun q ->
+         let negs = neg_preds g.statements.(q).Ast.body in
+         List.concat_map
+           (fun r ->
+             List.filter_map
+               (fun i ->
+                 if i <> q && List.mem r (assert_writes g.statements i) then
+                   let cycle =
+                     match path g ~src:q ~dst:i with Some p -> p | None -> []
+                   in
+                   Some { vertex = q; negated = r; writer = i; cycle }
+                 else None)
+               (List.init (n - q) (fun k -> q + k)))
+           negs))

@@ -28,6 +28,10 @@ val build : Ast.statement list -> t
 val size : t -> int
 (** Number of vertices. *)
 
+val statement_at : t -> int -> Ast.statement
+(** The statement at a vertex (its priority index).
+    @raise Invalid_argument when out of range. *)
+
 val edges : t -> edge list
 (** All edges, sorted by (src, dst). *)
 
@@ -54,6 +58,27 @@ val parallel_groups : t -> int list list
 val stratified : t -> bool
 (** True iff every statement whose body uses negation is data complete. *)
 
-val pp : Format.formatter -> t -> unit
-(** Text rendering listing vertices ([R_q] style) and edges with their
-    direction, as in Figure 14. *)
+(** A witness that negation in statement [vertex] observes a relation
+    still being populated: statement [writer >= vertex] asserts (or opens)
+    tuples of [negated] after [vertex] first evaluates. [cycle] is the
+    dependency chain [vertex; ...; writer] through direct edges when one
+    exists (the backward edge [writer -> vertex] closes the cycle), or
+    [[]] when the only flow is that single backward edge. *)
+type violation = {
+  vertex : int;
+  negated : string;
+  writer : int;
+  cycle : int list;
+}
+
+val negation_violations : t -> violation list
+(** Witness-producing refinement of {!stratified}: one violation per
+    (negating statement, negated relation, later Assert/Open writer)
+    triple, in priority order. Unlike {!data_complete} — which counts any
+    backward dataflow — only writers that insert new tuples into the
+    negated relation are reported; update/delete writers are the paper's
+    fill-if-absent idiom and remain legal (Figure 16). *)
+
+val vertex_name : t -> int -> string
+(** Display name of a vertex, [R_q] style (relation name and 1-based
+    priority), as in Figure 14. *)

@@ -4,8 +4,16 @@ let pp_binop ppf op =
   Format.pp_print_string ppf
     (match op with Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/")
 
+(* Constants must re-lex to the same value: [%g] would print [1.0] as [1],
+   which re-parses as an integer, so integral floats keep a trailing
+   [.0]. *)
+let pp_const ppf = function
+  | Reldb.Value.Float f when Float.is_integer f && Float.abs f < 1e15 ->
+      Format.fprintf ppf "%.1f" f
+  | v -> Reldb.Value.pp ppf v
+
 let rec pp_expr ppf = function
-  | Ast.Const v -> Reldb.Value.pp ppf v
+  | Ast.Const v -> pp_const ppf v
   | Ast.Var v -> Format.pp_print_string ppf v
   | Ast.List es ->
       Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:comma pp_expr) es
@@ -30,14 +38,16 @@ let pp_cmpop ppf op =
     | Ast.Gt -> ">"
     | Ast.Ge -> ">=")
 
-let pp_literal ppf = function
+let pp_lit ppf = function
   | Ast.Pos a -> pp_atom ppf a
   | Ast.Neg a -> Format.fprintf ppf "not %a" pp_atom a
   | Ast.Cmp (a, op, b) -> Format.fprintf ppf "%a %a %a" pp_expr a pp_cmpop op pp_expr b
   | Ast.Call (f, args) ->
       Format.fprintf ppf "%s(%a)" f (Format.pp_print_list ~pp_sep:comma pp_expr) args
 
-let pp_head ppf = function
+let pp_literal ppf (l : Ast.literal) = pp_lit ppf l.Ast.lit
+
+let pp_head_node ppf = function
   | Ast.Head_atom { atom; kind } -> (
       pp_atom ppf atom;
       match kind with
@@ -54,7 +64,9 @@ let pp_head ppf = function
         (Format.pp_print_list ~pp_sep:comma update)
         updates
 
-let pp_statement ppf { Ast.label; heads; body } =
+let pp_head ppf (h : Ast.head) = pp_head_node ppf h.Ast.head
+
+let pp_statement ppf { Ast.label; heads; body; _ } =
   (match label with Some l -> Format.fprintf ppf "%s: " l | None -> ());
   Format.pp_print_list ~pp_sep:comma pp_head ppf heads;
   (match body with
@@ -63,7 +75,7 @@ let pp_statement ppf { Ast.label; heads; body } =
       Format.fprintf ppf " <- %a" (Format.pp_print_list ~pp_sep:comma pp_literal) body);
   Format.pp_print_string ppf ";"
 
-let pp_schema_decl ppf { Ast.rel_name; rel_attrs } =
+let pp_schema_decl ppf { Ast.rel_name; rel_attrs; _ } =
   let attr ppf (a, key, auto) =
     Format.pp_print_string ppf a;
     if key then Format.pp_print_string ppf " key";
@@ -107,6 +119,27 @@ let pp_program ppf { Ast.schemas; statements; games; views } =
 
 let statement_to_string s = Format.asprintf "%a" pp_statement s
 let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p
+
+(* -- Precedence graphs --------------------------------------------------- *)
+
+let pp_precedence ppf g =
+  Format.fprintf ppf "@[<v>vertices:";
+  for i = 0 to Precedence.size g - 1 do
+    Format.fprintf ppf "@,  %s: %a"
+      (Precedence.vertex_name g i)
+      pp_statement
+      (Precedence.statement_at g i)
+  done;
+  Format.fprintf ppf "@,edges:";
+  List.iter
+    (fun (e : Precedence.edge) ->
+      Format.fprintf ppf "@,  %s %s %s (via %s)"
+        (Precedence.vertex_name g e.src)
+        (if e.forward then "->" else "-->")
+        (Precedence.vertex_name g e.dst)
+        e.via)
+    (Precedence.edges g);
+  Format.fprintf ppf "@]"
 
 (* -- Journal events ------------------------------------------------------ *)
 

@@ -1,12 +1,15 @@
 (** Pretty-printing of CyLog ASTs back to concrete syntax.
 
     [Parser.parse_exn] of a printed program yields a structurally equal
-    program (the printer always emits flat style, so block-style sugar is
-    not preserved — the desugared rules are). *)
+    program up to {!Ast.strip_program} (the printer always emits flat
+    style, so block-style sugar is not preserved — the desugared rules
+    are — and source spans are not reproduced). *)
 
 val pp_expr : Format.formatter -> Ast.expr -> unit
 val pp_atom : Format.formatter -> Ast.atom -> unit
+val pp_lit : Format.formatter -> Ast.lit -> unit
 val pp_literal : Format.formatter -> Ast.literal -> unit
+val pp_head_node : Format.formatter -> Ast.head_node -> unit
 val pp_head : Format.formatter -> Ast.head -> unit
 val pp_statement : Format.formatter -> Ast.statement -> unit
 val pp_game : Format.formatter -> Ast.game_decl -> unit
@@ -14,6 +17,11 @@ val pp_program : Format.formatter -> Ast.program -> unit
 
 val statement_to_string : Ast.statement -> string
 val program_to_string : Ast.program -> string
+
+val pp_precedence : Format.formatter -> Precedence.t -> unit
+(** Text rendering of a precedence graph: vertices ([R_q] style) and
+    edges with their direction ([->] forward, [-->] backward), as in
+    Figure 14. *)
 
 (** {1 Journal events}
 

@@ -21,7 +21,8 @@ type strategies = state -> (open_fact * (string * Reldb.Value.t) list) list
 let supported (p : Ast.program) =
   let statement_ok (s : Ast.statement) =
     List.for_all
-      (function
+      (fun (h : Ast.head) ->
+        match h.Ast.head with
         | Ast.Head_atom { kind = Ast.Update | Ast.Delete; _ } -> false
         | Ast.Head_atom _ | Ast.Head_payoff _ -> true)
       s.heads
@@ -96,7 +97,8 @@ let apply st (strategies : strategies) =
              (Reldb.Tuple.of_list
                 [ ("player", player); ("score", Reldb.Value.add current delta) ]))
   in
-  let apply_head env = function
+  let apply_head env (h : Ast.head) =
+    match h.Ast.head with
     | Ast.Head_payoff updates ->
         List.iter
           (fun (player_var, delta_expr) ->

@@ -5,7 +5,8 @@ type t = Bounded of int | Unbounded
    all appear here is machine-determined; the rest are open slots. *)
 let bound_vars body =
   List.concat_map
-    (function
+    (fun (l : Cylog.Ast.literal) ->
+      match l.Cylog.Ast.lit with
       | Cylog.Ast.Pos { Cylog.Ast.args; _ } ->
           List.concat_map
             (fun (arg : Cylog.Ast.arg) ->
@@ -31,7 +32,8 @@ let open_slots (s : Cylog.Ast.statement) (atom : Cylog.Ast.atom) =
 
 let open_heads (s : Cylog.Ast.statement) =
   List.filter_map
-    (function
+    (fun (h : Cylog.Ast.head) ->
+      match h.Cylog.Ast.head with
       | Cylog.Ast.Head_atom { atom; kind = Cylog.Ast.Open _ } -> Some atom
       | Cylog.Ast.Head_atom _ | Cylog.Ast.Head_payoff _ -> None)
     s.heads

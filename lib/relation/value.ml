@@ -53,6 +53,14 @@ let rec hash = function
 
 let is_null = function Null -> true | _ -> false
 
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+
 let rec pp ppf = function
   | Null -> Format.pp_print_string ppf "null"
   | Bool b -> Format.pp_print_bool ppf b

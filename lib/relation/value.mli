@@ -31,6 +31,10 @@ val hash : t -> int
 val is_null : t -> bool
 (** [is_null v] is true iff [v = Null]. *)
 
+val type_name : t -> string
+(** Constructor name for typing diagnostics: one of ["null"], ["bool"],
+    ["int"], ["float"], ["string"], ["list"]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Pretty-printer; strings are quoted, lists bracketed. *)
 

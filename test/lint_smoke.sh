@@ -1,0 +1,44 @@
+#!/bin/sh
+# Golden-file smoke for `cylog check` (dune alias lint-smoke):
+#   - every program in bad/ prints exactly the diagnostics its .expected
+#     golden records, and exits 1 iff the golden contains an error;
+#   - --format json round-trips one representative golden;
+#   - every shipped example program lints clean, in text and json form.
+set -u
+CYLOG="$1"
+status=0
+
+for f in bad/*.cyl; do
+  base="${f%.cyl}"
+  out=$("$CYLOG" check "$f")
+  code=$?
+  if ! printf '%s\n' "$out" | diff -u "$base.expected" - >&2; then
+    echo "lint-smoke: $f: output differs from $base.expected" >&2
+    status=1
+  fi
+  if grep -q ": error: " "$base.expected"; then want=1; else want=0; fi
+  if [ "$code" -ne "$want" ]; then
+    echo "lint-smoke: $f: exit $code, expected $want" >&2
+    status=1
+  fi
+done
+
+json=$("$CYLOG" check --format json bad/unstratified.cyl)
+if ! printf '%s\n' "$json" | diff -u bad/unstratified.json.expected - >&2; then
+  echo "lint-smoke: unstratified.cyl: json output differs" >&2
+  status=1
+fi
+
+for f in ../examples/programs/*.cyl; do
+  if ! "$CYLOG" check "$f" >/dev/null; then
+    echo "lint-smoke: $f: expected a clean check" >&2
+    status=1
+  fi
+  json=$("$CYLOG" check --format json "$f")
+  if [ "$json" != "[]" ]; then
+    echo "lint-smoke: $f: expected [] from --format json, got: $json" >&2
+    status=1
+  fi
+done
+
+exit $status

@@ -86,7 +86,7 @@ let test_parse_block_style () =
       |}
   in
   match p.Ast.statements with
-  | [ { Ast.heads = [ Ast.Head_atom { atom; _ } ]; body; _ } ] ->
+  | [ { Ast.heads = [ { Ast.head = Ast.Head_atom { atom; _ }; _ } ]; body; _ } ] ->
       Alcotest.(check string) "head" "Tweet" atom.Ast.pred;
       Alcotest.(check int) "prefix length" 2 (List.length body)
   | _ -> Alcotest.fail "expected one desugared statement"
@@ -130,7 +130,7 @@ let test_parse_games_section () =
       Alcotest.(check int) "one payoff rule" 1 (List.length g.Ast.payoff_rules);
       let payoff = List.hd g.Ast.payoff_rules in
       (match payoff.Ast.heads with
-      | [ Ast.Head_payoff [ ("p1", _); ("p2", _) ] ] -> ()
+      | [ { Ast.head = Ast.Head_payoff [ ("p1", _); ("p2", _) ]; _ } ] -> ()
       | _ -> Alcotest.fail "payoff head shape");
       Alcotest.(check int) "payoff body: prefix + atom + cmp" 3
         (List.length payoff.Ast.body)
@@ -164,8 +164,10 @@ let test_parse_negation_and_builtin () =
   let stmts = Parser.parse_statements_exn
       "T(x) <- R(x), not U(x), matches(\"rain\", x), y = x + 1, y < 10;" in
   match stmts with
-  | [ { Ast.body = [ Ast.Pos _; Ast.Neg _; Ast.Call ("matches", _); Ast.Cmp _; Ast.Cmp _ ]; _ } ] ->
-      ()
+  | [ { Ast.body; _ } ] -> (
+      match List.map (fun (l : Ast.literal) -> l.Ast.lit) body with
+      | [ Ast.Pos _; Ast.Neg _; Ast.Call ("matches", _); Ast.Cmp _; Ast.Cmp _ ] -> ()
+      | _ -> Alcotest.fail "body shape")
   | _ -> Alcotest.fail "body shape"
 
 let test_pretty_roundtrip () =
@@ -190,7 +192,8 @@ let test_pretty_roundtrip () =
   let p = Parser.parse_exn src in
   let printed = Pretty.program_to_string p in
   let p' = Parser.parse_exn printed in
-  Alcotest.(check bool) "roundtrip equal" true (p = p')
+  Alcotest.(check bool) "roundtrip equal" true
+    (Ast.strip_program p = Ast.strip_program p')
 
 (* --- Views section ------------------------------------------------------ *)
 
@@ -267,7 +270,8 @@ let test_views_roundtrip () =
   let src = "rules: R(x:1); views: view R { <b>{{x}}</b> }" in
   let p = Parser.parse_exn src in
   let p' = Parser.parse_exn (Pretty.program_to_string p) in
-  Alcotest.(check bool) "roundtrip" true (p = p')
+  Alcotest.(check bool) "roundtrip" true
+    (Ast.strip_program p = Ast.strip_program p')
 
 (* --- Engine: Figure 13 evaluation order -------------------------------- *)
 
@@ -875,6 +879,70 @@ let test_precedence_parallel_groups () =
         grp)
     groups
 
+let test_precedence_backward_cycle () =
+  (* A <- B / B <- A: a two-statement cycle whose B -> A flow is a
+     backward edge. Neither statement is data complete, they can never
+     share a parallel group, and the closure makes each self-dependent. *)
+  let p = Parser.parse_exn "rules: A(x) <- B(x); B(x) <- A(x);" in
+  let g = Precedence.build p.Ast.statements in
+  (match
+     List.find_opt
+       (fun (e : Precedence.edge) -> e.src = 1 && e.dst = 0)
+       (Precedence.edges g)
+   with
+  | Some e -> Alcotest.(check bool) "B -> A backward" false e.forward
+  | None -> Alcotest.fail "missing backward edge B -> A");
+  Alcotest.(check bool) "0 self-dependent via the cycle" true
+    (Precedence.depends_on g 0 0);
+  Alcotest.(check bool) "0 not data complete" false (Precedence.data_complete g 0);
+  Alcotest.(check bool) "1 not data complete" false (Precedence.data_complete g 1);
+  Alcotest.(check (list (list int))) "cycle members never grouped" [ [ 0 ]; [ 1 ] ]
+    (Precedence.parallel_groups g)
+
+let test_precedence_self_loop () =
+  (* Direct self-recursion draws no self edge (edges need i <> q): the
+     statement's own tuples reach later evaluations through the delta
+     semantics, not a precedence hazard, so it stays data complete. *)
+  let p = Parser.parse_exn "rules: R(x:1); R(x:y+1) <- R(x:y), y < 3;" in
+  let g = Precedence.build p.Ast.statements in
+  Alcotest.(check bool) "no self edge" true
+    (List.for_all (fun (e : Precedence.edge) -> e.src <> e.dst) (Precedence.edges g));
+  Alcotest.(check bool) "not self-dependent" false (Precedence.depends_on g 1 1);
+  Alcotest.(check bool) "data complete" true (Precedence.data_complete g 1);
+  Alcotest.(check bool) "stratified (no negation)" true (Precedence.stratified g)
+
+let test_negation_violations_witness () =
+  let p =
+    Parser.parse_exn "rules: A(x:1); T(x) <- A(x), not U(x); U(x) <- T(x);"
+  in
+  let g = Precedence.build p.Ast.statements in
+  (match Precedence.negation_violations g with
+  | [ v ] ->
+      Alcotest.(check int) "vertex" 1 v.Precedence.vertex;
+      Alcotest.(check string) "negated" "U" v.Precedence.negated;
+      Alcotest.(check int) "writer" 2 v.Precedence.writer;
+      Alcotest.(check (list int)) "cycle T -> U" [ 1; 2 ] v.Precedence.cycle
+  | vs -> Alcotest.fail (Printf.sprintf "expected one violation, got %d" (List.length vs)));
+  (* Figure 13's negation reads U, which only an *earlier* fact writes:
+     not data complete, yet no negation violation. *)
+  let g13 = Precedence.build (Parser.parse_exn figure13_src).Ast.statements in
+  Alcotest.(check bool) "figure 13 not stratified" false (Precedence.stratified g13);
+  Alcotest.(check int) "figure 13 has no negation violation" 0
+    (List.length (Precedence.negation_violations g13))
+
+let test_negation_violations_update_exempt () =
+  (* Fill-if-absent (Figure 16): an /update writer below the negation is
+     legal; the same writer as a plain assert is the textbook violation. *)
+  let build src = Precedence.build (Parser.parse_exn src).Ast.statements in
+  Alcotest.(check int) "update writer exempt" 0
+    (List.length
+       (Precedence.negation_violations
+          (build "rules: T(x) <- A(x), not U(x); U(x:1)/update;")));
+  Alcotest.(check int) "assert writer flagged" 1
+    (List.length
+       (Precedence.negation_violations
+          (build "rules: T(x) <- A(x), not U(x); U(x:1);")))
+
 (* --- Formal semantics (Section 9.2) ---------------------------------------- *)
 
 let test_semantics_supported () =
@@ -1013,7 +1081,13 @@ let suite =
     ( "cylog.precedence",
       [ Alcotest.test_case "figure 14 graph" `Quick test_precedence_figure14;
         Alcotest.test_case "stratified program" `Quick test_precedence_stratified;
-        Alcotest.test_case "parallel groups" `Quick test_precedence_parallel_groups ] );
+        Alcotest.test_case "parallel groups" `Quick test_precedence_parallel_groups;
+        Alcotest.test_case "backward-edge cycle" `Quick test_precedence_backward_cycle;
+        Alcotest.test_case "self-recursive rule" `Quick test_precedence_self_loop;
+        Alcotest.test_case "negation violation witness" `Quick
+          test_negation_violations_witness;
+        Alcotest.test_case "update writers exempt from violations" `Quick
+          test_negation_violations_update_exempt ] );
     ( "cylog.semantics",
       [ Alcotest.test_case "supported fragment" `Quick test_semantics_supported;
         Alcotest.test_case "machine-only fixpoint" `Quick test_semantics_machine_only_fixpoint;

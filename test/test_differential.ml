@@ -35,20 +35,13 @@ let gen_program : Ast.program QCheck.arbitrary =
     let* va = const in
     let* vb = const in
     return
-      {
-        Ast.label = None;
-        heads =
-          [ Ast.Head_atom
-              {
-                atom =
-                  { Ast.pred = r;
-                    args =
-                      [ { Ast.attr = "a"; bind = Ast.Bound va };
-                        { Ast.attr = "b"; bind = Ast.Bound vb } ] };
-                kind = Ast.Assert;
-              } ];
-        body = [];
-      }
+      (Ast.statement
+         [ Ast.head_atom
+             { Ast.pred = r;
+               args =
+                 [ { Ast.attr = "a"; bind = Ast.Bound va };
+                   { Ast.attr = "b"; bind = Ast.Bound vb } ] } ]
+         [])
   in
   let var_names = [ "x"; "y"; "z" ] in
   let gen_rule =
@@ -65,11 +58,12 @@ let gen_program : Ast.program QCheck.arbitrary =
            | Some v -> [ { Ast.attr = "b"; bind = Ast.Bound (Ast.Var v) } ]
            | None -> []
          in
-         return (Ast.Pos { Ast.pred = r; args }))
+         return (Ast.literal (Ast.Pos { Ast.pred = r; args })))
     in
     let bound_vars =
       List.concat_map
-        (function
+        (fun (l : Ast.literal) ->
+          match l.Ast.lit with
           | Ast.Pos { Ast.args; _ } ->
               List.filter_map
                 (fun (arg : Ast.arg) ->
@@ -85,26 +79,21 @@ let gen_program : Ast.program QCheck.arbitrary =
           ( 1,
             let* v = oneofl bound_vars in
             let* limit = int_bound 4 in
-            return [ Ast.Cmp (Ast.Var v, Ast.Le, Ast.Const (Reldb.Value.Int limit)) ] ) ]
+            return
+              [ Ast.literal
+                  (Ast.Cmp (Ast.Var v, Ast.Le, Ast.Const (Reldb.Value.Int limit))) ] ) ]
     in
     let* head_rel = rel in
     let* ha = oneofl bound_vars in
     let* hb = oneofl bound_vars in
     return
-      {
-        Ast.label = None;
-        heads =
-          [ Ast.Head_atom
-              {
-                atom =
-                  { Ast.pred = head_rel;
-                    args =
-                      [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var ha) };
-                        { Ast.attr = "b"; bind = Ast.Bound (Ast.Var hb) } ] };
-                kind = Ast.Assert;
-              } ];
-        body = body_atoms @ cmp;
-      }
+      (Ast.statement
+         [ Ast.head_atom
+             { Ast.pred = head_rel;
+               args =
+                 [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var ha) };
+                   { Ast.attr = "b"; bind = Ast.Bound (Ast.Var hb) } ] } ]
+         (body_atoms @ cmp))
   in
   let gen =
     let* n_facts = int_range 1 6 in
@@ -207,7 +196,7 @@ let prop_parse_print_roundtrip =
     (fun program ->
       let printed = Pretty.program_to_string program in
       match Parser.parse printed with
-      | Ok program' -> program = program'
+      | Ok program' -> Ast.strip_program program' = Ast.strip_program program
       | Error _ -> false)
 
 let prop_printed_program_runs_identically =
@@ -225,45 +214,30 @@ let prop_printed_program_runs_identically =
    final databases must again coincide. *)
 let with_open_rule (program : Ast.program) =
   let ask =
-    {
-      Ast.label = Some "Ask";
-      heads =
-        [ Ast.Head_atom
-            {
-              atom =
-                { Ast.pred = "Answer";
-                  args =
-                    [ { Ast.attr = "a"; bind = Ast.Auto };
-                      { Ast.attr = "v"; bind = Ast.Auto } ] };
-              kind = Ast.Open None;
-            } ];
-      body =
-        [ Ast.Pos
-            { Ast.pred = "R0";
-              args = [ { Ast.attr = "a"; bind = Ast.Auto } ] } ];
-    }
+    Ast.statement ~label:"Ask"
+      [ Ast.head_atom ~kind:(Ast.Open None)
+          { Ast.pred = "Answer";
+            args =
+              [ { Ast.attr = "a"; bind = Ast.Auto };
+                { Ast.attr = "v"; bind = Ast.Auto } ] } ]
+      [ Ast.literal
+          (Ast.Pos
+             { Ast.pred = "R0"; args = [ { Ast.attr = "a"; bind = Ast.Auto } ] }) ]
   in
   let echo =
     (* Human answers feed back into machine rules. *)
-    {
-      Ast.label = Some "Echo";
-      heads =
-        [ Ast.Head_atom
-            {
-              atom =
-                { Ast.pred = "R1";
-                  args =
-                    [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var "v") };
-                      { Ast.attr = "b"; bind = Ast.Bound (Ast.Var "v") } ] };
-              kind = Ast.Assert;
-            } ];
-      body =
-        [ Ast.Pos
-            { Ast.pred = "Answer";
-              args =
-                [ { Ast.attr = "a"; bind = Ast.Auto };
-                  { Ast.attr = "v"; bind = Ast.Auto } ] } ];
-    }
+    Ast.statement ~label:"Echo"
+      [ Ast.head_atom
+          { Ast.pred = "R1";
+            args =
+              [ { Ast.attr = "a"; bind = Ast.Bound (Ast.Var "v") };
+                { Ast.attr = "b"; bind = Ast.Bound (Ast.Var "v") } ] } ]
+      [ Ast.literal
+          (Ast.Pos
+             { Ast.pred = "Answer";
+               args =
+                 [ { Ast.attr = "a"; bind = Ast.Auto };
+                   { Ast.attr = "v"; bind = Ast.Auto } ] }) ]
   in
   { program with Ast.statements = program.statements @ [ ask; echo ] }
 

@@ -1,0 +1,297 @@
+(* Cylog.Lint: the static checker.
+
+   Unit coverage for the five check families — exact spans, severities
+   and codes on minimal triggers; severity overrides; Strict/Warn/Off
+   enforcement at Engine.load; and cleanliness of every shipped program
+   (the example corpus, all four TweetPecker variants and the Figure 16
+   Turing construction). The golden-file side of the same guarantees
+   lives in the lint-smoke alias (test/bad/ + lint_smoke.sh). *)
+
+open Cylog
+
+let check_src ?overrides src = Lint.check ?overrides (Parser.parse_exn src)
+let codes ds = List.sort_uniq compare (List.map (fun (d : Lint.diagnostic) -> d.Lint.code) ds)
+let find code ds = List.find (fun (d : Lint.diagnostic) -> d.Lint.code = code) ds
+
+let span_t =
+  Alcotest.testable
+    (fun ppf (s : Ast.span) ->
+      Format.fprintf ppf "%d:%d-%d:%d" s.start_line s.start_col s.end_line s.end_col)
+    ( = )
+
+(* --- catalogue ----------------------------------------------------------- *)
+
+let test_catalogue () =
+  let names = List.map (fun (c, _, _) -> c) Lint.all_codes in
+  Alcotest.(check bool) "at least 12 codes" true (List.length names >= 12);
+  Alcotest.(check int) "codes unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun c -> Alcotest.(check bool) c true (Lint.is_known_code c))
+    names;
+  Alcotest.(check bool) "junk unknown" false (Lint.is_known_code "no-such-code")
+
+(* --- safety -------------------------------------------------------------- *)
+
+let test_unsafe_head_var_span () =
+  let ds = check_src "rules:\n  T(x, y) <- R(x);\n" in
+  let d = find "unsafe-head-var" ds in
+  Alcotest.(check span_t) "head span"
+    { Ast.start_line = 2; start_col = 3; end_line = 2; end_col = 10 } d.Lint.span;
+  Alcotest.(check bool) "is error" true (d.Lint.severity = Lint.Error)
+
+let test_open_slots_exempt () =
+  (* Unbound Auto attributes of /open heads are the open slots; unbound
+     arguments of /delete heads are wildcards. Neither is unsafe. *)
+  let ds = check_src "rules: R(x:1); S(x, y)/open <- R(x); R(x)/delete <- S(x, y);" in
+  Alcotest.(check (list string)) "no safety diagnostics" []
+    (List.filter (fun c -> String.length c >= 6 && String.sub c 0 6 = "unsafe") (codes ds))
+
+let test_unsafe_cmp_and_call () =
+  let ds = check_src "rules: R(x:1); T(x) <- R(x), y < 3, matches(\"a\", z);" in
+  Alcotest.(check bool) "cmp flagged" true (List.mem "unsafe-cmp-var" (codes ds));
+  Alcotest.(check bool) "call flagged" true (List.mem "unsafe-call-var" (codes ds))
+
+let test_eq_binder_is_safe () =
+  (* y = x + 1 binds y; both orders of the equality work. *)
+  let ds = check_src "rules: R(x:1); T(y) <- R(x), y = x + 1; U(z) <- R(x), x + 1 = z;" in
+  Alcotest.(check (list string)) "no unsafe codes" []
+    (List.filter (fun c -> String.length c >= 6 && String.sub c 0 6 = "unsafe") (codes ds))
+
+(* --- stratification ------------------------------------------------------ *)
+
+let test_unstratified_names_cycle () =
+  let ds = check_src "rules: A(x:1); T(x) <- A(x), not U(x); U(x) <- T(x);" in
+  let d = find "unstratified" ds in
+  Alcotest.(check span_t) "statement span"
+    { Ast.start_line = 1; start_col = 16; end_line = 1; end_col = 39 } d.Lint.span;
+  Alcotest.(check bool) "cycle rendered" true
+    (let msg = d.Lint.message in
+     let contains hay needle =
+       let n = String.length hay and m = String.length needle in
+       let rec loop i = i + m <= n && (String.sub hay i m = needle || loop (i + 1)) in
+       m = 0 || loop 0
+     in
+     contains msg "cycle: T_2 -> U_3 -> T_2")
+
+let test_update_below_negation_legal () =
+  (* Fill-if-absent: /update into a negated relation is not unstratified. *)
+  let ds = check_src "rules: A(x:1); T(x) <- A(x), not U(x); U(x:1)/update;" in
+  Alcotest.(check bool) "clean" false (List.mem "unstratified" (codes ds))
+
+let test_self_negation () =
+  let ds = check_src "schema: R(x); rules: T(x) <- R(x), not T(x);" in
+  Alcotest.(check bool) "flagged" true (List.mem "self-negation" (codes ds))
+
+(* --- schema conformance -------------------------------------------------- *)
+
+let test_schema_conformance () =
+  Alcotest.(check bool) "duplicate-schema" true
+    (List.mem "duplicate-schema" (codes (check_src "schema: R(a); R(b); rules: T(a) <- R(a);")));
+  Alcotest.(check bool) "unknown-attr" true
+    (List.mem "unknown-attr" (codes (check_src "schema: R(a); rules: T(x) <- R(b:x);")));
+  let ds = check_src "rules:\n  R(a:1);\n  R(a:\"wet\");\n  T(a) <- R(a);" in
+  let d = find "type-conflict" ds in
+  Alcotest.(check bool) "warning severity" true (d.Lint.severity = Lint.Warning);
+  Alcotest.(check int) "conflict reported at second site" 3 d.Lint.span.Ast.start_line
+
+let test_engine_managed_exempt () =
+  (* Path and Payoff get engine-synthesised schemas inside games: no
+     unknown-attr or undefined-relation noise. *)
+  let ds =
+    check_src
+      {|schema: Input(tw, value, p);
+        games:
+          game G(tw) {
+            path:
+              P1: Path(player:p, action:[value]) <- Input(tw, value, p);
+            payoff:
+              P2: Payoff[p1 += 1] <- Path(player:p1, action:[v]);
+          }|}
+  in
+  Alcotest.(check (list string)) "clean" [] (codes ds)
+
+(* --- liveness ------------------------------------------------------------ *)
+
+let test_liveness_family () =
+  Alcotest.(check (list string)) "undefined + unreachable"
+    [ "undefined-relation"; "unreachable-rule" ]
+    (codes (check_src "rules: T(x) <- Missing(x);"));
+  Alcotest.(check (list string)) "unused" [ "unused-relation" ]
+    (codes (check_src "schema: Orphan(a); rules: T(x:1);"));
+  Alcotest.(check (list string)) "dead delete" [ "dead-delete" ]
+    (codes (check_src "rules: T(x:1)/delete;"));
+  (* A declared schema is an input point: rules over it are reachable. *)
+  Alcotest.(check (list string)) "declared EDB reachable" []
+    (codes (check_src "schema: A(x); rules: T(x) <- A(x);"))
+
+(* --- games --------------------------------------------------------------- *)
+
+let test_game_family () =
+  Alcotest.(check bool) "payoff-outside-game" true
+    (List.mem "payoff-outside-game"
+       (codes (check_src "schema: W(p); rules: Payoff[p += 1] <- W(p);")));
+  Alcotest.(check bool) "game-no-path" true
+    (List.mem "game-no-path"
+       (codes
+          (check_src
+             "schema: I(p); games: game G() { payoff: P: Payoff[p += 1] <- Path(player:p); }")))
+
+(* --- overrides and rendering --------------------------------------------- *)
+
+let unstratified_src = "rules: A(x:1); T(x) <- A(x), not U(x); U(x) <- T(x);"
+
+let test_overrides () =
+  Alcotest.(check bool) "off silences" false
+    (List.mem "unstratified"
+       (codes (check_src ~overrides:[ ("unstratified", `Off) ] unstratified_src)));
+  Alcotest.(check bool) "demoted to warning" false
+    (Lint.has_errors (check_src ~overrides:[ ("unstratified", `Warning) ] unstratified_src));
+  Alcotest.(check bool) "promoted to error" true
+    (Lint.has_errors
+       (check_src ~overrides:[ ("dead-delete", `Error) ] "rules: T(x:1)/delete;"))
+
+let test_render () =
+  let d = find "unsafe-head-var" (check_src "rules:\n  T(x, y) <- R(x);\n") in
+  let line = Lint.render ~file:"p.cyl" d in
+  let prefix = "p.cyl:2:3-2:10: error: unsafe-head-var" in
+  Alcotest.(check string) "prefix" prefix (String.sub line 0 (String.length prefix));
+  let json = Lint.render_json ~file:"p.cyl" [ d ] in
+  Alcotest.(check bool) "json has span" true
+    (let contains hay needle =
+       let n = String.length hay and m = String.length needle in
+       let rec loop i = i + m <= n && (String.sub hay i m = needle || loop (i + 1)) in
+       m = 0 || loop 0
+     in
+     contains json "\"span\":{\"start_line\":2,\"start_col\":3,\"end_line\":2,\"end_col\":10}");
+  Alcotest.(check string) "empty list" "[]" (Lint.render_json [])
+
+(* --- Engine.load enforcement --------------------------------------------- *)
+
+let test_strict_load () =
+  let unsafe = Parser.parse_exn "rules: T(x, y) <- R(x);" in
+  (match Engine.load unsafe with
+  | exception Lint.Rejected ds ->
+      Alcotest.(check bool) "diagnostics carried" true (Lint.has_errors ds)
+  | _ -> Alcotest.fail "Strict load must reject an unsafe program");
+  (match Engine.load (Parser.parse_exn unstratified_src) with
+  | exception Lint.Rejected _ -> ()
+  | _ -> Alcotest.fail "Strict load must reject an unstratified program");
+  (* Warn and Off both load the same programs. *)
+  ignore (Engine.load ~lint:`Warn unsafe);
+  ignore (Engine.load ~lint:`Off unsafe)
+
+(* --- shipped programs are clean ------------------------------------------ *)
+
+let example_files () =
+  (* dune runtest runs in the test directory; dune exec from the root. *)
+  let dir =
+    List.find Sys.file_exists [ "../examples/programs"; "examples/programs" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cyl")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_examples_clean () =
+  let files = example_files () in
+  Alcotest.(check bool) "found the example corpus" true (List.length files >= 4);
+  List.iter
+    (fun f ->
+      let ds = Lint.check (Parser.parse_exn (read_file f)) in
+      Alcotest.(check (list string)) (f ^ " clean") [] (codes ds))
+    files
+
+let test_examples_roundtrip () =
+  (* Pretty.pp_program round-trips every example — including /open heads
+     with asked-expressions and game blocks — up to source spans. *)
+  List.iter
+    (fun f ->
+      let p = Parser.parse_exn (read_file f) in
+      let p' = Parser.parse_exn (Pretty.program_to_string p) in
+      Alcotest.(check bool) (f ^ " roundtrips") true
+        (Ast.strip_program p = Ast.strip_program p'))
+    (example_files ())
+
+let test_tweetpecker_variants_clean () =
+  let corpus = Tweets.Generator.generate ~seed:5 6 in
+  let workers = [ "w1"; "w2"; "w3" ] in
+  List.iter
+    (fun variant ->
+      let p = Tweetpecker.Programs.program variant ~corpus ~workers in
+      let ds = Lint.check p in
+      Alcotest.(check (list string))
+        (Tweetpecker.Programs.variant_name variant ^ " clean")
+        [] (codes ds);
+      Alcotest.(check string)
+        (Tweetpecker.Programs.variant_name variant ^ " json empty")
+        "[]" (Lint.render_json ds))
+    Tweetpecker.Programs.all
+
+let test_turing_clean () =
+  List.iter
+    (fun ((m : Turing.Machine.t), input) ->
+      let src = Turing.Cylog_tm.to_source m ~input in
+      let ds = Lint.check (Parser.parse_exn src) in
+      Alcotest.(check (list string)) (m.name ^ " clean") [] (codes ds);
+      Alcotest.(check string) (m.name ^ " json empty") "[]" (Lint.render_json ds))
+    [ (Turing.Machine.successor, [ "1"; "1" ]);
+      (Turing.Machine.binary_increment, [ "1"; "0" ]);
+      (Turing.Machine.parity, [ "1" ]) ]
+
+(* --- satellite: parser/lexer positions ----------------------------------- *)
+
+let test_parse_error_has_end () =
+  match Parser.parse "rules: T(x) <- not ;" with
+  | Ok _ -> Alcotest.fail "should not parse"
+  | Error e ->
+      Alcotest.(check bool) "end not before start" true
+        ((e.Parser.end_line, e.Parser.end_col) >= (e.Parser.line, e.Parser.col));
+      Alcotest.(check bool) "end set" true (e.Parser.end_col > 0)
+
+let test_lexer_exact_ranges () =
+  let toks = Lexer.tokenize "x <= \"ab\" +=\ny" in
+  let pos (t : Lexer.located) = (t.token, t.line, t.col, t.end_line, t.end_col) in
+  Alcotest.(check bool) "multi-char operators and strings are exact" true
+    (List.map pos toks
+    = [ (Lexer.IDENT "x", 1, 1, 1, 2);
+        (Lexer.LE, 1, 3, 1, 5);
+        (Lexer.STRING "ab", 1, 6, 1, 10);
+        (Lexer.PLUSEQ, 1, 11, 1, 13);
+        (Lexer.IDENT "y", 2, 1, 2, 2);
+        (Lexer.EOF, 2, 2, 2, 2) ])
+
+let suite =
+  [ ( "lint",
+      [ Alcotest.test_case "code catalogue" `Quick test_catalogue;
+        Alcotest.test_case "unsafe head var span" `Quick test_unsafe_head_var_span;
+        Alcotest.test_case "open slots exempt" `Quick test_open_slots_exempt;
+        Alcotest.test_case "unsafe cmp and call vars" `Quick test_unsafe_cmp_and_call;
+        Alcotest.test_case "equality binders are safe" `Quick test_eq_binder_is_safe;
+        Alcotest.test_case "unstratified names the cycle" `Quick
+          test_unstratified_names_cycle;
+        Alcotest.test_case "update below negation legal" `Quick
+          test_update_below_negation_legal;
+        Alcotest.test_case "self negation" `Quick test_self_negation;
+        Alcotest.test_case "schema conformance" `Quick test_schema_conformance;
+        Alcotest.test_case "engine-managed relations exempt" `Quick
+          test_engine_managed_exempt;
+        Alcotest.test_case "liveness family" `Quick test_liveness_family;
+        Alcotest.test_case "game family" `Quick test_game_family;
+        Alcotest.test_case "severity overrides" `Quick test_overrides;
+        Alcotest.test_case "text and json rendering" `Quick test_render;
+        Alcotest.test_case "strict load enforcement" `Quick test_strict_load;
+        Alcotest.test_case "examples lint clean" `Quick test_examples_clean;
+        Alcotest.test_case "examples pretty-roundtrip" `Quick test_examples_roundtrip;
+        Alcotest.test_case "tweetpecker variants lint clean" `Quick
+          test_tweetpecker_variants_clean;
+        Alcotest.test_case "figure 16 turing lint clean" `Quick test_turing_clean;
+        Alcotest.test_case "parse errors carry end positions" `Quick
+          test_parse_error_has_end;
+        Alcotest.test_case "lexer ranges exact" `Quick test_lexer_exact_ranges ] ) ]
