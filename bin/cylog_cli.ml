@@ -258,9 +258,10 @@ let repl_help () =
     \  :trace               show the firing log\n\
     \  :events [FILTER]     page the journal; FILTER is a kind (fired,\n\
     \                       filtered, human, machine, insert, update,\n\
-    \                       delete, payoff, open, vote, dead), a rule\n\
-    \                       label, or a worker name\n\
+    \                       delete, payoff, open, vote, dead, early-stop,\n\
+    \                       escalated), a rule label, or a worker name\n\
     \  :stats               dump the metrics registry\n\
+    \  :quality             dump worker reliability and task posteriors (JSON)\n\
     \  :explain             show plans, leases and quorum state\n\
     \  :check               lint the program (preloaded + typed statements)\n\
     \  :dead                show dead-lettered tasks\n\
@@ -341,7 +342,9 @@ let repl_cmd file =
                 | Open_created _ -> [ "open" ]
                 | No_effect -> []
                 | Vote_recorded _ -> [ "vote" ]
-                | Dead_lettered _ -> [ "dead" ])
+                | Dead_lettered _ -> [ "dead" ]
+                | Adaptive_resolved { escalated; _ } ->
+                    [ (if escalated then "escalated" else "early-stop") ])
               e.effects
         in
         let selected =
@@ -354,6 +357,9 @@ let repl_cmd file =
         `Continue
     | [ ":stats" ] ->
         Format.printf "%a" Cylog.Telemetry.Metrics.pp (Cylog.Engine.metrics engine);
+        `Continue
+    | [ ":quality" ] ->
+        print_endline (Cylog.Pretty.quality_json engine);
         `Continue
     | [ ":explain" ] ->
         print_string (Cylog.Engine.explain engine);

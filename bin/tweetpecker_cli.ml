@@ -73,6 +73,16 @@ let quorum_arg =
     & info [ "quorum" ] ~docv:"K"
         ~doc:"Resolve undesignated tasks by majority over $(docv) redundant answers.")
 
+let adaptive_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "adaptive" ] ~docv:"TAU"
+        ~doc:"Adaptive quorum: resolve a task as soon as its reliability-weighted \
+              top answer reaches posterior $(docv) (from 2 votes on), escalating \
+              to the fallback majority at the vote cap (--quorum K, default 5). \
+              Implies redundant assignment.")
+
 let print_outcome o =
   let q = Tweetpecker.Metrics.row_a o in
   Format.printf "variant            %s@." (Tweetpecker.Programs.variant_name o.Tweetpecker.Runner.variant);
@@ -100,6 +110,15 @@ let print_outcome o =
            (List.map
               (fun (w, n) -> Printf.sprintf "%s:%d" (Reldb.Value.to_display w) n)
               rs)));
+  (match o.sim.worker_stats with
+  | [] -> ()
+  | stats ->
+      Format.printf "worker stats       routed/answered/early-stop credit@.";
+      List.iter
+        (fun (w, (s : Crowd.Simulator.worker_stat)) ->
+          Format.printf "  %-16s %d/%d/%d@." (Reldb.Value.to_display w) s.routed
+            s.answered s.early_stop_credit)
+        stats);
   match o.sim.dead_letters with
   | [] -> ()
   | dead ->
@@ -110,8 +129,18 @@ let print_outcome o =
             (Cylog.Lease.reason_to_string reason))
         dead
 
-let run_cmd variant n seed export faults lease quorum metrics_out trace_out events =
+let run_cmd variant n seed export faults lease quorum adaptive metrics_out trace_out
+    quality_out events =
   let lease = if lease then Some Cylog.Lease.default_config else None in
+  let policy =
+    Option.map
+      (fun tau ->
+        Cylog.Engine.Adaptive
+          { tau; min_votes = 2; max_votes = Option.value quorum ~default:5 })
+      adaptive
+  in
+  (* --adaptive subsumes --quorum: K becomes the adaptive vote cap. *)
+  let quorum = if policy = None then quorum else None in
   let trace_oc = Option.map open_out trace_out in
   let sink = Option.map Cylog.Telemetry.Sink.jsonl trace_oc in
   let o =
@@ -119,13 +148,20 @@ let run_cmd variant n seed export faults lease quorum metrics_out trace_out even
       ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
       (fun () ->
         Tweetpecker.Runner.run ~seed ~corpus:(corpus n) ?faults ?lease ?quorum
-          ?sink variant)
+          ?policy ?sink variant)
   in
   (match metrics_out with
   | Some path ->
       let oc = open_out path in
       output_string oc
         (Cylog.Telemetry.Metrics.to_json (Cylog.Engine.metrics o.engine));
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  (match quality_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Cylog.Pretty.quality_json o.engine);
       output_char oc '\n';
       close_out oc
   | None -> ());
@@ -202,6 +238,14 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Stream tracing spans to $(docv) as JSON lines while the campaign runs.")
 
+let quality_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "quality-out" ] ~docv:"FILE"
+        ~doc:"Write the final quality state (per-worker reliability, per-task \
+              posteriors) to $(docv) as JSON.")
+
 let events_arg =
   Arg.(
     value
@@ -213,7 +257,8 @@ let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Run one variant and print its metrics")
       Term.(
         const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg $ faults_arg
-        $ lease_flag $ quorum_arg $ metrics_out_arg $ trace_out_arg $ events_arg);
+        $ lease_flag $ quorum_arg $ adaptive_arg $ metrics_out_arg $ trace_out_arg
+        $ quality_out_arg $ events_arg);
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
       Term.(const table1_cmd $ tweets_arg $ seed_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")

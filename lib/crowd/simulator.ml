@@ -18,6 +18,8 @@ type decision =
 type policy =
   Cylog.Engine.t -> worker:Reldb.Value.t -> rng:Random.State.t -> round:int -> decision
 
+type worker_stat = { routed : int; answered : int; early_stop_credit : int }
+
 type outcome = {
   log : log_entry list;
   rounds : int;
@@ -25,6 +27,7 @@ type outcome = {
   rejections : (Reldb.Value.t * int) list;
   capped_runs : int;
   dead_letters : (Cylog.Engine.open_tuple * Cylog.Lease.reason) list;
+  worker_stats : (Reldb.Value.t * worker_stat) list;
 }
 
 (* Quorum aggregation backed by Quality.Aggregate's plurality, so
@@ -45,20 +48,84 @@ let shuffle rng xs =
   done;
   Array.to_list arr
 
+(* Per-worker campaign tallies (satellite of the quality subsystem): how
+   often work reached each worker, how many answers the engine accepted,
+   and how many early-stopped resolutions their votes contributed to. The
+   simulator tracks successful voters per task itself because the engine
+   forgets a task's ballots the moment it resolves. *)
+module Stats = struct
+  type cell = { mutable routed : int; mutable answered : int; mutable credit : int }
+
+  type t = {
+    cells : (Reldb.Value.t, cell) Hashtbl.t;
+    voters : (Cylog.Engine.open_id, Reldb.Value.t list) Hashtbl.t;
+  }
+
+  let create () = { cells = Hashtbl.create 8; voters = Hashtbl.create 16 }
+
+  let cell t w =
+    match Hashtbl.find_opt t.cells w with
+    | Some c -> c
+    | None ->
+        let c = { routed = 0; answered = 0; credit = 0 } in
+        Hashtbl.add t.cells w c;
+        c
+
+  let routed t w = (cell t w).routed <- (cell t w).routed + 1
+
+  (* Score an accepted answer: remember the voter, and on an early-stopped
+     adaptive resolution credit everyone whose vote the task banked. *)
+  let answered t w ~open_id (ev : Cylog.Engine.event) =
+    (cell t w).answered <- (cell t w).answered + 1;
+    let voted =
+      List.exists
+        (function Cylog.Engine.Vote_recorded _ -> true | _ -> false)
+        ev.effects
+    in
+    if voted then
+      Hashtbl.replace t.voters open_id
+        (w :: Option.value (Hashtbl.find_opt t.voters open_id) ~default:[]);
+    List.iter
+      (function
+        | Cylog.Engine.Adaptive_resolved { open_id = id; escalated = false; _ } ->
+            List.iter
+              (fun voter -> (cell t voter).credit <- (cell t voter).credit + 1)
+              (Option.value (Hashtbl.find_opt t.voters id) ~default:[]);
+            Hashtbl.remove t.voters id
+        | Cylog.Engine.Adaptive_resolved { open_id = id; escalated = true; _ } ->
+            Hashtbl.remove t.voters id
+        | _ -> ())
+      ev.effects
+
+  let report t =
+    Hashtbl.fold
+      (fun w c acc ->
+        (w, { routed = c.routed; answered = c.answered; early_stop_credit = c.credit })
+        :: acc)
+      t.cells []
+    |> List.sort (fun (a, _) (b, _) -> Reldb.Value.compare a b)
+end
+
+let install_quorum ?policy ?quorum engine =
+  match (policy, quorum) with
+  | Some p, _ ->
+      Cylog.Engine.set_quorum_policy engine ~aggregate:majority_aggregate p
+  | None, Some k ->
+      Cylog.Engine.set_quorum engine
+        (Some { Cylog.Engine.k; relations = None; aggregate = majority_aggregate })
+  | None, None -> ()
+
 let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?quorum
-    ~stop ~workers engine =
+    ?policy ~stop ~workers engine =
   (match lease with
   | Some _ -> Cylog.Engine.set_lease_config engine lease
   | None -> ());
-  (match quorum with
-  | Some k ->
-      Cylog.Engine.set_quorum engine
-        (Some { Cylog.Engine.k; relations = None; aggregate = majority_aggregate })
-  | None -> ());
+  install_quorum ?policy ?quorum engine;
   let leased = lease <> None in
   let rng = Random.State.make [| seed |] in
   let tel = Cylog.Engine.telemetry engine in
   let mets = Cylog.Engine.metrics engine in
+  let stats = Stats.create () in
   let log = ref [] in
   let rejected : (Reldb.Value.t, int) Hashtbl.t = Hashtbl.create 8 in
   let reject worker =
@@ -133,24 +200,28 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
             | Pass -> ()
             | Answer (id, values, kind) ->
                 if take_lease n worker id then begin
+                  Stats.routed stats worker;
                   let relation =
                     match Cylog.Engine.find_open engine id with
                     | Some o -> o.Cylog.Engine.relation
                     | None -> ""
                   in
                   match Cylog.Engine.supply engine id ~worker values with
-                  | Ok _ ->
+                  | Ok ev ->
                       acted := true;
+                      Stats.answered stats worker ~open_id:id ev;
                       record n worker kind relation values p;
                       machine ()
                   | Error _ -> reject worker
                 end
             | Answer_existence (id, yes) ->
                 if take_lease n worker id then begin
+                  Stats.routed stats worker;
                   let before = Cylog.Engine.find_open engine id in
                   match Cylog.Engine.answer_existence engine id ~worker yes with
-                  | Ok _ ->
+                  | Ok ev ->
                       acted := true;
+                      Stats.answered stats worker ~open_id:id ev;
                       let relation, values =
                         match before with
                         | Some o ->
@@ -204,4 +275,163 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
     rejections;
     capped_runs = !capped;
     dead_letters = Cylog.Engine.dead_letters engine;
+    worker_stats = Stats.report stats;
+  }
+
+(* --- Router-driven campaigns ------------------------------------------------ *)
+
+(* The quality-aware assignment loop: instead of each policy choosing its
+   own task, {!Quality.Router} answers every worker's ask-for-work — no
+   task for workers under the reliability floor, otherwise the pending
+   task with the highest posterior uncertainty the worker has not yet
+   voted on (uncertainty sampling). Workers answer value questions from a
+   caller-supplied ground truth with their profile accuracy: a correct
+   answer with probability [accuracy], else one of two item-specific wrong
+   labels — the synthetic crowd of the quality bench and tests.
+   Existence questions are out of scope and are never routed. *)
+let run_routed ?(seed = 42) ?(max_rounds = 10_000) ?lease ?quorum ?policy
+    ?(router = Quality.Router.default_config) ~truth ~workers engine =
+  (match lease with
+  | Some _ -> Cylog.Engine.set_lease_config engine lease
+  | None -> ());
+  install_quorum ?policy ?quorum engine;
+  let leased = lease <> None in
+  let rng = Random.State.make [| seed |] in
+  let tel = Cylog.Engine.telemetry engine in
+  let mets = Cylog.Engine.metrics engine in
+  let stats = Stats.create () in
+  let log = ref [] in
+  let rejected : (Reldb.Value.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let reject worker =
+    Cylog.Telemetry.Metrics.incr mets
+      ("sim.rejected.worker." ^ Reldb.Value.to_display worker);
+    Hashtbl.replace rejected worker
+      (1 + Option.value (Hashtbl.find_opt rejected worker) ~default:0)
+  in
+  let capped = ref 0 in
+  let machine () =
+    match Cylog.Engine.run engine with
+    | _, `Capped -> incr capped
+    | _, `Quiescent -> ()
+  in
+  let routable () =
+    List.filter
+      (fun (o : Cylog.Engine.open_tuple) -> not o.existence)
+      (Cylog.Engine.pending engine)
+  in
+  let answer_for (profile : Worker.profile) (o : Cylog.Engine.open_tuple) =
+    List.map
+      (fun attr ->
+        let correct =
+          match List.assoc_opt attr (truth o) with
+          | Some v -> v
+          | None -> Reldb.Value.String "?"
+        in
+        if Random.State.float rng 1.0 < profile.Worker.accuracy then (attr, correct)
+        else
+          (* Two wrong alternatives per slot, so sloppy crowds can still
+             pile up on a wrong plurality now and then. *)
+          ( attr,
+            Reldb.Value.String
+              (Printf.sprintf "%s#%d"
+                 (Reldb.Value.to_display correct)
+                 (1 + Random.State.int rng 2)) ))
+      o.open_attrs
+  in
+  let campaign =
+    Cylog.Telemetry.enter tel "campaign"
+      ~attrs:
+        [ ("seed", string_of_int seed);
+          ("workers", string_of_int (List.length workers));
+          ("router", "on") ]
+      ~clock:(Cylog.Engine.clock engine)
+  in
+  machine ();
+  let idle_rounds = ref 0 in
+  let rounds_done = ref 0 in
+  let rec rounds n =
+    if n > max_rounds then `Max_rounds
+    else if routable () = [] then `Stopped
+    else begin
+      rounds_done := n;
+      if leased then ignore (Cylog.Engine.reclaim engine ~now:n);
+      let acted = ref false in
+      List.iter
+        (fun ((worker : Reldb.Value.t), profile) ->
+          let reliability = Cylog.Engine.worker_reliability engine worker in
+          let tasks =
+            List.filter_map
+              (fun (o : Cylog.Engine.open_tuple) ->
+                if
+                  Cylog.Engine.has_voted engine o.id ~worker
+                  || (match o.asked with
+                     | Some w -> not (Reldb.Value.equal w worker)
+                     | None -> false)
+                then None
+                else Some (o, Cylog.Engine.task_uncertainty engine o.id))
+              (routable ())
+          in
+          match Quality.Router.route router ~reliability ~tasks with
+          | None -> ()
+          | Some o ->
+              let granted =
+                (not leased)
+                ||
+                match Cylog.Engine.assign engine o.id ~worker ~now:n with
+                | Ok _ -> true
+                | Error _ ->
+                    reject worker;
+                    false
+              in
+              if granted then begin
+                Stats.routed stats worker;
+                let values = answer_for profile o in
+                match Cylog.Engine.supply engine o.id ~worker values with
+                | Ok ev ->
+                    acted := true;
+                    Stats.answered stats worker ~open_id:o.id ev;
+                    log :=
+                      {
+                        round = n;
+                        clock = Cylog.Engine.clock engine;
+                        worker;
+                        kind = Enter_value;
+                        relation = o.relation;
+                        values;
+                        progress = 0.0;
+                      }
+                      :: !log;
+                    machine ()
+                | Error _ -> reject worker
+              end)
+        (shuffle rng workers);
+      if !acted then idle_rounds := 0 else incr idle_rounds;
+      if routable () = [] then `Stopped
+      else if !idle_rounds >= 5 then `Stalled
+      else rounds (n + 1)
+    end
+  in
+  let stop_reason = rounds 1 in
+  Cylog.Telemetry.Metrics.set_gauge mets "sim.rounds" !rounds_done;
+  Cylog.Telemetry.Metrics.set_gauge mets "sim.capped_runs" !capped;
+  Cylog.Telemetry.exit tel campaign
+    ~attrs:
+      [ ( "stop",
+          match stop_reason with
+          | `Stopped -> "stopped"
+          | `Stalled -> "stalled"
+          | `Max_rounds -> "max-rounds" ) ]
+    ~clock:(Cylog.Engine.clock engine);
+  let rejections =
+    Hashtbl.fold (fun w n acc -> (w, n) :: acc) rejected []
+    |> List.sort (fun (a, _) (b, _) -> Reldb.Value.compare a b)
+  in
+  {
+    log = List.rev !log;
+    rounds = !rounds_done;
+    stop_reason;
+    rejections;
+    capped_runs = !capped;
+    dead_letters = Cylog.Engine.dead_letters engine;
+    worker_stats = Stats.report stats;
   }

@@ -37,6 +37,17 @@ type decision =
 type policy =
   Cylog.Engine.t -> worker:Reldb.Value.t -> rng:Random.State.t -> round:int -> decision
 
+type worker_stat = {
+  routed : int;
+      (** times the worker reached the answering step (lease granted or
+          leases off) — under {!run_routed}, times the router gave them a
+          task *)
+  answered : int;  (** answers the engine accepted *)
+  early_stop_credit : int;
+      (** early-stopped adaptive resolutions this worker's banked vote
+          contributed to (0 unless an [Adaptive] policy is installed) *)
+}
+
 type outcome = {
   log : log_entry list;  (** chronological *)
   rounds : int;  (** rounds actually executed (not the last logged round) *)
@@ -53,6 +64,9 @@ type outcome = {
   dead_letters : (Cylog.Engine.open_tuple * Cylog.Lease.reason) list;
       (** tasks abandoned by the lease runtime, from
           {!Cylog.Engine.dead_letters} *)
+  worker_stats : (Reldb.Value.t * worker_stat) list;
+      (** per-worker campaign tallies (sorted by worker); workers who
+          never reached the answering step are absent *)
 }
 
 val majority_aggregate : Cylog.Engine.aggregate
@@ -62,6 +76,7 @@ val majority_aggregate : Cylog.Engine.aggregate
 val run :
   ?seed:int -> ?max_rounds:int -> ?progress:(Cylog.Engine.t -> float) ->
   ?lease:Cylog.Lease.config -> ?quorum:int ->
+  ?policy:Cylog.Engine.quorum_policy ->
   stop:(Cylog.Engine.t -> bool) ->
   workers:(Reldb.Value.t * policy) list ->
   Cylog.Engine.t -> outcome
@@ -76,4 +91,28 @@ val run :
     grants (or renews) them a lease first — a refusal counts as a
     rejection and the attempt is skipped. [quorum] installs redundant
     assignment: undesignated one-shot tasks resolve by
-    {!majority_aggregate} over [k] answers. *)
+    {!majority_aggregate} over [k] answers. [policy] installs any
+    {!Cylog.Engine.quorum_policy} (notably [Adaptive]) with the same
+    aggregate, and wins over [quorum] when both are given. *)
+
+val run_routed :
+  ?seed:int -> ?max_rounds:int ->
+  ?lease:Cylog.Lease.config -> ?quorum:int ->
+  ?policy:Cylog.Engine.quorum_policy ->
+  ?router:Quality.Router.config ->
+  truth:(Cylog.Engine.open_tuple -> (string * Reldb.Value.t) list) ->
+  workers:(Reldb.Value.t * Worker.profile) list ->
+  Cylog.Engine.t -> outcome
+(** Quality-aware campaign: assignment is driven by {!Quality.Router}
+    instead of per-worker policies. Each round every worker (in seeded
+    random order) asks the router for work; workers under the reliability
+    floor get none, the rest get the pending value question with the
+    highest {!Cylog.Engine.task_uncertainty} that they have not voted on
+    and that is not designated for someone else. The worker answers
+    [truth o] for each open attribute with probability
+    [profile.accuracy], otherwise one of two item-specific wrong labels —
+    {!Worker.profile} accuracies double as the campaign's ground truth.
+    Existence questions are never routed. Stops when no value questions
+    remain pending ([`Stopped]), after five consecutive idle rounds
+    ([`Stalled] — e.g. every worker is below the floor), or at
+    [max_rounds]. [lease]/[quorum]/[policy] behave as in {!run}. *)

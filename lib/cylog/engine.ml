@@ -24,6 +24,7 @@ type effect =
   | No_effect
   | Vote_recorded of open_id * int
   | Dead_lettered of open_id * Lease.reason
+  | Adaptive_resolved of { open_id : open_id; posterior_pct : int; escalated : bool }
 
 type event = {
   clock : int;
@@ -83,6 +84,22 @@ type aggregate = (string * Reldb.Value.t list) list -> (string * Reldb.Value.t) 
 
 type quorum = { k : int; relations : string list option; aggregate : aggregate }
 
+type quorum_policy =
+  | Fixed of int
+  | Adaptive of { tau : float; min_votes : int; max_votes : int }
+
+(* The installed policy. [quorum] above stays the {!set_quorum} surface
+   (unchanged since the quorum runtime landed); internally both setters
+   normalise to this record, with [Fixed k] reproducing the historical
+   fixed-redundancy behaviour bit for bit. *)
+type quorum_state = {
+  qs_policy : quorum_policy;
+  qs_relations : string list option;
+  qs_aggregate : aggregate;  (* Fixed resolution, and Adaptive fallback *)
+}
+
+let policy_cap = function Fixed k -> k | Adaptive a -> a.max_votes
+
 (* Plurality per attribute, ties toward the earliest-voted value — the
    built-in fallback when no Quality.Aggregate-backed hook is installed
    (and the aggregation replayed by {!restore}). *)
@@ -125,7 +142,7 @@ type jentry =
   | J_reclaim of int
   | J_add_statement of Ast.statement
   | J_set_lease of Lease.config option
-  | J_set_quorum of (int * string list option) option
+  | J_set_quorum of (quorum_policy * string list option) option
 
 (* Fold state for deriving metrics from the event journal: each open id's
    creation clock (for the age-at-dead-letter histogram) and the value
@@ -197,7 +214,11 @@ type t = {
   views : Ast.view list;
   program : Ast.program;  (* as loaded, for snapshots *)
   mutable leases : Lease.t option;  (* None: lease runtime off *)
-  mutable quorum : quorum option;
+  mutable quorum : quorum_state option;
+  reputation : Quality.Model.t;
+      (* online per-worker reliability, learnt from agreement with quorum
+         resolutions; derived state — rebuilt identically by journal
+         replay, never serialised *)
   votes : (open_id, (Reldb.Value.t * vote) list) Hashtbl.t;  (* reverse *)
   mutable dead : (open_tuple * Lease.reason) list;  (* reverse *)
   mutable journal : jentry list;  (* reverse chronological *)
@@ -421,6 +442,7 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
     program;
     leases = None;
     quorum = None;
+    reputation = Quality.Model.create ();
     votes = Hashtbl.create 16;
     dead = [];
     journal = [];
@@ -559,6 +581,12 @@ let count_event st m (ev : event) =
           | Some c -> M.observe m "open.age_at_dead_letter" (ev.clock - c)
           | None -> ());
           Hashtbl.remove st.cs_ballots id
+      | Adaptive_resolved { posterior_pct; escalated; _ } ->
+          (* The resolution evidence rides in the event itself, so the
+             adaptive counters and the posterior histogram recount exactly
+             from the journal like every other quorum metric. *)
+          M.incr m (if escalated then "quorum.escalated" else "quorum.early_stopped");
+          M.observe m "quorum.posterior_at_resolution" posterior_pct
       | No_effect -> incr others)
     ev.effects;
   match !voted_id with
@@ -1159,11 +1187,40 @@ let set_lease_config t cfg =
   journal t (J_set_lease cfg);
   t.leases <- Option.map Lease.create cfg
 
-let set_quorum t q =
-  journal t (J_set_quorum (Option.map (fun q -> (q.k, q.relations)) q));
-  t.quorum <- q
+let install_quorum t entry ~aggregate =
+  journal t (J_set_quorum entry);
+  t.quorum <-
+    Option.map
+      (fun (policy, relations) ->
+        { qs_policy = policy; qs_relations = relations; qs_aggregate = aggregate })
+      entry
 
-let quorum_of t = t.quorum
+let check_policy = function
+  | Fixed _ -> ()
+  | Adaptive { tau; min_votes; max_votes } ->
+      if not (tau > 0.0 && tau <= 1.0) then
+        runtime_error "adaptive quorum: tau must be in (0, 1], got %g" tau;
+      if min_votes < 1 || max_votes < min_votes then
+        runtime_error "adaptive quorum: need 1 <= min_votes <= max_votes, got %d..%d"
+          min_votes max_votes
+
+let set_quorum t q =
+  install_quorum t
+    (Option.map (fun q -> (Fixed q.k, q.relations)) q)
+    ~aggregate:(match q with Some q -> q.aggregate | None -> default_aggregate)
+
+let set_quorum_policy t ?relations ?(aggregate = default_aggregate) policy =
+  check_policy policy;
+  install_quorum t (Some (policy, relations)) ~aggregate
+
+let quorum_of t =
+  Option.map
+    (fun qs ->
+      { k = policy_cap qs.qs_policy; relations = qs.qs_relations;
+        aggregate = qs.qs_aggregate })
+    t.quorum
+
+let quorum_policy_of t = Option.map (fun qs -> qs.qs_policy) t.quorum
 
 (* Quorum applies to undesignated, non-repeatable tasks: several workers
    answer the same open tuple and an aggregation policy picks the value.
@@ -1172,14 +1229,17 @@ let quorum_of t = t.quorum
 let quorum_for t (o : open_tuple) =
   match t.quorum with
   | None -> None
-  | Some q ->
+  | Some qs ->
       if
-        q.k > 1 && o.asked = None && not o.repeatable
-        && (match q.relations with None -> true | Some rs -> List.mem o.relation rs)
-      then Some q
+        policy_cap qs.qs_policy > 1 && o.asked = None && not o.repeatable
+        && (match qs.qs_relations with
+           | None -> true
+           | Some rs -> List.mem o.relation rs)
+      then Some qs
       else None
 
-let capacity t o = match quorum_for t o with Some q -> q.k | None -> 1
+let capacity t o =
+  match quorum_for t o with Some qs -> policy_cap qs.qs_policy | None -> 1
 
 let dead_letters t = List.rev t.dead
 
@@ -1373,8 +1433,8 @@ let votes_by_attr t (o : open_tuple) =
       (attr, List.filter_map (fun vs -> List.assoc_opt attr vs) chronological))
     o.open_attrs
 
-let aggregate_votes (q : quorum) ballots =
-  let chosen = q.aggregate ballots in
+let aggregate_votes (aggregate : aggregate) ballots =
+  let chosen = aggregate ballots in
   List.map
     (fun (attr, vs) ->
       match List.assoc_opt attr chosen with
@@ -1385,6 +1445,160 @@ let aggregate_votes (q : quorum) ballots =
           | v :: _ -> (attr, v)
           | [] -> (attr, Reldb.Value.Null)))
     ballots
+
+(* --- Worker reputation and the adaptive stopping rule ----------------------- *)
+
+let worker_key = Reldb.Value.to_display
+
+let worker_reliability t w = Quality.Model.reliability t.reputation (worker_key w)
+
+let reliability_table t =
+  List.map
+    (fun w ->
+      ( w,
+        Quality.Model.reliability t.reputation w,
+        Quality.Model.observations t.reputation w ))
+    (Quality.Model.workers t.reputation)
+
+(* Score one worker's agreement with the resolution and refresh their
+   reliability gauge. Gauges are operational state, not journal-derived
+   (the model itself is rebuilt by replay), so the disabled path skips the
+   key allocation like the other engine-local metrics. *)
+let observe_reputation t w ~agreed =
+  let key = worker_key w in
+  Quality.Model.observe t.reputation key ~agreed;
+  let m = Telemetry.metrics t.tel in
+  if Telemetry.Metrics.enabled m then
+    Telemetry.Metrics.set_gauge m
+      ("quality.reliability.worker." ^ key)
+      (int_of_float
+         ((Quality.Model.reliability t.reputation key *. 1000.) +. 0.5))
+
+(* On resolution, every banked ballot is scored against the chosen tuple:
+   one agreement event per open attribute the voter matched (or missed). *)
+let note_value_agreements t (o : open_tuple) chosen =
+  List.iter
+    (fun (w, v) ->
+      match v with
+      | Vote_values vs ->
+          List.iter
+            (fun (attr, c) ->
+              match List.assoc_opt attr vs with
+              | Some b -> observe_reputation t w ~agreed:(Reldb.Value.equal b c)
+              | None -> ())
+            chosen
+      | Vote_exists _ -> ())
+    (List.rev (Option.value (Hashtbl.find_opt t.votes o.id) ~default:[]))
+
+let note_exists_agreements t (o : open_tuple) ~verdict =
+  List.iter
+    (fun (w, v) ->
+      match v with
+      | Vote_exists yes -> observe_reputation t w ~agreed:(yes = verdict)
+      | Vote_values _ -> ())
+    (List.rev (Option.value (Hashtbl.find_opt t.votes o.id) ~default:[]))
+
+(* Chronological votes on one open attribute, weighted by each voter's
+   current reliability — the input shape of {!Quality.Decide}. *)
+let weighted_value_slots t (o : open_tuple) =
+  let chronological =
+    List.rev (Option.value (Hashtbl.find_opt t.votes o.id) ~default:[])
+  in
+  List.map
+    (fun attr ->
+      ( attr,
+        List.filter_map
+          (fun (w, v) ->
+            match v with
+            | Vote_values vs ->
+                Option.map
+                  (fun x -> (x, worker_reliability t w))
+                  (List.assoc_opt attr vs)
+            | Vote_exists _ -> None)
+          chronological ))
+    o.open_attrs
+
+let weighted_exists_votes t (o : open_tuple) =
+  List.filter_map
+    (fun (w, v) ->
+      match v with
+      | Vote_exists yes -> Some (Reldb.Value.Bool yes, worker_reliability t w)
+      | Vote_values _ -> None)
+    (List.rev (Option.value (Hashtbl.find_opt t.votes o.id) ~default:[]))
+
+let pct p = int_of_float ((p *. 100.) +. 0.5)
+
+(* The per-task stopping rule of an [Adaptive] policy, combining the
+   per-attribute verdicts of {!Quality.Decide.decide} (every ballot binds
+   every open attribute, so all slots hold the same number of votes):
+   resolve only when every slot is confident, escalate to the fallback
+   aggregate once any slot hits the cap unconvinced, keep asking
+   otherwise. The reported posterior is the weakest slot's. *)
+let adaptive_verdict t cfg (o : open_tuple) =
+  let verdicts =
+    List.map
+      (fun (attr, votes) -> (attr, Quality.Decide.decide cfg votes))
+      (weighted_value_slots t o)
+  in
+  let slot_posterior = function
+    | Quality.Decide.Resolve (_, p) | Quality.Decide.Escalate p -> p
+    | Quality.Decide.Ask_more -> 0.0
+  in
+  let min_posterior =
+    List.fold_left (fun acc (_, v) -> Float.min acc (slot_posterior v)) 1.0 verdicts
+  in
+  if
+    verdicts <> []
+    && List.for_all
+         (fun (_, v) ->
+           match v with Quality.Decide.Resolve _ -> true | _ -> false)
+         verdicts
+  then
+    `Resolve
+      ( List.map
+          (fun (attr, v) ->
+            match v with
+            | Quality.Decide.Resolve (c, _) -> (attr, c)
+            | _ -> assert false)
+          verdicts,
+        pct min_posterior,
+        false )
+  else if
+    List.exists
+      (fun (_, v) -> match v with Quality.Decide.Escalate _ -> true | _ -> false)
+      verdicts
+  then `Escalate (pct min_posterior)
+  else `Pending
+
+let task_uncertainty t id =
+  match find_open t id with
+  | None -> 0.0
+  | Some o ->
+      if o.existence then Quality.Decide.uncertainty (weighted_exists_votes t o)
+      else
+        List.fold_left
+          (fun acc (_, votes) -> Float.max acc (Quality.Decide.uncertainty votes))
+          0.0
+          (weighted_value_slots t o)
+
+let task_posteriors t id =
+  match find_open t id with
+  | None -> []
+  | Some o ->
+      if o.existence then
+        [ ("(exists)", Quality.Decide.posteriors (weighted_exists_votes t o)) ]
+      else
+        List.map
+          (fun (attr, votes) -> (attr, Quality.Decide.posteriors votes))
+          (weighted_value_slots t o)
+
+let votes_banked t id =
+  match Hashtbl.find_opt t.votes id with Some vs -> List.length vs | None -> 0
+
+let has_voted t id ~worker =
+  match find_open t id with
+  | None -> false
+  | Some o -> already_voted t o worker
 
 let supply_checked t id ~worker values =
   match find_open t id with
@@ -1407,24 +1621,47 @@ let supply_checked t id ~worker values =
               Error r
           | None -> (
               match quorum_for t o with
-              | Some q ->
+              | Some qs -> (
                   let n = record_vote t o worker (Vote_values values) in
-                  if n < q.k then begin
-                    (* The vote is banked; the task stays pending until the
-                       quorum is reached. *)
-                    release_lease t o worker;
-                    Ok (human_event t o worker [ Vote_recorded (o.id, n) ] values)
-                  end
-                  else begin
-                    let chosen = aggregate_votes q (votes_by_attr t o) in
+                  let resolve_with ?adaptive chosen =
+                    note_value_agreements t o chosen;
                     let bound = Reldb.Tuple.to_list o.bound @ chosen in
                     let effect = insert_tuple t o.relation bound in
                     resolve t id;
-                    Ok
-                      (human_event t o worker
-                         [ Vote_recorded (o.id, n); effect ]
-                         chosen)
-                  end
+                    let effects =
+                      Vote_recorded (o.id, n)
+                      ::
+                      (match adaptive with
+                      | Some (posterior_pct, escalated) ->
+                          [ Adaptive_resolved
+                              { open_id = o.id; posterior_pct; escalated };
+                            effect ]
+                      | None -> [ effect ])
+                    in
+                    Ok (human_event t o worker effects chosen)
+                  in
+                  let pending () =
+                    (* The vote is banked; the task stays pending until the
+                       quorum (or the confidence threshold) is reached. *)
+                    release_lease t o worker;
+                    Ok (human_event t o worker [ Vote_recorded (o.id, n) ] values)
+                  in
+                  match qs.qs_policy with
+                  | Fixed k ->
+                      if n < k then pending ()
+                      else
+                        resolve_with
+                          (aggregate_votes qs.qs_aggregate (votes_by_attr t o))
+                  | Adaptive { tau; min_votes; max_votes } -> (
+                      match
+                        adaptive_verdict t { Quality.Decide.tau; min_votes; max_votes } o
+                      with
+                      | `Pending -> pending ()
+                      | `Resolve (chosen, posterior_pct, escalated) ->
+                          resolve_with ~adaptive:(posterior_pct, escalated) chosen
+                      | `Escalate posterior_pct ->
+                          resolve_with ~adaptive:(posterior_pct, true)
+                            (aggregate_votes qs.qs_aggregate (votes_by_attr t o))))
               | None ->
                   let bound = Reldb.Tuple.to_list o.bound @ values in
                   let effect = insert_tuple t o.relation bound in
@@ -1500,13 +1737,13 @@ let answer_existence_checked t id ~worker yes =
       else if already_voted t o worker then Error Already_voted
       else (
         match quorum_for t o with
-        | Some q ->
+        | Some qs -> (
             let n = record_vote t o worker (Vote_exists yes) in
-            if n < q.k then begin
+            let pending () =
               release_lease t o worker;
               Ok (human_event t o worker [ Vote_recorded (o.id, n) ] [])
-            end
-            else begin
+            in
+            let strict_majority () =
               let ayes =
                 List.fold_left
                   (fun acc (_, v) ->
@@ -1514,14 +1751,39 @@ let answer_existence_checked t id ~worker yes =
                   0
                   (Hashtbl.find t.votes o.id)
               in
-              let verdict = 2 * ayes > n in
+              2 * ayes > n
+            in
+            let resolve_with ?adaptive verdict =
+              note_exists_agreements t o ~verdict;
               let effects =
-                if verdict then [ insert_tuple t o.relation (Reldb.Tuple.to_list o.bound) ]
+                if verdict then
+                  [ insert_tuple t o.relation (Reldb.Tuple.to_list o.bound) ]
                 else [ No_effect ]
+              in
+              let effects =
+                match adaptive with
+                | Some (posterior_pct, escalated) ->
+                    Adaptive_resolved { open_id = o.id; posterior_pct; escalated }
+                    :: effects
+                | None -> effects
               in
               resolve t id;
               Ok (human_event t o worker (Vote_recorded (o.id, n) :: effects) [])
-            end
+            in
+            match qs.qs_policy with
+            | Fixed k -> if n < k then pending () else resolve_with (strict_majority ())
+            | Adaptive { tau; min_votes; max_votes } -> (
+                match
+                  Quality.Decide.decide
+                    { Quality.Decide.tau; min_votes; max_votes }
+                    (weighted_exists_votes t o)
+                with
+                | Quality.Decide.Ask_more -> pending ()
+                | Quality.Decide.Resolve (v, p) ->
+                    resolve_with ~adaptive:(pct p, false)
+                      (Reldb.Value.equal v (Reldb.Value.Bool true))
+                | Quality.Decide.Escalate p ->
+                    resolve_with ~adaptive:(pct p, true) (strict_majority ())))
         | None ->
             let effects =
               if yes then [ insert_tuple t o.relation (Reldb.Tuple.to_list o.bound) ]
@@ -1599,11 +1861,25 @@ let pp_explain fmt t =
         (List.length (Lease.dead_letters l)));
   (match t.quorum with
   | None -> Format.fprintf fmt "quorum: off@."
-  | Some q ->
-      Format.fprintf fmt "quorum: k = %d%s@." q.k
-        (match q.relations with
+  | Some qs ->
+      let scope =
+        match qs.qs_relations with
         | None -> "  (all eligible relations)"
-        | Some rs -> "  on " ^ String.concat ", " rs));
+        | Some rs -> "  on " ^ String.concat ", " rs
+      in
+      (match qs.qs_policy with
+      | Fixed k -> Format.fprintf fmt "quorum: k = %d%s@." k scope
+      | Adaptive a ->
+          Format.fprintf fmt "quorum: adaptive (tau %.2f, votes %d..%d)%s@." a.tau
+            a.min_votes a.max_votes scope);
+      match qs.qs_policy with
+      | Adaptive _ when reliability_table t <> [] ->
+          Format.fprintf fmt "worker reliability:@.";
+          List.iter
+            (fun (w, r, n) ->
+              Format.fprintf fmt "  %-10s %.3f  (%d observations)@." w r n)
+            (reliability_table t)
+      | _ -> ());
   let pend = pending t in
   Format.fprintf fmt "pending tasks: %d  (dead letters: %d)@." (List.length pend)
     (List.length t.dead);
@@ -1713,29 +1989,22 @@ let replay_entry t = function
   | J_reclaim now -> ignore (reclaim t ~now)
   | J_add_statement s -> add_statement t s
   | J_set_lease cfg -> set_lease_config t cfg
-  | J_set_quorum q ->
-      set_quorum t
-        (Option.map
-           (fun (k, relations) -> { k; relations; aggregate = default_aggregate })
-           q)
+  | J_set_quorum q -> install_quorum t q ~aggregate:default_aggregate
 
 let restore_payload ?builtins ?aggregate (p : snapshot_payload) =
   let t =
     load ?builtins ~use_delta:p.snap_use_delta ~use_planner:p.snap_use_planner
       p.snap_program
   in
-  let restore_quorum q =
-    match (q, aggregate) with
-    | Some q, Some aggregate -> Some { q with aggregate }
-    | q, _ -> q
-  in
   List.iter
     (fun entry ->
       (match entry with
-      | J_set_quorum (Some (k, relations)) ->
-          journal t (J_set_quorum (Some (k, relations)));
-          t.quorum <-
-            restore_quorum (Some { k; relations; aggregate = default_aggregate })
+      | J_set_quorum (Some _ as q) ->
+          (* The journal carries the policy (Fixed or Adaptive) and scope;
+             only the aggregate closure cannot be serialised, so [?aggregate]
+             substitutes the fallback hook and everything else replays. *)
+          install_quorum t q
+            ~aggregate:(Option.value aggregate ~default:default_aggregate)
       | entry -> replay_entry t entry))
     p.snap_journal;
   t

@@ -55,6 +55,14 @@ type effect =
       (** a quorum task banked its [n]-th answer (see {!set_quorum}) *)
   | Dead_lettered of open_id * Lease.reason
       (** the task left the pending pool unanswered (see {!dead_letters}) *)
+  | Adaptive_resolved of { open_id : open_id; posterior_pct : int; escalated : bool }
+      (** an [Adaptive] quorum task resolved: early (the weakest answer
+          slot's posterior reached tau — [posterior_pct] is that posterior
+          in percent) or by escalation ([escalated = true]: the vote cap
+          was hit and the fallback aggregate decided). Rides in the same
+          event as the final [Vote_recorded] and the insertion, so every
+          adaptive metric recounts from the journal (see
+          {!metrics_of_events}). *)
 
 type event = {
   clock : int;
@@ -96,6 +104,24 @@ type quorum = {
   relations : string list option;  (** limit to these relations; [None] = all *)
   aggregate : aggregate;
 }
+
+(** How a quorum task decides it has heard enough:
+
+    - [Fixed k] — the historical policy: resolve on exactly [k] answers
+      through the aggregate. {!set_quorum} installs this; behaviour is
+      unchanged from before adaptive policies existed.
+    - [Adaptive _] — confidence-based stopping: after each answer
+      (from [min_votes] on) the banked votes are weighed by each voter's
+      estimated reliability ([Quality.Model], learnt online from agreement
+      with past resolutions) and the task resolves as soon as every open
+      attribute's top value reaches posterior [tau]
+      ([Quality.Decide]); a task still unresolved at [max_votes] answers
+      {e escalates}: the fallback [aggregate] decides (plurality for
+      values, strict majority for existence). [max_votes] is also the
+      task's lease capacity. *)
+type quorum_policy =
+  | Fixed of int
+  | Adaptive of { tau : float; min_votes : int; max_votes : int }
 
 val default_aggregate : aggregate
 (** Plurality per attribute, earliest vote winning ties — the engine-level
@@ -223,9 +249,55 @@ val lease_config : t -> Lease.config option
 val set_quorum : t -> quorum option -> unit
 (** Install a redundant-assignment policy: eligible tasks (undesignated,
     non-repeatable, in [relations] if given) resolve through [aggregate]
-    after [k] answers. *)
+    after [k] answers — i.e. the [Fixed k] policy. [None] turns the quorum
+    runtime off. *)
+
+val set_quorum_policy :
+  t -> ?relations:string list -> ?aggregate:aggregate -> quorum_policy -> unit
+(** Install a quorum policy directly; [Adaptive _] is only reachable here.
+    [aggregate] (default {!default_aggregate}) resolves [Fixed] tasks and
+    is the escalation fallback of [Adaptive] tasks.
+    @raise Runtime_error on an ill-formed adaptive config
+    (needs [0 < tau <= 1] and [1 <= min_votes <= max_votes]). *)
 
 val quorum_of : t -> quorum option
+(** The installed policy, flattened to the legacy record: [k] is the vote
+    cap ([k] of [Fixed k], [max_votes] of [Adaptive]). *)
+
+val quorum_policy_of : t -> quorum_policy option
+
+(** {2 Quality model}
+
+    The engine scores every voter on a resolved quorum task against the
+    chosen answer ([Quality.Model]'s Beta-posterior reliability — also
+    surfaced as [quality.reliability.worker.*] per-mille gauges). The
+    model is derived state: journal replay ({!restore}) rebuilds it
+    observation for observation. *)
+
+val worker_reliability : t -> Reldb.Value.t -> float
+(** Estimated accuracy of a worker (the prior mean if never scored). *)
+
+val reliability_table : t -> (string * float * int) list
+(** Every scored worker (sorted): display name, reliability, observation
+    count. *)
+
+val task_uncertainty : t -> open_id -> float
+(** How unsettled a pending task's answer is: the maximum over its answer
+    slots of [1 - top posterior] given the banked votes ([1.0] with no
+    votes, [0.0] for unknown ids) — the router's uncertainty-sampling
+    score. *)
+
+val task_posteriors : t -> open_id -> (string * (Reldb.Value.t * float) list) list
+(** Per open attribute (or [("(exists)", ...)] for existence questions),
+    the candidate posteriors of the banked votes, best first. Empty for
+    unknown ids or tasks without votes. *)
+
+val votes_banked : t -> open_id -> int
+(** Votes banked so far on a pending quorum task (0 otherwise). *)
+
+val has_voted : t -> open_id -> worker:Reldb.Value.t -> bool
+(** Whether a worker already has a banked vote on a pending task — the
+    router's pre-check for the [Already_voted] rejection. *)
 
 type assign_error =
   [ `Stale  (** no such pending task *)
@@ -314,15 +386,21 @@ val path_relation_name : string -> string
     A snapshot is the loaded program plus the journal of every
     externally-triggered mutation ([run]/[step]/[supply]/
     [answer_existence]/[decline]/[assign]/[reclaim]/[add_statement]/
-    [set_lease_config]/[set_quorum], in order). [restore] replays the
+    [set_lease_config]/[set_quorum]/[set_quorum_policy], in order).
+    [restore] replays the
     journal through the public API; because evaluation is deterministic
     the restored engine reproduces the original event trace byte for byte
     and can itself be snapshotted again. The format is a
     ["CYLOG-SNAPSHOT/1\n"] header followed by a marshalled payload.
 
     Closures are not serialised: pass [?builtins] matching the original
-    engine's registry, and [?aggregate] to reinstate a custom quorum
-    policy (the default plurality vote is assumed otherwise). *)
+    engine's registry, and [?aggregate] to reinstate a custom aggregation
+    hook (the default plurality vote is assumed otherwise). The quorum
+    {e policy} itself — [Fixed] or [Adaptive], with its scope and
+    thresholds — is plain data and replays from the journal without help;
+    [?aggregate] only substitutes the closure it resolves ([Fixed]) or
+    falls back to on escalation ([Adaptive]). Worker reputation is derived
+    state and is rebuilt by the replay byte for byte. *)
 
 val snapshot : t -> out_channel -> unit
 

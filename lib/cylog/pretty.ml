@@ -164,6 +164,10 @@ let pp_effect ppf (eff : Engine.effect) =
   | Engine.Vote_recorded (id, n) -> Format.fprintf ppf "vote #%d (%d banked)" id n
   | Engine.Dead_lettered (id, reason) ->
       Format.fprintf ppf "dead #%d (%s)" id (Lease.reason_to_string reason)
+  | Engine.Adaptive_resolved { open_id; posterior_pct; escalated } ->
+      Format.fprintf ppf "%s #%d (posterior %d%%)"
+        (if escalated then "escalated" else "early-stop")
+        open_id posterior_pct
 
 let pp_event ppf (e : Engine.event) =
   let rule =
@@ -183,3 +187,44 @@ let pp_event ppf (e : Engine.event) =
   List.iter (fun eff -> Format.fprintf ppf "  %a" pp_effect eff) e.effects
 
 let event_to_string e = Format.asprintf "%a" pp_event e
+
+(* The quality report: per-worker reliability plus the posterior state of
+   every pending task — one JSON object, shared by `tweetpecker
+   --quality-out` and the REPL's `:quality`. Reuses Telemetry's escaper so
+   all three JSON surfaces (metrics, spans, quality) speak one dialect. *)
+let quality_json engine =
+  let buf = Buffer.create 512 in
+  let esc s = Telemetry.json_escape s in
+  Buffer.add_string buf "{\"workers\":{";
+  List.iteri
+    (fun i (w, r, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"reliability\":%.6f,\"observations\":%d}" (esc w) r n))
+    (Engine.reliability_table engine);
+  Buffer.add_string buf "},\"tasks\":{";
+  List.iteri
+    (fun i (o : Engine.open_tuple) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%d\":{\"relation\":\"%s\",\"votes\":%d,\"uncertainty\":%.6f,\"posteriors\":{"
+           o.Engine.id (esc o.Engine.relation)
+           (Engine.votes_banked engine o.Engine.id)
+           (Engine.task_uncertainty engine o.Engine.id));
+      List.iteri
+        (fun j (attr, cands) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":[" (esc attr));
+          List.iteri
+            (fun k (v, p) ->
+              if k > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "{\"value\":\"%s\",\"posterior\":%.6f}"
+                   (esc (Reldb.Value.to_display v)) p))
+            cands;
+          Buffer.add_char buf ']')
+        (Engine.task_posteriors engine o.Engine.id);
+      Buffer.add_string buf "}}")
+    (Engine.pending engine);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

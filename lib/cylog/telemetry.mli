@@ -90,6 +90,11 @@ type span = {
 val span_to_json : span -> string
 (** One span as a single JSON line (no trailing newline). *)
 
+val json_escape : string -> string
+(** The string escaper behind {!Metrics.to_json} and {!span_to_json},
+    exported so other JSON surfaces (e.g. the quality report) emit the
+    same dialect instead of growing a second printer. *)
+
 module Sink : sig
   type t
 

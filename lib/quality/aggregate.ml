@@ -117,6 +117,9 @@ let em ?(max_iterations = 100) ?(epsilon = 1e-6) ?(prior_accuracy = 0.7) votes =
   let consensus =
     List.map
       (fun (item, _, post) ->
+        (* [post] lists candidates in lexicographic order and [bp >= p]
+           keeps the incumbent, so exactly-tied posteriors resolve to the
+           smallest candidate value — the documented tie-break. *)
         let best =
           List.fold_left
             (fun acc (c, p) ->

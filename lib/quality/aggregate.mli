@@ -38,7 +38,15 @@ val em : ?max_iterations:int -> ?epsilon:float -> ?prior_accuracy:float ->
     candidates. E-step: posterior over values per item given accuracies;
     M-step: accuracies from expected correctness. Starts from
     [prior_accuracy] (default 0.7), stops when no accuracy moves more than
-    [epsilon] (default 1e-6) or after [max_iterations] (default 100). *)
+    [epsilon] (default 1e-6) or after [max_iterations] (default 100).
+
+    Deterministic: no randomness is involved, items appear in first-vote
+    order, candidates and workers in lexicographic order, so identical
+    votes yield an identical [em_result]. Exactly-tied posteriors break
+    toward the lexicographically smallest candidate value (candidates are
+    scanned in sorted order and a later candidate must strictly beat the
+    incumbent) — unlike {!majority}, whose ties break toward the
+    earliest-voted value, because EM posteriors carry no arrival order. *)
 
 val accuracy_against :
   truth:(string -> string option) -> (string * string) list -> float

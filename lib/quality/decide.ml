@@ -1,0 +1,53 @@
+type config = { tau : float; min_votes : int; max_votes : int }
+
+let default_config = { tau = 0.9; min_votes = 2; max_votes = 5 }
+
+type 'v verdict = Resolve of 'v * float | Ask_more | Escalate of float
+
+let clamp a = Float.min 0.95 (Float.max 0.05 a)
+
+let posteriors votes =
+  match votes with
+  | [] -> []
+  | _ ->
+      (* Candidates in first-vote order, so the fold below keeps the
+         earliest candidate on exactly-tied scores. *)
+      let candidates =
+        List.fold_left
+          (fun acc (v, _) -> if List.mem v acc then acc else v :: acc)
+          [] votes
+        |> List.rev
+      in
+      let d = max 2 (List.length candidates + 1) in
+      let score c =
+        List.fold_left
+          (fun acc (v, a) ->
+            let a = clamp a in
+            acc *. (if v = c then a else (1.0 -. a) /. float_of_int (d - 1)))
+          1.0 votes
+      in
+      let scored = List.map (fun c -> (c, score c)) candidates in
+      (* The implicit unseen alternative: every vote missed it. *)
+      let other =
+        List.fold_left
+          (fun acc (_, a) -> acc *. ((1.0 -. clamp a) /. float_of_int (d - 1)))
+          1.0 votes
+      in
+      let total = other +. List.fold_left (fun acc (_, s) -> acc +. s) 0.0 scored in
+      let scored = List.map (fun (c, s) -> (c, s /. total)) scored in
+      (* Stable sort + first-vote candidate order = earliest wins ties. *)
+      List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
+
+let top = function [] -> None | (c, p) :: _ -> Some (c, p)
+
+let uncertainty votes =
+  match top (posteriors votes) with Some (_, p) -> 1.0 -. p | None -> 1.0
+
+let decide cfg votes =
+  let n = List.length votes in
+  if n < cfg.min_votes then Ask_more
+  else
+    match top (posteriors votes) with
+    | Some (c, p) when p >= cfg.tau -> Resolve (c, p)
+    | Some (_, p) -> if n >= cfg.max_votes then Escalate p else Ask_more
+    | None -> if n >= cfg.max_votes then Escalate 0.0 else Ask_more

@@ -1,0 +1,50 @@
+(** Per-task value posteriors and the confidence-based stopping rule.
+
+    Votes arrive as [(value, reliability)] pairs in chronological order,
+    the reliability being the voter's estimated accuracy (from {!Model}).
+    Each observed value is a candidate; one implicit unseen alternative
+    ("none of the above") keeps a single vote from ever being certain.
+    Under the one-coin worker model a voter answers the truth with
+    probability [a] and otherwise picks uniformly among the [d - 1] wrong
+    alternatives, so a candidate's likelihood is the product over votes of
+    [a] (vote matches) or [(1 - a) / (d - 1)] (vote differs); posteriors
+    are these likelihoods normalized over candidates plus the implicit
+    alternative. Reliabilities are clamped to [0.05, 0.95] so no single
+    worker can force or veto a resolution.
+
+    {!decide} turns posteriors into the stopping rule of the adaptive
+    quorum policy: keep asking below [min_votes], resolve as soon as the
+    top posterior reaches [tau], and escalate (hand the ballots to the
+    fallback aggregate) once [max_votes] answers failed to reach it.
+
+    Values are compared with polymorphic equality, so any value type
+    without functional components works ([Reldb.Value.t] in particular). *)
+
+type config = { tau : float; min_votes : int; max_votes : int }
+(** [tau]: posterior threshold to resolve; [min_votes]: never resolve on
+    fewer answers; [max_votes]: hard cap, after which the task escalates. *)
+
+val default_config : config
+(** [{ tau = 0.9; min_votes = 2; max_votes = 5 }]. *)
+
+type 'v verdict =
+  | Resolve of 'v * float  (** top value and its posterior, [>= tau] *)
+  | Ask_more  (** below [min_votes], or confidence not yet reached *)
+  | Escalate of float
+      (** [max_votes] reached without confidence; carries the best
+          posterior achieved — the fallback aggregate decides *)
+
+val posteriors : ('v * float) list -> ('v * float) list
+(** Candidate posteriors, best first; ties broken toward the
+    earliest-voted candidate. The implicit alternative absorbs the
+    remaining mass and is not listed. Empty votes yield []. *)
+
+val top : ('v * float) list -> ('v * float) option
+(** [top (posteriors votes)]: the leading candidate, if any. *)
+
+val uncertainty : ('v * float) list -> float
+(** [1 -] the top posterior — the router's uncertainty-sampling score;
+    [1.0] when there are no votes yet. *)
+
+val decide : config -> ('v * float) list -> 'v verdict
+(** Apply the stopping rule to one answer slot's votes. *)

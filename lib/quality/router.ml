@@ -1,0 +1,19 @@
+type config = { floor : float }
+
+let default_config = { floor = 0.35 }
+
+let eligible cfg ~reliability = reliability >= cfg.floor
+
+let pick tasks =
+  match tasks with
+  | [] -> None
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun (bt, bu) (t, u) -> if u > bu then (t, u) else (bt, bu))
+          first rest
+      in
+      Some (fst best)
+
+let route cfg ~reliability ~tasks =
+  if eligible cfg ~reliability then pick tasks else None

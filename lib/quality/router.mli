@@ -1,0 +1,29 @@
+(** Quality-aware task routing.
+
+    When a worker asks for work, the router answers two questions: should
+    this worker get anything at all (their estimated reliability against a
+    floor), and if so which task (uncertainty sampling: the pending task
+    whose current answer is least settled, so redundant answers go where
+    they change the outcome). Pure functions over scores — callers supply
+    reliabilities from {!Model} and uncertainties from
+    {!Decide.uncertainty}. *)
+
+type config = { floor : float }
+(** Workers whose reliability is below [floor] are routed away (given no
+    task); [floor = 0.0] disables screening. *)
+
+val default_config : config
+(** [{ floor = 0.35 }] — generous enough that a fresh worker under the
+    default prior qualifies, strict enough to bench a worker the model has
+    repeatedly caught disagreeing. *)
+
+val eligible : config -> reliability:float -> bool
+(** Whether a worker of that reliability should receive work. *)
+
+val pick : ('t * float) list -> 't option
+(** [pick tasks] selects the task with the highest uncertainty score; the
+    earliest-listed task wins ties, so routing is deterministic for a
+    fixed pending order. [None] on an empty list. *)
+
+val route : config -> reliability:float -> tasks:('t * float) list -> 't option
+(** [eligible] then [pick]: the one-call worker-asks-for-work entry. *)

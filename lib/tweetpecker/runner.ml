@@ -78,7 +78,8 @@ let collect_extracts db =
             int_of (Reldb.Tuple.get_or_null t "rid") ))
         (Reldb.Relation.tuples rel)
 
-let run ?(seed = 7) ?corpus ?workers ?use_planner ?lease ?quorum ?faults ?sink variant =
+let run ?(seed = 7) ?corpus ?workers ?use_planner ?lease ?quorum ?policy ?faults
+    ?sink variant =
   let corpus = match corpus with Some c -> c | None -> Tweets.Generator.corpus () in
   let workers = match workers with Some w -> w | None -> default_workers variant in
   let names = List.map (fun (w : Crowd.Worker.profile) -> w.name) workers in
@@ -106,8 +107,8 @@ let run ?(seed = 7) ?corpus ?workers ?use_planner ?lease ?quorum ?faults ?sink v
   let stop engine = agreed_count engine >= target in
   let progress engine = float_of_int (agreed_count engine) /. float_of_int target in
   let sim =
-    Crowd.Simulator.run ~seed ~progress ?lease ?quorum ~stop ~workers:sim_workers
-      engine
+    Crowd.Simulator.run ~seed ~progress ?lease ?quorum ?policy ~stop
+      ~workers:sim_workers engine
   in
   let db = Cylog.Engine.database engine in
   {

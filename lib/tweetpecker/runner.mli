@@ -27,18 +27,21 @@ val default_workers : Programs.variant -> Crowd.Worker.profile list
 val run :
   ?seed:int -> ?corpus:Tweets.Generator.tweet list ->
   ?workers:Crowd.Worker.profile list -> ?use_planner:bool ->
-  ?lease:Cylog.Lease.config -> ?quorum:int -> ?faults:Crowd.Faults.fault list ->
+  ?lease:Cylog.Lease.config -> ?quorum:int ->
+  ?policy:Cylog.Engine.quorum_policy -> ?faults:Crowd.Faults.fault list ->
   ?sink:Cylog.Telemetry.Sink.t -> Programs.variant -> outcome
 (** Run a variant to termination (all (tweet, attribute) pairs agreed) on
     the standard corpus (463 tweets) with the default crowd. [use_planner]
     is passed through to {!Cylog.Engine.load} — setting it to [false]
     selects the reference left-to-right join order, for differential
-    testing of the planner. [lease] and [quorum] are passed through to
-    {!Crowd.Simulator.run} (lease runtime and redundant assignment);
-    [faults] wraps every worker with {!Crowd.Faults.inject} under the same
-    [seed]. [sink] installs a tracing sink on the engine before the
-    campaign starts (see {!Cylog.Telemetry.Sink}); the engine's metrics
-    registry is reachable afterwards through [outcome.engine]. *)
+    testing of the planner. [lease], [quorum] and [policy] are passed
+    through to {!Crowd.Simulator.run} (lease runtime, redundant
+    assignment, and adaptive quorum policies — [policy] wins over
+    [quorum]); [faults] wraps every worker with {!Crowd.Faults.inject}
+    under the same [seed]. [sink] installs a tracing sink on the engine
+    before the campaign starts (see {!Cylog.Telemetry.Sink}); the
+    engine's metrics registry is reachable afterwards through
+    [outcome.engine]. *)
 
 val completion : outcome -> float
 (** Fraction of (tweet, attribute) pairs with an agreed value — 1.0 on a

@@ -404,6 +404,77 @@ let test_tweetpecker_snapshot_replay () =
         (Engine.snapshot_string restored = snap))
     Tweetpecker.Programs.[ VE; VEI; VRE; VREI ]
 
+(* Restore under an adaptive quorum: the policy is journaled data, the
+   reputation model is derived state — so a restored engine must carry the
+   same policy, reproduce the trace (including Adaptive_resolved effects),
+   re-snapshot to the same bytes, and rebuild the reliability table
+   observation for observation. [?aggregate] only substitutes the
+   escalation closure; it must not disturb any of that. *)
+let test_restore_under_adaptive_quorum () =
+  let src =
+    {|rules:
+  Item(id:1); Item(id:2); Item(id:3);
+  Q: Label(id, v)/open <- Item(id);
+|}
+  in
+  let engine = Engine.load (Parser.parse_exn src) in
+  Engine.set_quorum_policy engine
+    (Engine.Adaptive { tau = 0.9; min_votes = 2; max_votes = 4 });
+  ignore (Engine.run engine);
+  let vote id worker value =
+    match
+      Engine.supply engine id ~worker:(Reldb.Value.String worker)
+        [ ("v", Reldb.Value.String value) ]
+    with
+    | Ok _ -> ignore (Engine.run engine)
+    | Error e -> Alcotest.failf "vote rejected: %s" (Engine.reject_to_string e)
+  in
+  (* Task 1: two agreeing votes — early stop. Task 2: four conflicting
+     votes — escalation through the fallback aggregate. Task 3 stays
+     pending with one banked vote. *)
+  (match List.map (fun (o : Engine.open_tuple) -> o.id) (Engine.pending engine) with
+  | [ t1; t2; t3 ] ->
+      vote t1 "w1" "cat";
+      vote t1 "w2" "cat";
+      vote t2 "w1" "dog";
+      vote t2 "w2" "cat";
+      vote t2 "w3" "dog";
+      vote t2 "w4" "cat";
+      vote t3 "w1" "bird"
+  | pending -> Alcotest.failf "expected 3 open tasks, got %d" (List.length pending));
+  let snap = Engine.snapshot_string engine in
+  List.iter
+    (fun (label, restored) ->
+      Alcotest.(check bool) (label ^ ": adaptive policy reinstated") true
+        (Engine.quorum_policy_of restored
+        = Some (Engine.Adaptive { tau = 0.9; min_votes = 2; max_votes = 4 }));
+      Alcotest.(check bool) (label ^ ": trace identical") true
+        (engine_trace restored = engine_trace engine);
+      Alcotest.(check bool) (label ^ ": database identical") true
+        (db_facts (Engine.database restored) = db_facts (Engine.database engine));
+      Alcotest.(check bool) (label ^ ": re-snapshot byte-identical") true
+        (Engine.snapshot_string restored = snap);
+      Alcotest.(check bool) (label ^ ": reputation rebuilt identically") true
+        (Engine.reliability_table restored = Engine.reliability_table engine))
+    [ ("default", Engine.restore_string snap);
+      ( "custom aggregate",
+        Engine.restore_string ~aggregate:Engine.default_aggregate snap ) ];
+  (* The early-stop and escalation events must be in the journal the
+     restored engine replays. *)
+  let adaptive_effects e =
+    List.concat_map
+      (fun (ev : Engine.event) ->
+        List.filter_map
+          (function
+            | Engine.Adaptive_resolved { escalated; _ } -> Some escalated
+            | _ -> None)
+          ev.effects)
+      (Engine.events e)
+  in
+  Alcotest.(check (list bool)) "one early stop, one escalation"
+    [ false; true ]
+    (adaptive_effects engine)
+
 (* Views carve-out robustness: random raw template bodies (any characters,
    balanced braces) survive the pre-lexing split and do not disturb the
    rules around them. *)
@@ -451,5 +522,7 @@ let suite =
             test_tweetpecker_planner_differential;
           Alcotest.test_case "tweetpecker variants: snapshot replay" `Slow
             test_tweetpecker_snapshot_replay;
+          Alcotest.test_case "restore under adaptive quorum" `Quick
+            test_restore_under_adaptive_quorum;
           Alcotest.test_case "figure 16 turing: planner on = off" `Quick
             test_turing_planner_differential ] ) ]

@@ -140,6 +140,74 @@ let test_campaign_recount () =
         (derived_view (Engine.metrics restored) = derived_view (Engine.metrics faulted)))
     [ 1; 7; 23 ]
 
+(* --- Adaptive quality campaigns -------------------------------------------- *)
+
+(* The adaptive quorum adds journal-derived counters (quorum.early_stopped,
+   quorum.escalated) and the quorum.posterior_at_resolution histogram: the
+   [Adaptive_resolved] effect carries the resolution evidence in the
+   journal, so recounting must reproduce them like every other derived
+   metric, before and after checkpoint/restore. Worker reputation rides
+   along — it is derived state rebuilt by replay, so the restored engine's
+   reliability table must match the original's. *)
+let adaptive_campaign ~seed () =
+  let src =
+    {|rules:
+  Item(id:1); Item(id:2); Item(id:3); Item(id:4); Item(id:5); Item(id:6);
+  Q: LabelOf(id, label)/open <- Item(id);
+|}
+  in
+  let engine = Engine.load (Parser.parse_exn src) in
+  let truth (o : Engine.open_tuple) =
+    let label =
+      match Reldb.Tuple.get_or_null o.bound "id" with
+      | Reldb.Value.Int i -> [| "cat"; "dog"; "eel" |].(i mod 3)
+      | _ -> "cat"
+    in
+    [ ("label", Reldb.Value.String label) ]
+  in
+  let workers =
+    List.map
+      (fun (w : Crowd.Worker.profile) -> (Reldb.Value.String w.name, w))
+      (Crowd.Worker.crowd Crowd.Worker.diligent 3 @ [ Crowd.Worker.sloppy "s1" ])
+  in
+  let policy = Engine.Adaptive { tau = 0.9; min_votes = 2; max_votes = 5 } in
+  ignore (Crowd.Simulator.run_routed ~seed ~policy ~truth ~workers engine);
+  engine
+
+let test_adaptive_campaign_recount () =
+  List.iter
+    (fun seed ->
+      let engine = adaptive_campaign ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): recount = live" seed)
+        true (recount_agrees engine);
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): early stops counted" seed)
+        true
+        (Telemetry.Metrics.counter (Engine.metrics engine) "quorum.early_stopped"
+        > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): posterior histogram present"
+           seed)
+        true
+        (List.mem_assoc "quorum.posterior_at_resolution"
+           (Telemetry.Metrics.histograms (Engine.metrics engine)));
+      let restored = Engine.restore_string (Engine.snapshot_string engine) in
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): restored recount = live" seed)
+        true (recount_agrees restored);
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): restored = original registry"
+           seed)
+        true
+        (derived_view (Engine.metrics restored) = derived_view (Engine.metrics engine));
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): reputation survives restore"
+           seed)
+        true
+        (Engine.reliability_table restored = Engine.reliability_table engine))
+    [ 3; 9; 31 ]
+
 (* --- TweetPecker variants -------------------------------------------------- *)
 
 let test_tweetpecker_recount () =
@@ -227,6 +295,8 @@ let suite =
           prop_tracing_deterministic ]
       @ [ Alcotest.test_case "faulted quorum campaigns: recount = live" `Quick
             test_campaign_recount;
+          Alcotest.test_case "adaptive campaigns: recount, restore, reputation"
+            `Quick test_adaptive_campaign_recount;
           Alcotest.test_case "tweetpecker variants: recount = live" `Slow
             test_tweetpecker_recount;
           Alcotest.test_case "tweetpecker tracing: deterministic spans" `Slow
