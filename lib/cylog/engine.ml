@@ -163,9 +163,37 @@ let log_src = Logs.Src.create "cylog.engine" ~doc:"CyLog evaluation engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* What the last delta scan of a statement did — surfaced by EXPLAIN. *)
+type delta_mode =
+  | Delta_idle  (* no new facts, nothing to do *)
+  | Delta_differential  (* consumed only appended rows (new-facts joins) *)
+  | Delta_rederived  (* a watched counter moved: scoped re-derivation *)
+
+(* Which change counter a delta statement watches on one body relation.
+   Relations read positively are invalidated only by destructive
+   mutations (appends flow through the frontier instead); relations
+   negated in the prefix invalidate on any change — even a pure append
+   can flip a negation that was checked at discovery time. *)
+type watch_kind = Watch_destructions | Watch_generation
+
+(* First-class delta state of one statement: a ΔR frontier per positive
+   body atom plus the instances discovered but not yet fired. [pending]
+   is kept sorted by {!Eval.support_key}, so its head is always the
+   conflict-resolution winner — exactly the instance naive rescan would
+   fire next; delta and rescan evaluation are therefore trace-identical,
+   not merely fixpoint-equivalent. [watch] snapshots one change counter
+   per body relation (see {!watch_kind}); when a watched counter moves
+   the statement drops its state and re-derives from row zero — a reset
+   scoped to the statements reading the mutated relation, never a global
+   rescan. *)
 type delta_state = {
   mutable frontiers : int array;  (* per positive atom: processed watermark *)
-  mutable queue : Eval.matched list;  (* discovered, not yet fired; sorted *)
+  mutable pending : Eval.matched list;  (* discovered, unfired; key-ascending *)
+  mutable watch : int array;  (* last-seen counter per watch_rel; [||] = fresh *)
+  (* Last-scan evidence for EXPLAIN's delta view. *)
+  mutable last_new : int array;  (* per atom: rows consumed as the delta atom *)
+  mutable last_discovered : int;
+  mutable last_mode : delta_mode;
 }
 
 type stmt_info = {
@@ -175,26 +203,29 @@ type stmt_info = {
   tail : Ast.literal list;
   pos_preds : string list;  (* positive-atom relations, in body order *)
   body_rels : string list;
+  watch_rels : (string * watch_kind) list;  (* per body relation, deduped *)
   payoff_dedup : bool;  (* unordered-support memo (game payoff rules) *)
   mutable exhausted_gen : int;  (* -1: never fully enumerated *)
-  (* Compiled join plans, cached against the body relations' summed
-     generation (statistics move with the data, so a plan is only valid
-     while its relations are unchanged). Rescan uses one plan; a delta
-     scan pins each atom in turn to a single row, so it keeps one plan per
-     pinned position. *)
+  (* Compiled join plans, cached against the per-relation statistics
+     epochs of the body ({!Planner.stats_key}): a supply into a relation
+     outside the body never evicts them, and appends into a body relation
+     only do when its cardinality bucket moves. Rescan uses one plan; a
+     delta scan pins each atom in turn to a single row, so it keeps one
+     plan per pinned position. *)
   mutable rescan_plan : Planner.t option;
-  mutable rescan_plan_gen : int;
+  mutable rescan_plan_key : int array;
   mutable delta_plans : Planner.t array;
-  mutable delta_plans_gen : int;
+  mutable delta_plans_key : int array;
   delta : delta_state option;
-      (* Seminaive evaluation for statements whose body relations are
-         insert-only (no /update or /delete targets them anywhere in the
-         program) and whose negations sit in the tail: instead of
+      (* Seminaive evaluation for every statement with at least one
+         positive atom (when the engine runs with [use_delta]): instead of
          re-enumerating the whole join per step, only combinations
-         involving a new row are discovered, queued in row order and fired
-         one per step. Within one discovery batch the paper's
-         earliest-rows tie-break is preserved; across batches instances
-         fire in discovery order. *)
+         involving a row above some atom's frontier are discovered, merged
+         into [pending] by support key and fired one per step. Statements
+         over relations that /update or /delete statements target stay
+         differential between destructive mutations and re-derive (scoped
+         to themselves) when one lands. Fact and filter-only statements
+         ([pos_preds = []]) use the rescan path. *)
 }
 
 type t = {
@@ -203,7 +234,6 @@ type t = {
   use_delta : bool;
   use_planner : bool;
   mutable infos : stmt_info array;
-  updatable : (string, unit) Hashtbl.t;
   fired : (string, unit) Hashtbl.t;
   open_tbl : (open_id, open_tuple) Hashtbl.t;
   mutable open_order : open_id list;  (* reverse creation order *)
@@ -349,15 +379,7 @@ let declare_relations db (program : Ast.program) statements path_rels =
 
 (* --- Loading -------------------------------------------------------------- *)
 
-let update_delete_targets (s : Ast.statement) =
-  List.filter_map
-    (fun (h : Ast.head) ->
-      match h.Ast.head with
-      | Ast.Head_atom { atom; kind = Ast.Update | Ast.Delete } -> Some atom.Ast.pred
-      | Ast.Head_atom _ | Ast.Head_payoff _ -> None)
-    s.heads
-
-let make_info ~use_delta ~updatable ((s : Ast.statement), origin) =
+let make_info ~use_delta ((s : Ast.statement), origin) =
   let prefix, tail = Eval.split_tail s.body in
   let pos_preds =
     List.filter_map
@@ -365,32 +387,50 @@ let make_info ~use_delta ~updatable ((s : Ast.statement), origin) =
         match l.Ast.lit with Ast.Pos a -> Some a.Ast.pred | _ -> None)
       prefix
   in
-  let delta_ok =
-    use_delta
-    && pos_preds <> []
-    && List.for_all (fun r -> not (Hashtbl.mem updatable r)) (Ast.body_preds s.body)
-    && List.for_all
-         (fun (l : Ast.literal) ->
-           match l.Ast.lit with Ast.Neg _ -> false | _ -> true)
-         prefix
+  let body_rels = Ast.body_preds s.body in
+  (* Relations negated before the last positive atom are checked during
+     discovery, so any change to them (not just a destructive one) must
+     reset the delta state; tail negations re-check at fire time and need
+     no watch beyond destructions. *)
+  let prefix_negs =
+    List.filter_map
+      (fun (l : Ast.literal) ->
+        match l.Ast.lit with Ast.Neg a -> Some a.Ast.pred | _ -> None)
+      prefix
   in
+  let watch_rels =
+    List.map
+      (fun r ->
+        (r, if List.mem r prefix_negs then Watch_generation else Watch_destructions))
+      body_rels
+  in
+  let n_atoms = List.length pos_preds in
   {
     stmt = s;
     origin;
     prefix;
     tail;
     pos_preds;
-    body_rels = Ast.body_preds s.body;
+    body_rels;
+    watch_rels;
     payoff_dedup =
       (match origin with Game_payoff _ -> true | Main | Game_path _ -> false);
     exhausted_gen = -1;
     rescan_plan = None;
-    rescan_plan_gen = -1;
+    rescan_plan_key = [||];
     delta_plans = [||];
-    delta_plans_gen = -1;
+    delta_plans_key = [||];
     delta =
-      (if delta_ok then
-         Some { frontiers = Array.make (List.length pos_preds) 0; queue = [] }
+      (if use_delta && pos_preds <> [] then
+         Some
+           {
+             frontiers = Array.make n_atoms 0;
+             pending = [];
+             watch = [||];
+             last_new = Array.make n_atoms 0;
+             last_discovered = 0;
+             last_mode = Delta_idle;
+           }
        else None);
   }
 
@@ -416,21 +456,13 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
   let statements = effective_statements program in
   let db = Reldb.Database.create () in
   declare_relations db program statements path_rels;
-  (* Relations some statement updates or deletes: their rows mutate in
-     place, so statements reading them must re-enumerate (no delta). *)
-  let updatable = Hashtbl.create 8 in
-  List.iter
-    (fun ((s : Ast.statement), _) ->
-      List.iter (fun pred -> Hashtbl.replace updatable pred ()) (update_delete_targets s))
-    statements;
-  let infos = Array.of_list (List.map (make_info ~use_delta ~updatable) statements) in
+  let infos = Array.of_list (List.map (make_info ~use_delta) statements) in
   {
     db;
     builtins;
     use_delta;
     use_planner;
     infos;
-    updatable;
     fired = Hashtbl.create 1024;
     open_tbl = Hashtbl.create 64;
     open_order = [];
@@ -496,27 +528,10 @@ let declare_for_statement t (s : Ast.statement) =
 let add_statement t (s : Ast.statement) =
   journal t (J_add_statement s);
   declare_for_statement t s;
-  (* A new update/delete target forces statements that read the relation
-     back to the rescan strategy: their delta queues are dropped, which is
-     safe because undischarged instances are not in the firing memo and
-     rescan rediscovers them. *)
-  let fresh_targets =
-    List.filter (fun p -> not (Hashtbl.mem t.updatable p)) (update_delete_targets s)
-  in
-  List.iter (fun p -> Hashtbl.replace t.updatable p ()) fresh_targets;
-  if fresh_targets <> [] then
-    t.infos <-
-      Array.map
-        (fun info ->
-          if
-            info.delta <> None
-            && List.exists (fun p -> List.mem p info.body_rels) fresh_targets
-          then make_info ~use_delta:false ~updatable:t.updatable (info.stmt, info.origin)
-          else info)
-        t.infos;
-  t.infos <-
-    Array.append t.infos
-      [| make_info ~use_delta:t.use_delta ~updatable:t.updatable (s, Main) |]
+  (* New /update or /delete targets need no special handling: delta
+     statements reading the affected relations watch their destruction
+     counters and re-derive themselves when a mutation actually lands. *)
+  t.infos <- Array.append t.infos [| make_info ~use_delta:t.use_delta (s, Main) |]
 
 let builtins t = t.builtins
 let clock t = t.clock
@@ -677,20 +692,25 @@ let body_generation t info =
 
 (* --- Join plans -------------------------------------------------------------- *)
 
-(* The cached rescan plan for [info], recompiled when any body relation
-   changed since it was computed. Returns [None] when planning is off or
-   the plan is the left-to-right order anyway (enumeration can then keep
-   its early-stop discipline). *)
-let rescan_plan t info ~gen =
+(* Per-relation statistics key the plan caches are validated against:
+   one epoch per body relation, so a supply into an unrelated relation
+   never evicts a plan, and appends into a body relation only do when
+   they move its cardinality bucket (or after a destructive mutation). *)
+let plan_key t info = Planner.stats_key t.db info.body_rels
+
+(* The cached rescan plan for [info]. Returns [None] when planning is off
+   or the plan is the left-to-right order anyway (enumeration can then
+   keep its early-stop discipline). *)
+let rescan_plan t info ~key =
   if not t.use_planner then None
   else begin
     (match info.rescan_plan with
-    | Some _ when info.rescan_plan_gen = gen ->
+    | Some _ when info.rescan_plan_key = key ->
         Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.rescan_cache.hits"
     | _ ->
         Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.rescan_cache.misses";
         info.rescan_plan <- Some (Planner.plan t.db info.prefix);
-        info.rescan_plan_gen <- gen);
+        info.rescan_plan_key <- key);
     match info.rescan_plan with
     | Some p when not p.Planner.identity -> Some p
     | Some _ | None -> None
@@ -699,14 +719,15 @@ let rescan_plan t info ~gen =
 (* Per-pinned-atom plans for a delta scan: scanning new rows of atom [i]
    evaluates the body with atom [i] pinned to one row, so each position
    gets its own plan with that atom costed at a single row. *)
-let delta_plans t info ~n_atoms ~gen =
+let delta_plans t info ~n_atoms =
   if not t.use_planner then None
   else begin
-    if info.delta_plans_gen <> gen || Array.length info.delta_plans <> n_atoms then begin
+    let key = plan_key t info in
+    if info.delta_plans_key <> key || Array.length info.delta_plans <> n_atoms then begin
       Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.delta_cache.misses";
       info.delta_plans <-
         Array.init n_atoms (fun i -> Planner.plan ~exact_atom:i t.db info.prefix);
-      info.delta_plans_gen <- gen
+      info.delta_plans_key <- key
     end
     else Telemetry.Metrics.incr (Telemetry.metrics t.tel) "planner.delta_cache.hits";
     Some info.delta_plans
@@ -963,12 +984,46 @@ let fire_traced t idx (info : stmt_info) ~rows0 (m : Eval.matched) fp =
     event
   end
 
-(* Seminaive discovery: every prefix valuation involving at least one row
-   at or above an atom's frontier is found exactly once — a combination
-   with new rows at positions S is discovered at position [min S], where
-   earlier atoms are restricted below their frontiers and later atoms are
-   unrestricted. *)
+(* Current value of every watched change counter of [info]'s body. *)
+let watch_values t info =
+  Array.of_list
+    (List.map
+       (fun (rel, kind) ->
+         match Reldb.Database.find t.db rel with
+         | None -> 0
+         | Some r -> (
+             match kind with
+             | Watch_destructions -> Reldb.Relation.destructions r
+             | Watch_generation -> Reldb.Relation.generation r))
+       info.watch_rels)
+
+(* Advance one statement's delta state to the current database.
+
+   If a watched counter moved — an in-place update or delete of a body
+   relation, or any change to a relation negated in the prefix — the
+   pending instances may be stale, so they are dropped and the statement
+   re-derives from row zero. The re-derivation is scoped: only this
+   statement resets; every other statement keeps its frontiers.
+
+   Otherwise only the rows appended above each atom's frontier are
+   consumed (seminaive discovery): every prefix valuation involving at
+   least one row at or above an atom's frontier is found exactly once — a
+   combination with new rows at positions S is discovered at position
+   [min S], where earlier atoms are restricted below their frontiers and
+   later atoms are unrestricted.
+
+   Discoveries are merged into [pending] by support key, so the head of
+   [pending] is always the instance naive left-to-right evaluation would
+   fire next. A scan that consumed rows but discovered nothing still
+   counts a round (and emits its span): empty deltas are observable, and
+   the recount invariants of the registry hold over them. *)
 let delta_scan t idx (info : stmt_info) (ds : delta_state) =
+  let watch_now = watch_values t info in
+  let reset = ds.watch <> [||] && ds.watch <> watch_now in
+  if reset then begin
+    Array.fill ds.frontiers 0 (Array.length ds.frontiers) 0;
+    ds.pending <- []
+  end;
   let n_atoms = Array.length ds.frontiers in
   let highs =
     Array.of_list
@@ -979,49 +1034,77 @@ let delta_scan t idx (info : stmt_info) (ds : delta_state) =
            | None -> 0)
          info.pos_preds)
   in
-  let discovered = ref [] in
-  let plans = delta_plans t info ~n_atoms ~gen:(body_generation t info) in
-  (try
-     for i = 0 to n_atoms - 1 do
-       let reordered =
-         match plans with
-         | Some a when not a.(i).Planner.identity ->
-             Some (a.(i).Planner.literals, a.(i).Planner.order)
-         | Some _ | None -> None
-       in
-       for r = ds.frontiers.(i) to highs.(i) - 1 do
-         let plan j =
-           if j < i then Eval.Below ds.frontiers.(j)
-           else if j = i then Eval.Exactly r
-           else Eval.All
+  let has_new = ref reset in
+  for i = 0 to n_atoms - 1 do
+    if highs.(i) > ds.frontiers.(i) then has_new := true
+  done;
+  if !has_new then begin
+    let discovered = ref [] and n_discovered = ref 0 in
+    let new_rows = Array.make n_atoms 0 in
+    let plans = delta_plans t info ~n_atoms in
+    (try
+       for i = 0 to n_atoms - 1 do
+         new_rows.(i) <- highs.(i) - ds.frontiers.(i);
+         let reordered =
+           match plans with
+           | Some a when not a.(i).Planner.identity ->
+               Some (a.(i).Planner.literals, a.(i).Planner.order)
+           | Some _ | None -> None
          in
-         Eval.enumerate ~plan ?reordered t.builtins t.db info.prefix
-           ~init:Binding.empty
-           ~f:(fun m ->
-             discovered := m :: !discovered;
-             `Continue)
+         for r = ds.frontiers.(i) to highs.(i) - 1 do
+           let plan j =
+             if j < i then Eval.Below ds.frontiers.(j)
+             else if j = i then Eval.Exactly r
+             else Eval.All
+           in
+           Eval.enumerate ~plan ?reordered t.builtins t.db info.prefix
+             ~init:Binding.empty
+             ~f:(fun m ->
+               discovered := m :: !discovered;
+               incr n_discovered;
+               `Continue)
+         done
        done
-     done
-   with Eval.Error msg ->
-     runtime_error "statement %s: %s"
-       (Option.value info.stmt.Ast.label ~default:(string_of_int idx))
-       msg);
-  ds.frontiers <- highs;
-  if !discovered <> [] then begin
-    let key (m : Eval.matched) = List.map (fun (_, row, ver) -> (row, ver)) m.support in
-    let batch =
-      List.sort (fun a b -> compare (key a) (key b)) (List.rev !discovered)
-    in
-    ds.queue <- ds.queue @ batch
+     with Eval.Error msg ->
+       runtime_error "statement %s: %s"
+         (Option.value info.stmt.Ast.label ~default:(string_of_int idx))
+         msg);
+    ds.frontiers <- highs;
+    ds.watch <- watch_now;
+    let batch = List.sort Eval.compare_matched (List.rev !discovered) in
+    ds.pending <- Eval.merge_matched ds.pending batch;
+    let consumed = Array.fold_left ( + ) 0 new_rows in
+    ds.last_new <- new_rows;
+    ds.last_discovered <- !n_discovered;
+    ds.last_mode <- (if reset then Delta_rederived else Delta_differential);
+    let m = Telemetry.metrics t.tel in
+    Telemetry.Metrics.incr m "eval.delta.rounds";
+    Telemetry.Metrics.incr m ~by:consumed "eval.delta.new_rows";
+    Telemetry.Metrics.incr m ~by:!n_discovered "eval.delta.discovered";
+    if reset then Telemetry.Metrics.incr m "eval.delta.resets";
+    if Telemetry.tracing t.tel then
+      Telemetry.emit t.tel "delta-scan"
+        ~attrs:
+          [
+            ("stmt", stmt_key info.stmt.Ast.label idx);
+            ("mode", (if reset then "rederive" else "differential"));
+            ("new_rows", string_of_int consumed);
+            ("discovered", string_of_int !n_discovered);
+          ]
+        ~clock:t.clock
   end
+  else
+    (* Quiet scan: nothing new. [last_*] keeps describing the most recent
+       round that did work (Delta_idle only until the first one). *)
+    ds.watch <- watch_now
 
-(* Pop the first queued instance that has not fired yet. *)
+(* Pop the first pending instance that has not fired yet. *)
 let rec pop_unfired t idx info (ds : delta_state) =
-  match ds.queue with
+  match ds.pending with
   | [] -> None
   | m :: rest ->
       let fp = fingerprint idx info m.Eval.support in
-      ds.queue <- rest;
+      ds.pending <- rest;
       if Hashtbl.mem t.fired fp then pop_unfired t idx info ds else Some (m, fp)
 
 let step_core t ~rows0 =
@@ -1032,7 +1115,11 @@ let step_core t ~rows0 =
       let info = t.infos.(i) in
       match info.delta with
       | Some ds -> (
-          if ds.queue = [] then delta_scan t i info ds;
+          (* Scan every step (cheap when nothing changed): a row appended
+             by the previous fire may complete an instance whose support
+             key precedes everything already pending, and the naive order
+             must fire it first. *)
+          delta_scan t i info ds;
           match pop_unfired t i info ds with
           | None -> try_stmt (i + 1)
           | Some (m, fp) -> (
@@ -1047,7 +1134,7 @@ let step_core t ~rows0 =
           else begin
             let found = ref None in
             (try
-               match rescan_plan t info ~gen with
+               match rescan_plan t info ~key:(plan_key t info) with
                | Some p ->
                    (* Planned enumeration produces valuations out of
                       conflict-resolution order, so scan them all and keep
@@ -1127,7 +1214,23 @@ let run ?(max_steps = 1_000_000) t =
       | Some _ -> loop (steps + 1)
       | None -> (steps, `Quiescent)
   in
-  loop 0
+  let ((steps, outcome) as result) = loop 0 in
+  (* Emitted even when the fixpoint held immediately (zero steps): an
+     empty run is still an observation. Engine-local ("eval." namespace)
+     like the delta counters — run boundaries are not journal events, so
+     these must stay out of the journal-derived recount contract. *)
+  let m = Telemetry.metrics t.tel in
+  Telemetry.Metrics.incr m "eval.fixpoint.runs";
+  Telemetry.Metrics.incr m ~by:steps "eval.fixpoint.steps";
+  if Telemetry.tracing t.tel then
+    Telemetry.emit t.tel "fixpoint"
+      ~attrs:
+        [
+          ("steps", string_of_int steps);
+          ("outcome", (match outcome with `Capped -> "capped" | `Quiescent -> "quiescent"));
+        ]
+      ~clock:t.clock;
+  result
 
 (* --- Open tuples ------------------------------------------------------------ *)
 
@@ -1815,7 +1918,7 @@ let pp_explain fmt t =
     (if t.use_planner then "on" else "off");
   Array.iteri
     (fun i info ->
-      let gen = body_generation t info in
+      let key = plan_key t info in
       Format.fprintf fmt "@.rule %s  [%s]@."
         (stmt_key info.stmt.Ast.label i)
         (if info.delta = None then "rescan" else "delta");
@@ -1836,15 +1939,50 @@ let pp_explain fmt t =
           let cache =
             if info.delta <> None then
               if Array.length info.delta_plans = 0 then "not yet compiled"
-              else if info.delta_plans_gen = gen then "fresh"
-              else "stale (relations changed)"
+              else if info.delta_plans_key = key then "fresh"
+              else "stale (statistics epoch moved)"
             else
               match info.rescan_plan with
               | None -> "not yet compiled"
-              | Some _ when info.rescan_plan_gen = gen -> "fresh"
-              | Some _ -> "stale (relations changed)"
+              | Some _ when info.rescan_plan_key = key -> "fresh"
+              | Some _ -> "stale (statistics epoch moved)"
           in
-          Format.fprintf fmt "  plan cache: %s  (body generation %d)@." cache gen);
+          Format.fprintf fmt "  plan cache: %s  (stats key %s)@." cache
+            (String.concat "."
+               (List.map string_of_int (Array.to_list key))));
+      (* The delta view: per atom its frontier (and the rows it consumed
+         as the delta atom last round), what the last productive round
+         did, and how many discovered instances are still waiting. *)
+      (match info.delta with
+      | None -> ()
+      | Some ds ->
+          let atoms =
+            List.mapi
+              (fun j pred ->
+                let d = if j < Array.length ds.last_new then ds.last_new.(j) else 0 in
+                Printf.sprintf "%s@%d%s" pred
+                  (if j < Array.length ds.frontiers then ds.frontiers.(j) else 0)
+                  (if d > 0 then Printf.sprintf "(+%d)" d else ""))
+              info.pos_preds
+          in
+          let mode =
+            match ds.last_mode with
+            | Delta_idle -> "idle (no round yet)"
+            | Delta_differential -> "differential (new-facts join)"
+            | Delta_rederived -> "re-derivation (watched relation changed)"
+          in
+          let delta_atoms =
+            List.filteri
+              (fun j _ -> j < Array.length ds.last_new && ds.last_new.(j) > 0)
+              info.pos_preds
+          in
+          Format.fprintf fmt "  delta: frontiers %s@." (String.concat " " atoms);
+          Format.fprintf fmt
+            "  delta: last round %s — delta atom(s): %s, %d discovered; %d pending@."
+            mode
+            (match delta_atoms with [] -> "none" | l -> String.concat ", " l)
+            ds.last_discovered
+            (List.length ds.pending));
       if info.tail <> [] then
         Format.fprintf fmt "  tail: %d filter(s) checked after the join@."
           (List.length info.tail))
@@ -1974,6 +2112,13 @@ let snapshot_string t =
        }
        []);
   Buffer.contents buf
+
+(* The journal alone (chronological), marshalled — unlike a snapshot it
+   carries no engine flags, so two engines driven by identical calls
+   produce byte-identical dumps regardless of their evaluation strategy.
+   The differential test suite uses this to prove the semi-naive engine
+   journals exactly what the naive engine does. *)
+let journal_dump t = Marshal.to_string (List.rev t.journal : jentry list) []
 
 (* Replay through the public entry points so each entry re-journals itself:
    a restored engine carries the same journal as the original and can be

@@ -140,11 +140,18 @@ val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
     Statements added later through {!add_statement} are not linted — the
     REPL's incremental path keeps its runtime checks.
 
-    [use_delta] (default [true]) enables seminaive evaluation for
-    statements over insert-only relations; with [false] every statement
-    re-enumerates its whole join per step (the reference strategy —
-    asymptotically slower but useful for differential testing and
-    ablation).
+    [use_delta] (default [true]) enables seminaive (differential)
+    evaluation for every statement with at least one positive body atom:
+    the engine keeps a ΔR frontier per body atom and drives rule firing
+    by new-facts-only joins, merging discoveries into a pending set
+    ordered by support key. Statements whose body relations are targets
+    of /update or /delete stay differential between destructive
+    mutations and re-derive — scoped to themselves, not the program —
+    when one lands. The two strategies are trace-identical: with [false]
+    every statement re-enumerates its whole join per step (the reference
+    strategy — asymptotically slower but the differential-testing
+    baseline), and produces the same events, journal and snapshots byte
+    for byte.
 
     [use_planner] (default [true]) enables cost-based reordering of each
     statement body via {!Planner.plan}, with plans cached per statement
@@ -364,9 +371,14 @@ val journal_derived : string -> bool
 val explain : t -> string
 (** Render the engine's current evaluation evidence: per rule the
     strategy (delta/rescan), the join order the planner picks against the
-    live statistics with its row estimates, and the compiled-plan cache
-    status; then the lease config, quorum policy and pending-task vote
-    counts. Observation-only: never touches the plan caches or metrics. *)
+    live statistics with its row estimates, the compiled-plan cache
+    status, and — for delta statements — the delta view: each atom's
+    frontier, which atoms served as the delta atom in the last productive
+    round (with the ΔR sizes consumed), whether that round ran
+    differentially or fell back to a scoped re-derivation, and how many
+    discovered instances are still pending; then the lease config, quorum
+    policy and pending-task vote counts. Observation-only: never touches
+    the plan caches or metrics. *)
 
 val pp_explain : Format.formatter -> t -> unit
 
@@ -405,6 +417,13 @@ val path_relation_name : string -> string
 val snapshot : t -> out_channel -> unit
 
 val snapshot_string : t -> string
+
+val journal_dump : t -> string
+(** The journal alone (chronological), marshalled. Unlike
+    {!snapshot_string} it carries no engine flags, so two engines driven
+    through identical calls produce byte-identical dumps regardless of
+    evaluation strategy — the comparison surface for the differential
+    tests pitting semi-naive delta evaluation against full rescans. *)
 
 val restore : ?builtins:Builtin.registry -> ?aggregate:aggregate -> in_channel -> t
 (** @raise Runtime_error on a bad header or corrupt payload. *)

@@ -154,6 +154,19 @@ let check_filter builtins db env (lit : Ast.literal) =
 
 type matched = { env : Binding.t; support : (string * int * int) list }
 
+(* The conflict-resolution ordering key of an instance: its support rows
+   (and versions) in body order. Left-to-right enumeration produces
+   instances in ascending key order, so "the instance valued by the
+   earliest rows" is the minimum under this key. *)
+let support_key (m : matched) = List.map (fun (_, row, ver) -> (row, ver)) m.support
+
+let compare_matched a b = compare (support_key a) (support_key b)
+
+(* Merge two key-ascending instance lists, preserving order — how the
+   engine folds each delta scan's discoveries into its pending set so the
+   head of the merged list is always the conflict-resolution winner. *)
+let merge_matched a b = List.merge compare_matched a b
+
 type row_range = All | Below of int | Exactly of int
 
 (* Instrumentation: candidate rows handed to match_atom across all

@@ -38,6 +38,20 @@ type matched = {
       (** (relation, row, row version) per positive atom, in body order *)
 }
 
+val support_key : matched -> (int * int) list
+(** The conflict-resolution ordering key of an instance: its support
+    [(row, version)] pairs in body order. Left-to-right enumeration
+    produces instances in ascending key order, so the paper's
+    earliest-rows winner is the minimum under this key. *)
+
+val compare_matched : matched -> matched -> int
+(** Compare instances by {!support_key}. *)
+
+val merge_matched : matched list -> matched list -> matched list
+(** Merge two key-ascending instance lists into one, preserving order —
+    the operation that folds a delta scan's discoveries into an engine's
+    pending set while keeping its head the conflict-resolution winner. *)
+
 (** Row restriction for one positive atom during enumeration — the
     building block of seminaive (delta) evaluation. *)
 type row_range =

@@ -117,6 +117,19 @@ let estimate ?exact_atom db bound (ordinal, (atom : Ast.atom)) =
         in
         (est, card)
 
+(* One statistics epoch per relation name, in the caller's order. A plan
+   cached against this key stays valid until some body relation's epoch
+   moves (destructive mutation, or a cardinality-bucket crossing); changes
+   to relations outside [rels] can never evict it. *)
+let stats_key db rels =
+  Array.of_list
+    (List.map
+       (fun name ->
+         match Reldb.Database.find db name with
+         | Some r -> Reldb.Relation.stats_epoch r
+         | None -> -1)
+       rels)
+
 let plan ?exact_atom db prefix =
   let items = List.mapi (fun i lit -> (i, lit)) prefix in
   let atoms =

@@ -36,4 +36,14 @@ val plan : ?exact_atom:int -> Reldb.Database.t -> Ast.literal list -> t
     will pin to a single row ({!Eval.Exactly}); it is costed as one row,
     which typically moves it to the front of the plan. Plans are only
     valid for the statistics they were computed against — cache them
-    keyed on the body relations' generations. *)
+    keyed on {!stats_key} of the body relations. *)
+
+val stats_key : Reldb.Database.t -> string list -> int array
+(** [stats_key db rels] is one {!Reldb.Relation.stats_epoch} per relation
+    name in [rels] (order preserved; [-1] for undeclared relations) — the
+    per-relation invalidation key for cached plans. Two equal keys
+    guarantee the planner would see statistics in the same coarse buckets,
+    so a cached plan may be reused; an insert into a relation outside
+    [rels] never changes the key, and an insert into one of [rels] only
+    changes it when the relation's cardinality crosses a power-of-two
+    boundary (or after any destructive mutation). *)

@@ -112,6 +112,7 @@ module Metrics = struct
     }
 
   let histograms t = sorted_of_tbl t.hs freeze
+  let histogram t name = Option.map freeze (Hashtbl.find_opt t.hs name)
 
   let equal a b =
     counters a = counters b && gauges a = gauges b && histograms a = histograms b

@@ -65,6 +65,10 @@ module Metrics : sig
 
   val histograms : t -> (string * histogram) list
 
+  val histogram : t -> string -> histogram option
+  (** One histogram by name; [None] when nothing was ever observed
+      under it. *)
+
   val equal : t -> t -> bool
   (** Same counters, gauges and histograms (names and values). *)
 

@@ -27,6 +27,11 @@ type t = {
   by_attrs : (string list, multi_index) Hashtbl.t;
   mutable next_auto : int;
   mutable generation : int;
+  (* Counts only destructive mutations — in-place updates, deletes and
+     clears. Appends never bump it, so a reader that only needs to learn
+     about *invalidated* rows (the engine's delta evaluation) can watch
+     this instead of [generation]. *)
+  mutable destructions : int;
 }
 
 type insert_outcome =
@@ -45,6 +50,7 @@ let create schema =
     by_attrs = Hashtbl.create 4;
     next_auto = 1;
     generation = 0;
+    destructions = 0;
   }
 
 let schema r = r.schema
@@ -52,7 +58,16 @@ let name r = Schema.name r.schema
 let cardinal r = Hashtbl.length r.by_tuple
 let is_empty r = cardinal r = 0
 let generation r = r.generation
+let destructions r = r.destructions
 let high_water r = Dynarray.length r.slots
+
+(* Fingerprint of the statistics a join plan was costed against: any
+   destructive mutation moves it, but pure appends only when they push the
+   cardinality across a power-of-two boundary — the resolution at which
+   the planner's greedy estimates can change their relative order. *)
+let stats_epoch r =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  (r.destructions * 64) + log2 (cardinal r + 1) 0
 
 let key_proj r t = Tuple.project t (Schema.key r.schema)
 
@@ -126,6 +141,7 @@ let update r t =
               | None -> Hashtbl.replace idx.buckets key (ref [ i ]))
           r.by_attrs;
         r.generation <- r.generation + 1;
+        r.destructions <- r.destructions + 1;
         Replaced i
       end
 
@@ -140,7 +156,10 @@ let delete_where r p =
         incr removed
       end)
     r.slots;
-  if !removed > 0 then r.generation <- r.generation + 1;
+  if !removed > 0 then begin
+    r.generation <- r.generation + 1;
+    r.destructions <- r.destructions + 1
+  end;
   !removed
 
 let mem r t =
@@ -249,7 +268,8 @@ let clear r =
   Option.iter Hashtbl.reset r.by_key;
   Hashtbl.reset r.by_attrs;
   r.next_auto <- 1;
-  r.generation <- r.generation + 1
+  r.generation <- r.generation + 1;
+  r.destructions <- r.destructions + 1
 
 let copy r =
   let fresh = create r.schema in
@@ -268,6 +288,7 @@ let copy r =
     r.slots;
   fresh.next_auto <- r.next_auto;
   fresh.generation <- r.generation;
+  fresh.destructions <- r.destructions;
   fresh
 
 let pp ppf r =

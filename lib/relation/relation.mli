@@ -119,9 +119,24 @@ val generation : t -> int
 (** Monotone counter bumped by every successful insert, update or delete;
     lets the engine detect that a relation changed without diffing. *)
 
+val destructions : t -> int
+(** Monotone counter bumped only by destructive mutations — in-place
+    updates ([Replaced]), deletes that removed rows, and {!clear}. Pure
+    appends leave it untouched, so the engine's delta evaluation watches
+    it to learn when previously-read rows may have been invalidated
+    (appends are picked up by the {!high_water} frontier instead). *)
+
 val high_water : t -> int
 (** One past the largest row index ever used — the watermark for delta
-    (seminaive) evaluation over insert-only relations. *)
+    (seminaive) evaluation: rows at or above a reader's frontier are the
+    relation's ΔR. *)
+
+val stats_epoch : t -> int
+(** Fingerprint of the statistics visible to the join planner: changes on
+    every destructive mutation, and on appends only when the cardinality
+    crosses a power-of-two boundary. A cached plan keyed on the epochs of
+    its body relations therefore survives ordinary row arrivals instead of
+    being recompiled per insert. *)
 
 val clear : t -> unit
 (** Remove all tuples and reset row numbering and auto-increment. *)

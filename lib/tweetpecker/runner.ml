@@ -78,13 +78,13 @@ let collect_extracts db =
             int_of (Reldb.Tuple.get_or_null t "rid") ))
         (Reldb.Relation.tuples rel)
 
-let run ?(seed = 7) ?corpus ?workers ?use_planner ?lease ?quorum ?policy ?faults
-    ?sink variant =
+let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
+    ?policy ?faults ?sink variant =
   let corpus = match corpus with Some c -> c | None -> Tweets.Generator.corpus () in
   let workers = match workers with Some w -> w | None -> default_workers variant in
   let names = List.map (fun (w : Crowd.Worker.profile) -> w.name) workers in
   let program = Programs.program variant ~corpus ~workers:names in
-  let engine = Cylog.Engine.load ?use_planner program in
+  let engine = Cylog.Engine.load ?use_delta ?use_planner program in
   (match sink with Some s -> Cylog.Engine.set_sink engine s | None -> ());
   let shared = Policies.prepare ~seed ~corpus ~workers in
   let sim_workers =

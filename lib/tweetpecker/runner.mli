@@ -26,15 +26,16 @@ val default_workers : Programs.variant -> Crowd.Worker.profile list
 
 val run :
   ?seed:int -> ?corpus:Tweets.Generator.tweet list ->
-  ?workers:Crowd.Worker.profile list -> ?use_planner:bool ->
+  ?workers:Crowd.Worker.profile list -> ?use_delta:bool -> ?use_planner:bool ->
   ?lease:Cylog.Lease.config -> ?quorum:int ->
   ?policy:Cylog.Engine.quorum_policy -> ?faults:Crowd.Faults.fault list ->
   ?sink:Cylog.Telemetry.Sink.t -> Programs.variant -> outcome
 (** Run a variant to termination (all (tweet, attribute) pairs agreed) on
-    the standard corpus (463 tweets) with the default crowd. [use_planner]
-    is passed through to {!Cylog.Engine.load} — setting it to [false]
-    selects the reference left-to-right join order, for differential
-    testing of the planner. [lease], [quorum] and [policy] are passed
+    the standard corpus (463 tweets) with the default crowd. [use_delta]
+    and [use_planner] are passed through to {!Cylog.Engine.load} —
+    [~use_delta:false] selects the naive full-rescan evaluation strategy
+    and [~use_planner:false] the reference left-to-right join order, for
+    differential testing of semi-naive evaluation and the planner. [lease], [quorum] and [policy] are passed
     through to {!Crowd.Simulator.run} (lease runtime, redundant
     assignment, and adaptive quorum policies — [policy] wins over
     [quorum]); [faults] wraps every worker with {!Crowd.Faults.inject}

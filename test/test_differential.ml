@@ -134,6 +134,15 @@ let run_trace ~use_delta ~use_planner program =
   ignore (Engine.run engine ~max_steps:20_000);
   engine_trace engine
 
+(* Everything two engines can be compared on: the full event trace, the
+   final database, and the marshalled API-call journal (byte-identical
+   journals mean byte-identical snapshots-modulo-flags — the strongest
+   equivalence the acceptance gate asks of delta vs rescan). *)
+let engines_equivalent a b =
+  engine_trace a = engine_trace b
+  && db_facts (Engine.database a) = db_facts (Engine.database b)
+  && Engine.journal_dump a = Engine.journal_dump b
+
 let run_semantics program =
   match Semantics.behaviour ~bound:200 program (fun _ -> []) with
   | states, `Fixpoint -> Some (db_facts (Semantics.sure (List.nth states (List.length states - 1))))
@@ -142,9 +151,14 @@ let run_semantics program =
 (* --- Properties ----------------------------------------------------------- *)
 
 let prop_delta_equals_rescan =
-  QCheck.Test.make ~name:"delta evaluation = naive rescan" ~count:300 gen_program
-    (fun program ->
-      run_engine ~use_delta:true program = run_engine ~use_delta:false program)
+  QCheck.Test.make ~name:"delta evaluation = naive rescan (trace + journal)"
+    ~count:300 gen_program (fun program ->
+      let load flag =
+        let engine = Engine.load ~use_delta:flag program in
+        ignore (Engine.run engine ~max_steps:20_000);
+        engine
+      in
+      engines_equivalent (load true) (load false))
 
 let prop_engine_equals_batch_semantics =
   QCheck.Test.make ~name:"operational engine = batch T_{P,S} fixpoint" ~count:200
@@ -269,14 +283,16 @@ let drive_with_canonical_human ~use_delta ?use_planner program =
           answer (rounds + 1)
   in
   answer 0;
-  db_facts (Engine.database engine)
+  engine
 
 let prop_delta_equals_rescan_with_humans =
-  QCheck.Test.make ~name:"delta = rescan with a canonical human in the loop"
+  QCheck.Test.make
+    ~name:"delta = rescan with a canonical human in the loop (trace + journal)"
     ~count:150 gen_program (fun program ->
       let program = with_open_rule program in
-      drive_with_canonical_human ~use_delta:true program
-      = drive_with_canonical_human ~use_delta:false program)
+      engines_equivalent
+        (drive_with_canonical_human ~use_delta:true program)
+        (drive_with_canonical_human ~use_delta:false program))
 
 (* --- Planner differential ------------------------------------------------- *)
 
@@ -292,8 +308,9 @@ let prop_planner_preserves_trace_with_humans =
   QCheck.Test.make ~name:"planner on = off with a canonical human in the loop"
     ~count:100 gen_program (fun program ->
       let program = with_open_rule program in
-      drive_with_canonical_human ~use_delta:true ~use_planner:true program
-      = drive_with_canonical_human ~use_delta:true ~use_planner:false program)
+      engines_equivalent
+        (drive_with_canonical_human ~use_delta:true ~use_planner:true program)
+        (drive_with_canonical_human ~use_delta:true ~use_planner:false program))
 
 (* End-to-end: the four TweetPecker variants on a small corpus. The
    simulator is deterministic given the seed and only observes the engine
@@ -338,6 +355,240 @@ let test_turing_planner_differential () =
     [ (Turing.Machine.successor, [ "1"; "1" ]);
       (Turing.Machine.binary_increment, [ "1"; "0"; "1"; "1" ]);
       (Turing.Machine.parity, [ "1"; "1"; "1" ]) ]
+
+(* --- Semi-naive vs naive on non-monotone programs -------------------------- *)
+
+(* Random programs over a keyed relation K with /update and /delete heads:
+   in-place mutation invalidates pending delta state mid-fixpoint, so these
+   pin down the watch-triggered scoped re-derivation path (and, via the
+   optional prefix negation, the generation watch that catches appends
+   flipping a discovery-time [not K(..)]). Source-level generation keeps
+   counterexamples directly readable. Runs are capped; a capped run is
+   still trace-comparable, both engines cut off at the same step. *)
+let gen_ud_program : string QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* kfacts = list_size (int_range 1 3) (pair (int_bound 4) (int_bound 4)) in
+    let* rfacts =
+      list_size (int_range 2 8) (triple (int_bound 2) (int_bound 4) (int_bound 4))
+    in
+    let* upds = list_size (int_range 1 3) (pair (int_bound 2) (int_bound 4)) in
+    let* dels = list_size (int_bound 2) (pair (int_bound 2) (int_range 2 4)) in
+    let* copies = list_size (int_bound 2) (pair (int_bound 2) (int_bound 2)) in
+    let* with_neg = bool in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "schema:\n  K(a key, b);\n\nrules:\n";
+    List.iter
+      (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  K(a:%d, b:%d);\n" a b))
+      kfacts;
+    List.iter
+      (fun (r, a, b) ->
+        Buffer.add_string buf (Printf.sprintf "  R%d(a:%d, b:%d);\n" r a b))
+      rfacts;
+    List.iter
+      (fun (r, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  K(a:x, b:y)/update <- R%d(a:x, b:y), y <= %d;\n" r c))
+      upds;
+    List.iter
+      (fun (r, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  R%d(a:x)/delete <- K(a:x, b:y), %d <= y;\n" r c))
+      dels;
+    List.iter
+      (fun (r, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  R%d(a:y, b:y) <- K(a:x, b:y), R%d(a:x);\n" r s))
+      copies;
+    if with_neg then
+      Buffer.add_string buf "  R2(a:x, b:x) <- R0(a:x), not K(a:x), R1(a:x);\n";
+    return (Buffer.contents buf)
+  in
+  QCheck.make ~print:(fun s -> s) gen
+
+let run_ud ~use_delta src =
+  let engine = Engine.load ~lint:`Off ~use_delta (Parser.parse_exn src) in
+  ignore (Engine.run engine ~max_steps:3_000);
+  engine
+
+let prop_ud_delta_equals_rescan =
+  QCheck.Test.make
+    ~name:"update/delete programs: delta = rescan (trace + journal)" ~count:200
+    gen_ud_program (fun src ->
+      engines_equivalent (run_ud ~use_delta:true src) (run_ud ~use_delta:false src))
+
+(* Snapshot taken mid-fixpoint: the restored engine rebuilds pending delta
+   state (frontiers, discovered-but-unfired instances) purely by journal
+   replay and must then finish the campaign step for step with the
+   original. *)
+let prop_ud_snapshot_midway =
+  QCheck.Test.make
+    ~name:"update/delete programs: mid-campaign snapshot resumes identically"
+    ~count:100 gen_ud_program (fun src ->
+      let engine = Engine.load ~lint:`Off (Parser.parse_exn src) in
+      ignore (Engine.run engine ~max_steps:40);
+      let restored = Engine.restore_string (Engine.snapshot_string engine) in
+      ignore (Engine.run engine ~max_steps:3_000);
+      ignore (Engine.run restored ~max_steps:3_000);
+      engines_equivalent engine restored)
+
+(* The Figure 16 Turing construction updates TuringMachine and Tape on
+   every transition — the heaviest in-place-mutation workload in the
+   repo — and must now run identically under semi-naive evaluation. *)
+let test_turing_delta_differential () =
+  List.iter
+    (fun ((m : Turing.Machine.t), input) ->
+      let load flag =
+        let engine =
+          Engine.load ~use_delta:flag
+            (Parser.parse_exn (Turing.Cylog_tm.to_source m ~input))
+        in
+        ignore (Engine.run engine ~max_steps:20_000);
+        engine
+      in
+      Alcotest.(check bool)
+        (m.name ^ ": delta on = off")
+        true
+        (engines_equivalent (load true) (load false)))
+    [ (Turing.Machine.successor, [ "1"; "1" ]);
+      (Turing.Machine.binary_increment, [ "1"; "0"; "1"; "1" ]);
+      (Turing.Machine.parity, [ "1"; "1"; "1" ]) ]
+
+let test_tweetpecker_delta_differential () =
+  let corpus = Tweets.Generator.generate ~seed:5 12 in
+  List.iter
+    (fun variant ->
+      let run flag = Tweetpecker.Runner.run ~seed:11 ~corpus ~use_delta:flag variant in
+      Alcotest.(check bool)
+        (Tweetpecker.Programs.variant_name variant ^ ": delta on = off")
+        true
+        (engines_equivalent (run true).engine (run false).engine))
+    Tweetpecker.Programs.[ VE; VEI; VRE; VREI ]
+
+(* Faulted and adaptive quorum campaigns: lease churn, declines, banked
+   ballots and early stopping all ride on the journal; a delta engine must
+   reproduce the rescan engine's campaign byte for byte. *)
+let quorum_campaign_engine ~use_delta ?faults ~seed () =
+  let src =
+    {|rules:
+  Item(id:1); Item(id:2); Item(id:3);
+  Q: LabelOf(id, label)/open <- Item(id);
+|}
+  in
+  let engine = Engine.load ~use_delta (Parser.parse_exn src) in
+  let policy engine ~worker:_ ~rng ~round:_ =
+    match Engine.pending engine with
+    | [] -> Crowd.Simulator.Pass
+    | pending ->
+        let o = List.nth pending (Random.State.int rng (List.length pending)) in
+        let label = [| "cat"; "dog"; "eel" |].(Random.State.int rng 3) in
+        Crowd.Simulator.Answer
+          ( o.Engine.id,
+            [ ("label", Reldb.Value.String label) ],
+            Crowd.Simulator.Enter_value )
+  in
+  let workers =
+    List.map (fun w -> (Reldb.Value.String w, policy)) [ "w1"; "w2"; "w3"; "w4" ]
+  in
+  let workers =
+    match faults with
+    | Some fs -> Crowd.Faults.inject ~seed fs workers
+    | None -> workers
+  in
+  ignore
+    (Crowd.Simulator.run ~seed ~max_rounds:100 ~lease:Lease.default_config ~quorum:2
+       ~stop:(fun e -> Engine.pending e = [])
+       ~workers engine);
+  engine
+
+let adaptive_campaign_engine ~use_delta ~seed () =
+  let src =
+    {|rules:
+  Item(id:1); Item(id:2); Item(id:3); Item(id:4); Item(id:5); Item(id:6);
+  Q: LabelOf(id, label)/open <- Item(id);
+|}
+  in
+  let engine = Engine.load ~use_delta (Parser.parse_exn src) in
+  let truth (o : Engine.open_tuple) =
+    let label =
+      match Reldb.Tuple.get_or_null o.bound "id" with
+      | Reldb.Value.Int i -> [| "cat"; "dog"; "eel" |].(i mod 3)
+      | _ -> "cat"
+    in
+    [ ("label", Reldb.Value.String label) ]
+  in
+  let workers =
+    List.map
+      (fun (w : Crowd.Worker.profile) -> (Reldb.Value.String w.name, w))
+      (Crowd.Worker.crowd Crowd.Worker.diligent 3 @ [ Crowd.Worker.sloppy "s1" ])
+  in
+  let policy = Engine.Adaptive { tau = 0.9; min_votes = 2; max_votes = 5 } in
+  ignore (Crowd.Simulator.run_routed ~seed ~policy ~truth ~workers engine);
+  engine
+
+let test_quorum_delta_differential () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "clean quorum campaign (seed %d): delta on = off" seed)
+        true
+        (engines_equivalent
+           (quorum_campaign_engine ~use_delta:true ~seed ())
+           (quorum_campaign_engine ~use_delta:false ~seed ()));
+      Alcotest.(check bool)
+        (Printf.sprintf "faulted quorum campaign (seed %d): delta on = off" seed)
+        true
+        (engines_equivalent
+           (quorum_campaign_engine ~use_delta:true
+              ~faults:(List.assoc "all" Crowd.Faults.profiles) ~seed ())
+           (quorum_campaign_engine ~use_delta:false
+              ~faults:(List.assoc "all" Crowd.Faults.profiles) ~seed ()));
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive campaign (seed %d): delta on = off" seed)
+        true
+        (engines_equivalent
+           (adaptive_campaign_engine ~use_delta:true ~seed ())
+           (adaptive_campaign_engine ~use_delta:false ~seed ())))
+    [ 1; 7 ]
+
+(* --- Semi-naive batch semantics -------------------------------------------- *)
+
+(* [Semantics.behaviour_delta] must walk the exact state sequence of the
+   full iteration — same sure tuples AND same open tuples in the same
+   first-derivation order, state for state. *)
+let same_behaviour program strategies =
+  let states
+      (behave :
+        ?bound:int -> Ast.program -> Semantics.strategies ->
+        Semantics.state list * [ `Fixpoint | `Bound_reached ]) =
+    match behave ~bound:200 program strategies with
+    | states, `Fixpoint -> Some states
+    | _, `Bound_reached -> None
+  in
+  match (states Semantics.behaviour, states Semantics.behaviour_delta) with
+  | None, _ | _, None -> QCheck.assume_fail ()
+  | Some a, Some b ->
+      List.length a = List.length b && List.for_all2 Semantics.equal a b
+
+let prop_semantics_delta_equals_naive =
+  QCheck.Test.make ~name:"batch T_{P,S}: semi-naive iteration = full iteration"
+    ~count:200 gen_program (fun program -> same_behaviour program (fun _ -> []))
+
+let prop_semantics_delta_equals_naive_with_humans =
+  QCheck.Test.make
+    ~name:"batch T_{P,S}: semi-naive = full with answering strategies" ~count:100
+    gen_program (fun program ->
+      let program = with_open_rule program in
+      let answer_all st =
+        List.map
+          (fun (o : Semantics.open_fact) ->
+            ( o,
+              List.map
+                (fun a -> (a, Reldb.Value.Int (Reldb.Tuple.hash o.bound mod 5)))
+                o.open_attrs ))
+          (Semantics.open_tuples st)
+      in
+      same_behaviour program answer_all)
 
 (* --- Snapshot / replay differential --------------------------------------- *)
 
@@ -513,16 +764,25 @@ let suite =
   [ ( "differential",
       List.map QCheck_alcotest.to_alcotest
         [ prop_delta_equals_rescan; prop_delta_equals_rescan_with_humans;
+          prop_ud_delta_equals_rescan; prop_ud_snapshot_midway;
           prop_engine_equals_batch_semantics;
+          prop_semantics_delta_equals_naive;
+          prop_semantics_delta_equals_naive_with_humans;
           prop_engine_deterministic; prop_fixpoint_is_stable; prop_monotone_growth;
           prop_planner_preserves_trace; prop_planner_preserves_trace_with_humans;
           prop_parse_print_roundtrip; prop_printed_program_runs_identically;
           prop_views_split_preserves_rules; prop_snapshot_replay_is_trace_identical ]
       @ [ Alcotest.test_case "tweetpecker variants: planner on = off" `Slow
             test_tweetpecker_planner_differential;
+          Alcotest.test_case "tweetpecker variants: delta on = off" `Slow
+            test_tweetpecker_delta_differential;
           Alcotest.test_case "tweetpecker variants: snapshot replay" `Slow
             test_tweetpecker_snapshot_replay;
           Alcotest.test_case "restore under adaptive quorum" `Quick
             test_restore_under_adaptive_quorum;
+          Alcotest.test_case "quorum campaigns: delta on = off" `Quick
+            test_quorum_delta_differential;
           Alcotest.test_case "figure 16 turing: planner on = off" `Quick
-            test_turing_planner_differential ] ) ]
+            test_turing_planner_differential;
+          Alcotest.test_case "figure 16 turing: delta on = off" `Quick
+            test_turing_delta_differential ] ) ]

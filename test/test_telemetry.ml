@@ -190,8 +190,9 @@ let test_adaptive_campaign_recount () =
         (Printf.sprintf "adaptive campaign (seed %d): posterior histogram present"
            seed)
         true
-        (List.mem_assoc "quorum.posterior_at_resolution"
-           (Telemetry.Metrics.histograms (Engine.metrics engine)));
+        (Telemetry.Metrics.histogram (Engine.metrics engine)
+           "quorum.posterior_at_resolution"
+        <> None);
       let restored = Engine.restore_string (Engine.snapshot_string engine) in
       Alcotest.(check bool)
         (Printf.sprintf "adaptive campaign (seed %d): restored recount = live" seed)
@@ -259,6 +260,65 @@ let test_tweetpecker_tracing_deterministic () =
         true (List.mem expected names))
     [ "campaign"; "round"; "rule"; "atom-match"; "task" ]
 
+(* --- Engine-local evaluation counters --------------------------------------- *)
+
+(* The "eval." namespace is engine-local — run boundaries and delta-scan
+   rounds are not journal events, so these counters sit outside the
+   recount contract — but they must still be observable: a run that
+   converges in zero steps registers, and delta rounds are counted even
+   when every scan comes up empty. *)
+let test_zero_step_run_still_observed () =
+  let engine = Engine.load (Parser.parse_exn "rules:\n  R(x:1);\n  T(x) <- R(x);\n") in
+  ignore (Engine.run engine);
+  let m = Engine.metrics engine in
+  let runs_after_first = Telemetry.Metrics.counter m "eval.fixpoint.runs" in
+  let steps_after_first = Telemetry.Metrics.counter m "eval.fixpoint.steps" in
+  Alcotest.(check int) "first run counted" 1 runs_after_first;
+  Alcotest.(check bool) "first run took steps" true (steps_after_first > 0);
+  (* Quiescent engine: the second run converges in zero steps but is still
+     an observation. *)
+  ignore (Engine.run engine);
+  Alcotest.(check int) "zero-step run counted" 2
+    (Telemetry.Metrics.counter m "eval.fixpoint.runs");
+  Alcotest.(check int) "zero-step run added no steps" steps_after_first
+    (Telemetry.Metrics.counter m "eval.fixpoint.steps")
+
+let test_delta_counters_accumulate () =
+  let src = "rules:\n  R(x:1); R(x:2); R(x:3);\n  T(x) <- R(x);\n  U(x) <- T(x);\n" in
+  let delta = Engine.load ~use_delta:true (Parser.parse_exn src) in
+  ignore (Engine.run delta);
+  let m = Engine.metrics delta in
+  Alcotest.(check bool) "delta rounds counted" true
+    (Telemetry.Metrics.counter m "eval.delta.rounds" > 0);
+  Alcotest.(check bool) "delta discoveries counted" true
+    (Telemetry.Metrics.counter m "eval.delta.discovered" > 0);
+  Alcotest.(check bool) "new rows consumed" true
+    (Telemetry.Metrics.counter m "eval.delta.new_rows" > 0);
+  (* Monotone program, nothing destroyed: no scoped re-derivations. *)
+  Alcotest.(check int) "no resets on a monotone program" 0
+    (Telemetry.Metrics.counter m "eval.delta.resets");
+  let rescan = Engine.load ~use_delta:false (Parser.parse_exn src) in
+  ignore (Engine.run rescan);
+  Alcotest.(check int) "rescan engine runs no delta rounds" 0
+    (Telemetry.Metrics.counter (Engine.metrics rescan) "eval.delta.rounds");
+  (* An in-place update invalidates watched delta state: the affected
+     statement re-derives and the reset is counted. *)
+  let ud =
+    Engine.load ~lint:`Off
+      (Parser.parse_exn
+         {|schema:
+  K(a key, b);
+
+rules:
+  K(a:1, b:9); R(x:1); R(x:2);
+  T(b) <- K(a, b), R(x);
+  K(a:x, b:x)/update <- R(x);
+|})
+  in
+  ignore (Engine.run ud);
+  Alcotest.(check bool) "updates trigger counted re-derivations" true
+    (Telemetry.Metrics.counter (Engine.metrics ud) "eval.delta.resets" > 0)
+
 (* --- Off switches ----------------------------------------------------------- *)
 
 let test_disabled_registry_stays_empty () =
@@ -301,6 +361,10 @@ let suite =
             test_tweetpecker_recount;
           Alcotest.test_case "tweetpecker tracing: deterministic spans" `Slow
             test_tweetpecker_tracing_deterministic;
+          Alcotest.test_case "zero-step runs are still observed" `Quick
+            test_zero_step_run_still_observed;
+          Alcotest.test_case "delta counters accumulate" `Quick
+            test_delta_counters_accumulate;
           Alcotest.test_case "disabled registry stays empty" `Quick
             test_disabled_registry_stays_empty;
           Alcotest.test_case "null sink emits nothing" `Quick
