@@ -33,11 +33,14 @@ let or_die = function
 
 (* Load under the engine's default Strict lint, rendering diagnostics the
    same way [cylog check] does when the program is rejected. *)
-let load_or_die ?lint path program =
-  try Cylog.Engine.load ?lint program
-  with Cylog.Lint.Rejected diags ->
-    List.iter (fun d -> prerr_endline (Cylog.Lint.render ~file:path d)) diags;
-    exit 1
+let load_or_die ?lint ?journal path program =
+  try Cylog.Engine.load ?lint ?journal program with
+  | Cylog.Lint.Rejected diags ->
+      List.iter (fun d -> prerr_endline (Cylog.Lint.render ~file:path d)) diags;
+      exit 1
+  | Cylog.Journal.Error e ->
+      prerr_endline (Cylog.Journal.error_to_string e);
+      exit 1
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -145,11 +148,26 @@ let with_telemetry_outputs metrics_out trace_out engine k =
       Option.iter close_out_noerr trace_oc)
     k
 
-let run_cmd interactive max_steps checkpoint metrics_out trace_out path =
+(* Flush the WAL and report what it did — the run subcommands' epilogue
+   whenever a journal is attached. *)
+let finish_journal engine =
+  match Cylog.Engine.durable_journal engine with
+  | None -> ()
+  | Some j ->
+      Cylog.Journal.close j;
+      let s = Cylog.Journal.stats j in
+      Format.printf
+        "journal %s: %d appends, %d fsyncs, %d rotations, %d compactions, %d live \
+         segment(s)@."
+        (Cylog.Journal.dir j) s.appends s.fsyncs s.rotations s.compactions
+        (List.length s.segments)
+
+let run_cmd interactive max_steps checkpoint metrics_out trace_out journal path =
   let program = or_die (parse_file path) in
-  let engine = load_or_die path program in
+  let engine = load_or_die path ?journal program in
   with_telemetry_outputs metrics_out trace_out engine (fun () ->
-      drive_engine interactive max_steps checkpoint engine)
+      drive_engine interactive max_steps checkpoint engine);
+  finish_journal engine
 
 let resume_cmd interactive max_steps checkpoint metrics_out trace_out path =
   let engine =
@@ -157,15 +175,39 @@ let resume_cmd interactive max_steps checkpoint metrics_out trace_out path =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        try Cylog.Engine.restore ic
-        with Cylog.Engine.Runtime_error m ->
-          prerr_endline (path ^ ": " ^ m);
-          exit 1)
+        try Cylog.Engine.restore ic with
+        | Cylog.Engine.Snapshot_error reason ->
+            prerr_endline (path ^ ": " ^ Cylog.Engine.snapshot_reason_to_string reason);
+            exit 1
+        | Cylog.Engine.Runtime_error m ->
+            prerr_endline (path ^ ": " ^ m);
+            exit 1)
   in
   Format.printf "restored %s (clock %d, %d events)@." path (Cylog.Engine.clock engine)
     (List.length (Cylog.Engine.events engine));
   with_telemetry_outputs metrics_out trace_out engine (fun () ->
       drive_engine interactive max_steps checkpoint engine)
+
+let recover_cmd interactive max_steps checkpoint metrics_out trace_out dir =
+  let engine, (stats : Cylog.Engine.recovery_stats) =
+    try Cylog.Engine.recover dir with
+    | Cylog.Journal.Error e ->
+        prerr_endline (Cylog.Journal.error_to_string e);
+        exit 1
+    | Cylog.Engine.Snapshot_error reason ->
+        prerr_endline (dir ^ ": " ^ Cylog.Engine.snapshot_reason_to_string reason);
+        exit 1
+  in
+  Format.printf
+    "recovered %s: base segment %d, %d segment(s) scanned, %d record(s) replayed, %d \
+     torn byte(s) truncated (clock %d, %d events)@."
+    dir stats.base_segment stats.segments_scanned stats.records_replayed
+    stats.truncated_bytes
+    (Cylog.Engine.clock engine)
+    (List.length (Cylog.Engine.events engine));
+  with_telemetry_outputs metrics_out trace_out engine (fun () ->
+      drive_engine interactive max_steps checkpoint engine);
+  finish_journal engine
 
 (* --- check --------------------------------------------------------------- *)
 
@@ -477,6 +519,16 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Stream tracing spans to $(docv) as JSON lines while running.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:"Write a durable journal (segmented, checksummed WAL) to $(docv) while \
+              running: every mutation is logged as it happens, so a crashed run \
+              resumes with the $(b,recover) subcommand instead of losing work. \
+              The directory must not already hold a journal.")
+
 let format_arg =
   Arg.(
     value
@@ -498,7 +550,7 @@ let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Execute a CyLog program")
       Term.(
         const run_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg
-        $ metrics_out_arg $ trace_out_arg $ file_arg);
+        $ metrics_out_arg $ trace_out_arg $ journal_arg $ file_arg);
     Cmd.v
       (Cmd.info "resume" ~doc:"Resume a run from a snapshot written by --checkpoint")
       Term.(
@@ -508,6 +560,17 @@ let cmds =
             required
             & pos 0 (some file) None
             & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file"));
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:"Recover a crashed run from its durable journal (written by \
+               $(b,run --journal)) and continue it")
+      Term.(
+        const recover_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg
+        $ metrics_out_arg $ trace_out_arg
+        $ Arg.(
+            required
+            & pos 0 (some dir) None
+            & info [] ~docv:"DIR" ~doc:"Journal directory"));
     Cmd.v
       (Cmd.info "check"
          ~doc:"Statically check a CyLog program (safety, stratification, schemas, \

@@ -59,6 +59,39 @@ let faults_arg =
         ~doc:"Inject a named fault profile into every worker (drop, delay, garble, \
               duplicate, crash, all).")
 
+let storage_faults_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) Crowd.Faults.storage_profiles with
+    | Some fs -> Ok fs
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown storage-fault profile %S (%s)" s
+               (String.concat "|" (List.map fst Crowd.Faults.storage_profiles))))
+  in
+  let print ppf fs =
+    Format.pp_print_string ppf
+      (String.concat "+" (List.map Crowd.Faults.storage_fault_to_string fs))
+  in
+  Arg.conv (parse, print)
+
+let storage_faults_arg =
+  Arg.(
+    value
+    & opt (some storage_faults_conv) None
+    & info [ "storage-faults" ] ~docv:"PROFILE"
+        ~doc:"Run with a durable journal on fault-injecting in-memory storage \
+              under a named profile (torn, garbage, fsync-lag, disk-full); \
+              crashes are recovered mid-campaign and the crowd resumes on the \
+              recovered engine. Composes with --faults in one seeded run.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:"Keep a durable write-ahead journal of the campaign in $(docv).")
+
 let lease_flag =
   Arg.(
     value & flag
@@ -130,7 +163,7 @@ let print_outcome o =
         dead
 
 let run_cmd variant n seed export faults lease quorum adaptive metrics_out trace_out
-    quality_out events =
+    quality_out events journal storage_faults =
   let lease = if lease then Some Cylog.Lease.default_config else None in
   let policy =
     Option.map
@@ -148,8 +181,20 @@ let run_cmd variant n seed export faults lease quorum adaptive metrics_out trace
       ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
       (fun () ->
         Tweetpecker.Runner.run ~seed ~corpus:(corpus n) ?faults ?lease ?quorum
-          ?policy ?sink variant)
+          ?policy ?sink ?journal ?storage_faults variant)
   in
+  (match o.recoveries with
+  | [] -> ()
+  | rs ->
+      Format.printf "recoveries         %d@." (List.length rs);
+      List.iteri
+        (fun i (r : Cylog.Engine.recovery_stats) ->
+          Format.printf
+            "  #%d base segment %d, %d segment(s) scanned, %d record(s) \
+             replayed, %d torn byte(s) truncated@."
+            (i + 1) r.base_segment r.segments_scanned r.records_replayed
+            r.truncated_bytes)
+        rs);
   (match metrics_out with
   | Some path ->
       let oc = open_out path in
@@ -258,7 +303,7 @@ let cmds =
       Term.(
         const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg $ faults_arg
         $ lease_flag $ quorum_arg $ adaptive_arg $ metrics_out_arg $ trace_out_arg
-        $ quality_out_arg $ events_arg);
+        $ quality_out_arg $ events_arg $ journal_arg $ storage_faults_arg);
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
       Term.(const table1_cmd $ tweets_arg $ seed_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")

@@ -143,6 +143,34 @@ let wrap ~seed faults (policy : Simulator.policy) : Simulator.policy =
 let inject ~seed faults workers =
   List.map (fun (worker, policy) -> (worker, wrap ~seed faults policy)) workers
 
+(* --- Storage faults ---------------------------------------------------------- *)
+
+type storage_fault =
+  | Storage_crash of int
+  | Torn_write of int
+  | Garbage_tail of int
+  | Delayed_fsync of float
+  | Disk_full of int
+
+let storage_fault_to_string = function
+  | Storage_crash n -> Printf.sprintf "storage_crash(%d)" n
+  | Torn_write n -> Printf.sprintf "torn_write(%d)" n
+  | Garbage_tail n -> Printf.sprintf "garbage_tail(%d)" n
+  | Delayed_fsync p -> Printf.sprintf "delayed_fsync(%.2f)" p
+  | Disk_full n -> Printf.sprintf "disk_full(%d)" n
+
+let storage_plan ~seed faults =
+  List.fold_left
+    (fun (plan : Cylog.Storage.Sim.plan) fault ->
+      match fault with
+      | Storage_crash n -> { plan with crash_at_op = Some n }
+      | Torn_write n -> { plan with tail = Cylog.Storage.Sim.Torn n }
+      | Garbage_tail n -> { plan with tail = Cylog.Storage.Sim.Garbage n }
+      | Delayed_fsync p -> { plan with delayed_fsync = p }
+      | Disk_full n -> { plan with no_space_after = Some n })
+    { Cylog.Storage.Sim.default_plan with seed }
+    faults
+
 let drop = [ Drop 0.3 ]
 let delay = [ Delay 2 ]
 let garble = [ Garble 0.4 ]
@@ -158,4 +186,17 @@ let profiles =
     ("duplicate", duplicate);
     ("crash", crash);
     ("all", all);
+  ]
+
+let torn = [ Storage_crash 40; Torn_write 7 ]
+let garbage = [ Storage_crash 40; Garbage_tail 5 ]
+let fsync_lag = [ Delayed_fsync 0.25 ]
+let disk_full = [ Disk_full 16384 ]
+
+let storage_profiles =
+  [
+    ("torn", torn);
+    ("garbage", garbage);
+    ("fsync-lag", fsync_lag);
+    ("disk-full", disk_full);
   ]

@@ -41,6 +41,34 @@ val inject :
   (Reldb.Value.t * Simulator.policy) list
 (** [wrap] every worker of a {!Simulator.run} crowd. *)
 
+(** {1 Storage faults}
+
+    Faults of the {e durable journal}'s storage rather than of workers,
+    expressed over {!Cylog.Storage.Sim}'s fault plan so a campaign with a
+    WAL attached can compose crowd unreliability and disk unreliability
+    in one seeded run (see {!Tweetpecker.Runner.run}'s
+    [?storage_faults]). *)
+
+type storage_fault =
+  | Storage_crash of int
+      (** kill the storage at that operation count (the process "dies";
+          the runner recovers from the surviving byte image) *)
+  | Torn_write of int
+      (** the crash leaves that many unsynced bytes of the in-flight
+          file — a torn record for recovery to truncate *)
+  | Garbage_tail of int
+      (** like [Torn_write], plus stray garbage bytes after the tear *)
+  | Delayed_fsync of float  (** probability an fsync is silently dropped *)
+  | Disk_full of int
+      (** total append-byte budget; the append that exceeds it is a
+          short write followed by ENOSPC *)
+
+val storage_fault_to_string : storage_fault -> string
+
+val storage_plan : seed:int -> storage_fault list -> Cylog.Storage.Sim.plan
+(** Fold the faults into a simulator fault plan under [seed] (later
+    entries win on conflicting knobs). *)
+
 (** {1 Named profiles} — the fault matrix exercised by the test suite. *)
 
 val drop : fault list
@@ -52,3 +80,12 @@ val all : fault list
 
 val profiles : (string * fault list) list
 (** All of the above with their names, for table-driven tests. *)
+
+val torn : storage_fault list
+val garbage : storage_fault list
+val fsync_lag : storage_fault list
+val disk_full : storage_fault list
+
+val storage_profiles : (string * storage_fault list) list
+(** The storage-fault matrix, for table-driven tests and the
+    [tweetpecker --storage-faults] knob. *)

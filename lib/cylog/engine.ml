@@ -259,9 +259,96 @@ type t = {
   task_spans : (open_id, Telemetry.handle) Hashtbl.t;
       (* span id of each pending task's "task" span (tracing only), so
          lease/vote/resolve spans can parent to it across steps *)
+  mutable wal : Journal.t option;  (* durable WAL sink; None = volatile *)
+  mutable wal_compact_pending : bool;
+      (* a compaction was requested mid-entry; it runs at the start of
+         the NEXT journaled entry, when the requesting one is fully
+         applied (see [wal_append]) *)
 }
 
-let journal t e = t.journal <- e :: t.journal
+(* --- Durable journal (WAL) -------------------------------------------------- *)
+
+(* Materialised engine state, the payload of WAL genesis and compaction
+   records: every closure-free field is marshalled directly, so restoring
+   from a compacted journal costs O(live state), not O(journal length).
+   Closure-bearing state — builtins, statement plans and delta frontiers,
+   the quorum aggregate, telemetry — is rebuilt by [restore_state]. The
+   fired memo rides along, so the rebuilt delta state re-derives without
+   re-firing and the continued trace stays byte-identical. *)
+type state_payload = {
+  st_use_delta : bool;
+  st_use_planner : bool;
+  st_program : Ast.program;
+  st_db : Reldb.Database.t;
+  st_fired : (string, unit) Hashtbl.t;
+  st_open_tbl : (open_id, open_tuple) Hashtbl.t;
+  st_open_order : open_id list;  (* reverse creation order, as stored *)
+  st_next_open : open_id;
+  st_clock : int;
+  st_events : event list;  (* chronological *)
+  st_leases : Lease.t option;
+  st_quorum : (quorum_policy * string list option) option;
+      (* the policy is data; the aggregate closure is resubstituted *)
+  st_reputation : Quality.Model.t;
+  st_votes : (open_id, (Reldb.Value.t * vote) list) Hashtbl.t;
+  st_dead : (open_tuple * Lease.reason) list;
+  st_journal : jentry list;  (* chronological *)
+}
+
+(* Flags [] reject closures at marshal time — a safety net against a
+   closure-bearing field sneaking into the payload. *)
+let state_string t =
+  Marshal.to_string
+    {
+      st_use_delta = t.use_delta;
+      st_use_planner = t.use_planner;
+      st_program = t.program;
+      st_db = t.db;
+      st_fired = t.fired;
+      st_open_tbl = t.open_tbl;
+      st_open_order = t.open_order;
+      st_next_open = t.next_open;
+      st_clock = t.clock;
+      st_events = List.rev t.events;
+      st_leases = t.leases;
+      st_quorum = Option.map (fun qs -> (qs.qs_policy, qs.qs_relations)) t.quorum;
+      st_reputation = t.reputation;
+      st_votes = t.votes;
+      st_dead = t.dead;
+      st_journal = List.rev t.journal;
+    }
+    []
+
+let wal_append t (e : jentry) =
+  match t.wal with
+  | None -> ()
+  | Some j ->
+      if t.wal_compact_pending then begin
+        (* Deferred from the previous entry: its effects are now fully
+           applied and [e] is not yet journaled, so the state is a
+           consistent cut. Compacting inside [e]'s own append would
+           snapshot a state that excludes an entry already in the WAL,
+           and recovery would skip that entry's effects. *)
+        t.wal_compact_pending <- false;
+        Journal.compact j (state_string t)
+      end;
+      Journal.append j (Marshal.to_string (e : jentry) []);
+      if Journal.wants_compaction j then t.wal_compact_pending <- true
+
+let journal t e =
+  wal_append t e;
+  t.journal <- e :: t.journal
+
+let attach_journal t j =
+  t.wal <- Some j;
+  t.wal_compact_pending <- false;
+  Journal.set_telemetry j t.tel ~clock:(fun () -> t.clock)
+
+let journal_start ?config ?storage t dir =
+  let j = Journal.create ?config ?storage ~genesis:(state_string t) dir in
+  attach_journal t j
+
+let durable_journal t = t.wal
 
 let path_relation_name game = "Path@" ^ game
 
@@ -435,7 +522,7 @@ let make_info ~use_delta ((s : Ast.statement), origin) =
   }
 
 let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
-    (program : Ast.program) =
+    ?journal ?journal_config (program : Ast.program) =
   (match lint with
   | `Off -> ()
   | `Strict | `Warn -> (
@@ -457,8 +544,9 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
   let db = Reldb.Database.create () in
   declare_relations db program statements path_rels;
   let infos = Array.of_list (List.map (make_info ~use_delta) statements) in
-  {
-    db;
+  let t =
+    {
+      db;
     builtins;
     use_delta;
     use_planner;
@@ -481,7 +569,14 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
     tel = Telemetry.create ();
     counting = fresh_count_state ();
     task_spans = Hashtbl.create 16;
-  }
+    wal = None;
+    wal_compact_pending = false;
+    }
+  in
+  (match journal with
+  | Some dir -> journal_start ?config:journal_config t dir
+  | None -> ());
+  t
 
 let database t = t.db
 let statements t = Array.to_list (Array.map (fun i -> (i.stmt, i.origin)) t.infos)
@@ -2079,7 +2174,42 @@ let path_table t game ~params =
 
 (* --- Checkpoint / replay ------------------------------------------------------- *)
 
-let snapshot_header = "CYLOG-SNAPSHOT/1\n"
+type snapshot_reason =
+  | Not_a_snapshot
+  | Unsupported_version of int
+  | Truncated
+  | Checksum_mismatch
+  | Corrupt_payload
+
+exception Snapshot_error of snapshot_reason
+
+let snapshot_reason_to_string = function
+  | Not_a_snapshot -> "not a CyLog snapshot (bad magic)"
+  | Unsupported_version v -> Printf.sprintf "unsupported snapshot format version %d" v
+  | Truncated -> "truncated snapshot"
+  | Checksum_mismatch -> "snapshot payload fails its checksum"
+  | Corrupt_payload -> "corrupt snapshot payload"
+
+let snapshot_error r = raise (Snapshot_error r)
+
+(* Format: 17-byte magic, u32le payload length, u32le CRC-32 of the
+   payload, then the marshalled payload. The v1 format (magic only, no
+   length or checksum) is recognised and refused as [Unsupported_version]
+   rather than misread as garbage. *)
+let snapshot_magic = "CYLOG-SNAPSHOT/2\n"
+let snapshot_magic_v1 = "CYLOG-SNAPSHOT/1\n"
+
+let put_u32le b n =
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff))
+
+let get_u32le s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
 
 type snapshot_payload = {
   snap_use_delta : bool;
@@ -2088,9 +2218,8 @@ type snapshot_payload = {
   snap_journal : jentry list;  (* chronological *)
 }
 
-let snapshot t oc =
-  output_string oc snapshot_header;
-  Marshal.to_channel oc
+let snapshot_payload_string t =
+  Marshal.to_string
     {
       snap_use_delta = t.use_delta;
       snap_use_planner = t.use_planner;
@@ -2100,25 +2229,25 @@ let snapshot t oc =
     []
 
 let snapshot_string t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf snapshot_header;
-  Buffer.add_string buf
-    (Marshal.to_string
-       {
-         snap_use_delta = t.use_delta;
-         snap_use_planner = t.use_planner;
-         snap_program = t.program;
-         snap_journal = List.rev t.journal;
-       }
-       []);
+  let payload = snapshot_payload_string t in
+  let buf = Buffer.create (String.length payload + 32) in
+  Buffer.add_string buf snapshot_magic;
+  put_u32le buf (String.length payload);
+  put_u32le buf (Int32.to_int (Storage.crc32 payload) land 0xFFFFFFFF);
+  Buffer.add_string buf payload;
   Buffer.contents buf
+
+let snapshot t oc = output_string oc (snapshot_string t)
 
 (* The journal alone (chronological), marshalled — unlike a snapshot it
    carries no engine flags, so two engines driven by identical calls
    produce byte-identical dumps regardless of their evaluation strategy.
    The differential test suite uses this to prove the semi-naive engine
    journals exactly what the naive engine does. *)
-let journal_dump t = Marshal.to_string (List.rev t.journal : jentry list) []
+(* No_sharing canonicalises the bytes: physical sharing between entries
+   is an accident of how the engine was driven (live campaign vs replay
+   vs recovery), and must not show up in a byte comparison. *)
+let journal_dump t = Marshal.to_string (List.rev t.journal : jentry list) [ Marshal.No_sharing ]
 
 (* Replay through the public entry points so each entry re-journals itself:
    a restored engine carries the same journal as the original and can be
@@ -2136,48 +2265,198 @@ let replay_entry t = function
   | J_set_lease cfg -> set_lease_config t cfg
   | J_set_quorum q -> install_quorum t q ~aggregate:default_aggregate
 
+(* Replay one entry, substituting the unserialisable aggregate closure
+   when the entry installs a quorum policy — the policy itself (Fixed or
+   Adaptive, scope, thresholds) is data and replays as journaled. *)
+let replay_entry_with ~aggregate t = function
+  | J_set_quorum (Some _ as q) ->
+      install_quorum t q ~aggregate:(Option.value aggregate ~default:default_aggregate)
+  | entry -> replay_entry t entry
+
 let restore_payload ?builtins ?aggregate (p : snapshot_payload) =
   let t =
     load ?builtins ~use_delta:p.snap_use_delta ~use_planner:p.snap_use_planner
       p.snap_program
   in
-  List.iter
-    (fun entry ->
-      (match entry with
-      | J_set_quorum (Some _ as q) ->
-          (* The journal carries the policy (Fixed or Adaptive) and scope;
-             only the aggregate closure cannot be serialised, so [?aggregate]
-             substitutes the fallback hook and everything else replays. *)
-          install_quorum t q
-            ~aggregate:(Option.value aggregate ~default:default_aggregate)
-      | entry -> replay_entry t entry))
-    p.snap_journal;
+  List.iter (replay_entry_with ~aggregate t) p.snap_journal;
   t
 
-let read_header ic =
-  let n = String.length snapshot_header in
-  let buf = Bytes.create n in
-  (try really_input ic buf 0 n
-   with End_of_file -> runtime_error "restore: truncated snapshot");
-  if Bytes.to_string buf <> snapshot_header then
-    runtime_error "restore: not a CyLog snapshot (bad header)"
+let payload_of_frame s =
+  let n = String.length snapshot_magic in
+  let len = String.length s in
+  if len < n then
+    if String.equal s (String.sub snapshot_magic 0 len)
+       || String.equal s (String.sub snapshot_magic_v1 0 len)
+    then snapshot_error Truncated
+    else snapshot_error Not_a_snapshot
+  else if String.equal (String.sub s 0 n) snapshot_magic_v1 then
+    snapshot_error (Unsupported_version 1)
+  else if not (String.equal (String.sub s 0 n) snapshot_magic) then
+    snapshot_error Not_a_snapshot
+  else if len < n + 8 then snapshot_error Truncated
+  else
+    let plen = get_u32le s n in
+    let crc = get_u32le s (n + 4) in
+    if len < n + 8 + plen then snapshot_error Truncated
+    else
+      let payload = String.sub s (n + 8) plen in
+      if Int32.to_int (Storage.crc32 payload) land 0xFFFFFFFF <> crc then
+        snapshot_error Checksum_mismatch
+      else payload
 
-let restore ?builtins ?aggregate ic =
-  read_header ic;
-  let p : snapshot_payload =
-    try Marshal.from_channel ic
-    with Failure _ | Invalid_argument _ | End_of_file ->
-      runtime_error "restore: corrupt snapshot payload"
-  in
-  restore_payload ?builtins ?aggregate p
+let unmarshal_snapshot payload : snapshot_payload =
+  try Marshal.from_string payload 0
+  with Failure _ | Invalid_argument _ -> snapshot_error Corrupt_payload
 
 let restore_string ?builtins ?aggregate s =
-  let n = String.length snapshot_header in
-  if String.length s < n || String.sub s 0 n <> snapshot_header then
-    runtime_error "restore: not a CyLog snapshot (bad header)";
-  let p : snapshot_payload =
-    try Marshal.from_string s n
-    with Failure _ | Invalid_argument _ ->
-      runtime_error "restore: corrupt snapshot payload"
+  restore_payload ?builtins ?aggregate (unmarshal_snapshot (payload_of_frame s))
+
+let restore ?builtins ?aggregate ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file ->
+     (* add_channel adds nothing on a short read; pick up the tail. *)
+     (try
+        let rec tail () =
+          Buffer.add_channel buf ic 1;
+          tail ()
+        in
+        tail ()
+      with End_of_file -> ()));
+  restore_string ?builtins ?aggregate (Buffer.contents buf)
+
+(* --- Recovery (durable journal) --------------------------------------------- *)
+
+(* The inverse of [state_string]: rebuild a live engine around the
+   marshalled closure-free state. Plans, delta frontiers and statement
+   memos start fresh — the fired memo (restored) is consulted at fire
+   time, so re-derivation discovers but never re-fires old instances and
+   the continued trace is byte-identical. Journal-derived metrics are
+   recounted from the restored events; engine-local gauges (worker
+   reliability per-mille) reappear at the next reputation update. *)
+let restore_state ?builtins ?aggregate (p : state_payload) =
+  let builtins = match builtins with Some b -> b | None -> Builtin.default () in
+  let path_rels = Hashtbl.create 4 in
+  List.iter
+    (fun (g : Ast.game_decl) ->
+      Hashtbl.replace path_rels (path_relation_name g.game_name) g.game_params)
+    p.st_program.games;
+  let added =
+    List.filter_map
+      (function J_add_statement s -> Some (s, Main) | _ -> None)
+      p.st_journal
   in
-  restore_payload ?builtins ?aggregate p
+  let statements = effective_statements p.st_program @ added in
+  let infos =
+    Array.of_list (List.map (make_info ~use_delta:p.st_use_delta) statements)
+  in
+  let tel = Telemetry.create () in
+  let counting = fresh_count_state () in
+  List.iter (count_event counting (Telemetry.metrics tel)) p.st_events;
+  {
+    db = p.st_db;
+    builtins;
+    use_delta = p.st_use_delta;
+    use_planner = p.st_use_planner;
+    infos;
+    fired = p.st_fired;
+    open_tbl = p.st_open_tbl;
+    open_order = p.st_open_order;
+    next_open = p.st_next_open;
+    clock = p.st_clock;
+    events = List.rev p.st_events;
+    path_rels;
+    views = p.st_program.views;
+    program = p.st_program;
+    leases = p.st_leases;
+    quorum =
+      Option.map
+        (fun (policy, relations) ->
+          {
+            qs_policy = policy;
+            qs_relations = relations;
+            qs_aggregate = Option.value aggregate ~default:default_aggregate;
+          })
+        p.st_quorum;
+    reputation = p.st_reputation;
+    votes = p.st_votes;
+    dead = p.st_dead;
+    journal = List.rev p.st_journal;
+    tel;
+    counting;
+    task_spans = Hashtbl.create 16;
+    wal = None;
+    wal_compact_pending = false;
+  }
+
+type recovery_stats = {
+  base_segment : int;
+  segments_scanned : int;
+  records_replayed : int;
+  truncated_bytes : int;
+}
+
+let recover ?builtins ?aggregate ?config ?storage dir =
+  let j, (r : Journal.recovery) = Journal.recover ?config ?storage dir in
+  let base, entries =
+    match r.Journal.records with
+    | { Journal.kind = Journal.Genesis | Journal.Snapshot; payload } :: rest ->
+        (payload, rest)
+    | _ ->
+        (* Journal.recover guarantees the base record; anything else is a
+           corrupt journal. *)
+        raise (Journal.Error (Journal.No_valid_base dir))
+  in
+  let p : state_payload =
+    try Marshal.from_string base 0
+    with Failure _ | Invalid_argument _ -> snapshot_error Corrupt_payload
+  in
+  (* Replay before attaching the WAL: these entries are already durable,
+     and replaying through the public API would otherwise re-append them. *)
+  let t = restore_state ?builtins ?aggregate p in
+  let replayed = ref 0 in
+  List.iter
+    (fun (record : Journal.record) ->
+      match record.Journal.kind with
+      | Journal.Entry ->
+          incr replayed;
+          let e : jentry =
+            try Marshal.from_string record.Journal.payload 0
+            with Failure _ | Invalid_argument _ -> snapshot_error Corrupt_payload
+          in
+          replay_entry_with ~aggregate t e
+      | Journal.Genesis | Journal.Snapshot ->
+          (* State records only ever open the base segment. *)
+          snapshot_error Corrupt_payload)
+    entries;
+  attach_journal t j;
+  let m = Telemetry.metrics t.tel in
+  Telemetry.Metrics.incr m ~by:!replayed "recovery.records_replayed";
+  Telemetry.Metrics.incr m ~by:r.Journal.truncated_bytes "recovery.truncated_bytes";
+  if Telemetry.tracing t.tel then
+    Telemetry.emit t.tel "journal-recover"
+      ~attrs:
+        [
+          ("base_segment", string_of_int r.Journal.base_segment);
+          ("records_replayed", string_of_int !replayed);
+          ("truncated_bytes", string_of_int r.Journal.truncated_bytes);
+        ]
+      ~clock:t.clock;
+  ( t,
+    {
+      base_segment = r.Journal.base_segment;
+      segments_scanned = r.Journal.segments_scanned;
+      records_replayed = !replayed;
+      truncated_bytes = r.Journal.truncated_bytes;
+    } )
+
+(* --- Journal as a replayable script ----------------------------------------- *)
+
+type journal_entry = jentry
+
+let journal_entries t = List.rev t.journal
+
+let apply_entry ?aggregate t (e : journal_entry) = replay_entry_with ~aggregate t e

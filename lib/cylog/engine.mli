@@ -128,10 +128,20 @@ val default_aggregate : aggregate
     counterpart of [Quality.Aggregate.majority]. *)
 
 val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
-  ?use_planner:bool -> ?lint:[ `Strict | `Warn | `Off ] -> Ast.program -> t
+  ?use_planner:bool -> ?lint:[ `Strict | `Warn | `Off ] ->
+  ?journal:string -> ?journal_config:Journal.config -> Ast.program -> t
 (** Build an engine: declare schemas (inferring schemas of undeclared
     relations from usage), desugar game aspects into path/payoff statements,
     and declare the [Payoff] relation and per-game path tables.
+
+    [journal] starts a durable write-ahead log in the given directory (see
+    {!Journal} and {!journal_start}): every journaled mutation is appended
+    as it happens, so a crash loses at most the entries after the WAL's
+    last fsync — recover with {!recover}. [journal_config] tunes fsync
+    policy, segment rotation and compaction (default
+    {!Journal.default_config}).
+    @raise Journal.Error ([Journal_exists]) when the directory already
+    holds a journal.
 
     [lint] (default [`Strict]) runs {!Lint.check} over the source program
     first: [`Strict] raises {!Lint.Rejected} when any error-severity
@@ -402,8 +412,11 @@ val path_relation_name : string -> string
     [restore] replays the
     journal through the public API; because evaluation is deterministic
     the restored engine reproduces the original event trace byte for byte
-    and can itself be snapshotted again. The format is a
-    ["CYLOG-SNAPSHOT/1\n"] header followed by a marshalled payload.
+    and can itself be snapshotted again. The format is the
+    ["CYLOG-SNAPSHOT/2\n"] magic, the payload length and its CRC-32
+    (little-endian u32 each), then the marshalled payload — so corruption,
+    truncation and version skew are each detected and reported as a typed
+    {!Snapshot_error} instead of an arbitrary [Marshal] failure.
 
     Closures are not serialised: pass [?builtins] matching the original
     engine's registry, and [?aggregate] to reinstate a custom aggregation
@@ -414,19 +427,105 @@ val path_relation_name : string -> string
     falls back to on escalation ([Adaptive]). Worker reputation is derived
     state and is rebuilt by the replay byte for byte. *)
 
+type snapshot_reason =
+  | Not_a_snapshot  (** the magic does not open any snapshot format *)
+  | Unsupported_version of int
+      (** a CyLog snapshot, but from an incompatible format version
+          (e.g. a pre-checksum v1 checkpoint) *)
+  | Truncated  (** shorter than its header or declared payload length *)
+  | Checksum_mismatch  (** framing intact but the payload CRC disagrees *)
+  | Corrupt_payload  (** checksum passed yet unmarshalling failed *)
+
+exception Snapshot_error of snapshot_reason
+
+val snapshot_reason_to_string : snapshot_reason -> string
+
 val snapshot : t -> out_channel -> unit
 
 val snapshot_string : t -> string
 
 val journal_dump : t -> string
-(** The journal alone (chronological), marshalled. Unlike
-    {!snapshot_string} it carries no engine flags, so two engines driven
-    through identical calls produce byte-identical dumps regardless of
-    evaluation strategy — the comparison surface for the differential
-    tests pitting semi-naive delta evaluation against full rescans. *)
+(** The journal alone (chronological), marshalled without sharing so the
+    bytes are canonical: two engines holding logically equal journals
+    produce byte-identical dumps whether they were driven live, replayed
+    from a snapshot, or recovered from a WAL. Unlike {!snapshot_string}
+    it carries no engine flags — the comparison surface for the
+    differential tests pitting semi-naive delta evaluation against full
+    rescans, and for the crash-point harness's prefix checks. *)
 
 val restore : ?builtins:Builtin.registry -> ?aggregate:aggregate -> in_channel -> t
-(** @raise Runtime_error on a bad header or corrupt payload. *)
+(** @raise Snapshot_error on a corrupt, truncated or version-skewed
+    snapshot. *)
 
 val restore_string : ?builtins:Builtin.registry -> ?aggregate:aggregate -> string -> t
-(** @raise Runtime_error on a bad header or corrupt payload. *)
+(** @raise Snapshot_error on a corrupt, truncated or version-skewed
+    snapshot. *)
+
+(** {1 Durable journal (WAL) and crash recovery}
+
+    With a {!Journal} attached, every journaled mutation is appended to an
+    on-disk segmented WAL {e as it is emitted} — the volatile journal
+    above and the durable one always agree — and compaction periodically
+    folds the resolved state (quorums, leases, dead letters, the database)
+    into a materialised snapshot record so recovery costs O(live state),
+    not O(journal length). See docs/DURABILITY.md for the format and the
+    crash-consistency guarantees. *)
+
+val journal_start :
+  ?config:Journal.config -> ?storage:(module Storage.S) -> t -> string -> unit
+(** Start a fresh durable journal for this engine in the given directory
+    (its genesis record is the engine's current state) and attach it, as
+    [load ?journal] does — exposed separately so tests and tools can
+    supply a non-default {!Storage} (e.g. the fault-injecting simulator).
+    @raise Journal.Error ([Journal_exists]) on a non-empty directory. *)
+
+val attach_journal : t -> Journal.t -> unit
+(** Route every subsequently journaled mutation to this WAL and point its
+    telemetry at the engine (counters [journal.*], spans
+    [journal-append]/[journal-rotate]/[journal-compact] on the engine's
+    logical clock). *)
+
+val durable_journal : t -> Journal.t option
+(** The attached WAL, for syncing/closing and {!Journal.stats}. *)
+
+type recovery_stats = {
+  base_segment : int;  (** segment whose snapshot seeded the state *)
+  segments_scanned : int;
+  records_replayed : int;  (** WAL entries re-applied after the base *)
+  truncated_bytes : int;  (** torn tail discarded by {!Journal.recover} *)
+}
+
+val recover :
+  ?builtins:Builtin.registry -> ?aggregate:aggregate ->
+  ?config:Journal.config -> ?storage:(module Storage.S) -> string ->
+  t * recovery_stats
+(** Crash-consistent recovery from a journal directory: run
+    {!Journal.recover} (checksum scan, torn-tail truncation), rebuild the
+    engine from the base genesis/snapshot record, replay the surviving
+    entries through the public API, and re-attach the journal for further
+    durable appends. The recovered engine is byte-trace-identical to the
+    crashed one at its last durable entry: continuing the same campaign
+    reproduces the original events exactly. [?builtins]/[?aggregate] are
+    as for {!restore}; counters [recovery.records_replayed] and
+    [recovery.truncated_bytes] and a [journal-recover] span (traced runs)
+    record what recovery did.
+    @raise Journal.Error on an empty, gapped or corrupt journal.
+    @raise Snapshot_error when a checksum-valid record fails to
+    unmarshal. *)
+
+(** {1 The journal as a replayable script}
+
+    The journal is exactly the campaign's externally-triggered inputs, so
+    a list of entries is a replayable script: the crash-point harness
+    re-drives the tail of a campaign onto a recovered engine and checks
+    the traces match. *)
+
+type journal_entry
+
+val journal_entries : t -> journal_entry list
+(** The journal so far, chronological. *)
+
+val apply_entry : ?aggregate:aggregate -> t -> journal_entry -> unit
+(** Re-apply one entry through the public API (re-journaling it, exactly
+    like {!restore}'s replay). Quorum-installing entries replay with
+    [aggregate] (default: the built-in plurality). *)

@@ -1,0 +1,306 @@
+exception Crashed
+exception No_space
+
+module type S = sig
+  val mkdirp : string -> unit
+  val list_dir : string -> string list
+  val exists : string -> bool
+  val size : string -> int
+  val read_file : string -> string
+  val append : string -> string -> unit
+  val fsync : string -> unit
+  val truncate : string -> int -> unit
+  val delete : string -> unit
+  val rename : string -> string -> unit
+  val close : string -> unit
+end
+
+(* --- CRC-32 (IEEE 802.3) ---------------------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_sub s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)
+
+(* --- POSIX files ------------------------------------------------------------ *)
+
+module Posix : S = struct
+  (* Append-mode descriptors cached per path; all other operations go
+     through the path directly. One global table is fine: paths are
+     absolute enough per journal directory, and the journal closes its
+     files on rotation/compaction. *)
+  let handles : (string, Unix.file_descr) Hashtbl.t = Hashtbl.create 8
+
+  let rec mkdirp path =
+    if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+      mkdirp (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let list_dir dir =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      List.sort compare (Array.to_list (Sys.readdir dir))
+    else []
+
+  let exists = Sys.file_exists
+
+  let size path = (Unix.stat path).Unix.st_size
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let fd path =
+    match Hashtbl.find_opt handles path with
+    | Some fd -> fd
+    | None ->
+        let fd =
+          Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+        in
+        Hashtbl.replace handles path fd;
+        fd
+
+  let append path s =
+    let fd = fd path in
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let written = ref 0 in
+    while !written < n do
+      match Unix.write fd b !written (n - !written) with
+      | w -> written := !written + w
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> raise No_space
+    done
+
+  let fsync path = Unix.fsync (fd path)
+
+  let close path =
+    match Hashtbl.find_opt handles path with
+    | Some fd ->
+        Hashtbl.remove handles path;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ()
+
+  let truncate path len =
+    close path;
+    Unix.truncate path len
+
+  let delete path =
+    close path;
+    if Sys.file_exists path then Sys.remove path
+
+  let rename src dst =
+    close src;
+    close dst;
+    Sys.rename src dst
+end
+
+(* --- In-memory simulator with fault injection -------------------------------- *)
+
+module Sim = struct
+  type tail = Drop_unsynced | Torn of int | Garbage of int
+
+  type plan = {
+    crash_at_op : int option;
+    tail : tail;
+    no_space_after : int option;
+    delayed_fsync : float;
+    seed : int;
+  }
+
+  let default_plan =
+    { crash_at_op = None; tail = Drop_unsynced; no_space_after = None;
+      delayed_fsync = 0.0; seed = 0 }
+
+  type file = { mutable data : Buffer.t; mutable synced : int }
+
+  type t = {
+    files : (string, file) Hashtbl.t;
+    dirs : (string, unit) Hashtbl.t;
+    mutable ops : int;
+    mutable bytes_left : int option;
+    plan : plan;
+    rng : Random.State.t;
+    mutable crashed : bool;
+    mutable crash_image : (string * string) list;  (* path -> surviving bytes *)
+  }
+
+  let create ?(plan = default_plan) () =
+    {
+      files = Hashtbl.create 8;
+      dirs = Hashtbl.create 4;
+      ops = 0;
+      bytes_left = plan.no_space_after;
+      plan;
+      rng = Random.State.make [| plan.seed; 0x517A |];
+      crashed = false;
+      crash_image = [];
+    }
+
+  let ops t = t.ops
+  let crashed t = t.crashed
+
+  let garbage_bytes = "\xff\xde\xad\xbe\xef\xff\x00\x7f"
+
+  (* The byte image a disk presents after the crash: every file keeps its
+     fsynced prefix; only the in-flight file (the append racing the
+     crash, if any) keeps part of its unsynced region, per the plan's
+     [tail] mode. *)
+  let build_crash_image t ~in_flight =
+    Hashtbl.fold
+      (fun path f acc ->
+        let all = Buffer.contents f.data in
+        let synced = String.sub all 0 (min f.synced (String.length all)) in
+        let surviving =
+          match in_flight with
+          | Some (p, extra) when String.equal p path ->
+              let unsynced =
+                String.sub all f.synced (String.length all - f.synced) ^ extra
+              in
+              let keep n = String.sub unsynced 0 (min n (String.length unsynced)) in
+              (match t.plan.tail with
+              | Drop_unsynced -> synced
+              | Torn n -> synced ^ keep n
+              | Garbage n -> synced ^ keep n ^ garbage_bytes)
+          | _ -> synced
+        in
+        (path, surviving) :: acc)
+      t.files []
+
+  (* Count one operation; fire the crash when the countdown hits.
+     [in_flight] names the file (and extra bytes) being appended when the
+     crash interrupts an append. *)
+  let op ?in_flight t =
+    if t.crashed then raise Crashed;
+    t.ops <- t.ops + 1;
+    match t.plan.crash_at_op with
+    | Some c when t.ops >= c ->
+        t.crash_image <- build_crash_image t ~in_flight;
+        t.crashed <- true;
+        raise Crashed
+    | _ -> ()
+
+  let find t path =
+    match Hashtbl.find_opt t.files path with
+    | Some f -> f
+    | None -> raise (Sys_error (path ^ ": no such file (sim)"))
+
+  let after_crash t =
+    if not t.crashed then invalid_arg "Storage.Sim.after_crash: not crashed";
+    let fresh = create () in
+    List.iter
+      (fun (path, contents) ->
+        let data = Buffer.create (String.length contents + 64) in
+        Buffer.add_string data contents;
+        Hashtbl.replace fresh.files path { data; synced = String.length contents })
+      t.crash_image;
+    Hashtbl.iter (fun d () -> Hashtbl.replace fresh.dirs d ()) t.dirs;
+    fresh
+
+  let copy ?plan t =
+    let fresh = create ?plan () in
+    Hashtbl.iter
+      (fun path f ->
+        let contents = Buffer.contents f.data in
+        let data = Buffer.create (String.length contents + 64) in
+        Buffer.add_string data contents;
+        Hashtbl.replace fresh.files path { data; synced = String.length contents })
+      t.files;
+    Hashtbl.iter (fun d () -> Hashtbl.replace fresh.dirs d ()) t.dirs;
+    fresh
+
+  let storage t : (module S) =
+    (module struct
+      let mkdirp dir = Hashtbl.replace t.dirs dir ()
+
+      let list_dir dir =
+        let prefix = if dir = "" || dir.[String.length dir - 1] = '/' then dir else dir ^ "/" in
+        Hashtbl.fold
+          (fun path _ acc ->
+            let n = String.length prefix in
+            if String.length path > n && String.sub path 0 n = prefix
+               && not (String.contains (String.sub path n (String.length path - n)) '/')
+            then String.sub path n (String.length path - n) :: acc
+            else acc)
+          t.files []
+        |> List.sort compare
+
+      let exists path = Hashtbl.mem t.files path || Hashtbl.mem t.dirs path
+      let size path = Buffer.length (find t path).data
+      let read_file path = Buffer.contents (find t path).data
+
+      let append path s =
+        (* Short-write accounting happens before the crash check so an
+           ENOSPC append is itself a crashable operation. *)
+        let s, enospc =
+          match t.bytes_left with
+          | Some left when String.length s > left ->
+              t.bytes_left <- Some 0;
+              (String.sub s 0 left, true)
+          | Some left ->
+              t.bytes_left <- Some (left - String.length s);
+              (s, false)
+          | None -> (s, false)
+        in
+        op t ~in_flight:(path, s);
+        let f =
+          match Hashtbl.find_opt t.files path with
+          | Some f -> f
+          | None ->
+              let f = { data = Buffer.create 256; synced = 0 } in
+              Hashtbl.replace t.files path f;
+              f
+        in
+        Buffer.add_string f.data s;
+        if enospc then raise No_space
+
+      let fsync path =
+        op t;
+        let f = find t path in
+        if not (t.plan.delayed_fsync > 0.0
+                && Random.State.float t.rng 1.0 < t.plan.delayed_fsync)
+        then f.synced <- Buffer.length f.data
+
+      let truncate path len =
+        op t;
+        let f = find t path in
+        let kept = String.sub (Buffer.contents f.data) 0 (min len (Buffer.length f.data)) in
+        let data = Buffer.create (String.length kept + 64) in
+        Buffer.add_string data kept;
+        f.data <- data;
+        f.synced <- min f.synced len
+
+      let delete path =
+        op t;
+        Hashtbl.remove t.files path
+
+      let rename src dst =
+        op t;
+        let f = find t src in
+        Hashtbl.remove t.files src;
+        (* A rename commits atomically with its source's bytes: the tmp
+           file is always fsynced before compaction renames it. *)
+        Hashtbl.replace t.files dst f
+
+      let close _ = ()
+    end)
+end

@@ -9,6 +9,7 @@ type outcome = {
   payoffs : (string * int) list;
   sim : Crowd.Simulator.outcome;
   engine : Cylog.Engine.t;
+  recoveries : Cylog.Engine.recovery_stats list;
 }
 
 let default_workers variant =
@@ -79,12 +80,34 @@ let collect_extracts db =
         (Reldb.Relation.tuples rel)
 
 let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
-    ?policy ?faults ?sink variant =
+    ?policy ?faults ?sink ?journal ?journal_config ?storage_faults variant =
   let corpus = match corpus with Some c -> c | None -> Tweets.Generator.corpus () in
   let workers = match workers with Some w -> w | None -> default_workers variant in
   let names = List.map (fun (w : Crowd.Worker.profile) -> w.name) workers in
   let program = Programs.program variant ~corpus ~workers:names in
+  (* Storage faults imply a WAL: without a named directory the journal
+     lives at a virtual path inside the in-memory simulator. *)
+  let sim_store =
+    Option.map
+      (fun sf ->
+        ref (Cylog.Storage.Sim.create ~plan:(Crowd.Faults.storage_plan ~seed sf) ()))
+      storage_faults
+  in
+  let jdir =
+    match (journal, sim_store) with
+    | Some dir, _ -> Some dir
+    | None, Some _ -> Some "journal"
+    | None, None -> None
+  in
+  let start_journal engine dir =
+    match sim_store with
+    | Some store ->
+        Cylog.Engine.journal_start ?config:journal_config
+          ~storage:(Cylog.Storage.Sim.storage !store) engine dir
+    | None -> Cylog.Engine.journal_start ?config:journal_config engine dir
+  in
   let engine = Cylog.Engine.load ?use_delta ?use_planner program in
+  Option.iter (start_journal engine) jdir;
   (match sink with Some s -> Cylog.Engine.set_sink engine s | None -> ());
   let shared = Policies.prepare ~seed ~corpus ~workers in
   let sim_workers =
@@ -106,10 +129,41 @@ let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
   in
   let stop engine = agreed_count engine >= target in
   let progress engine = float_of_int (agreed_count engine) /. float_of_int target in
-  let sim =
-    Crowd.Simulator.run ~seed ~progress ?lease ?quorum ?policy ~stop
-      ~workers:sim_workers engine
+  let recoveries = ref [] in
+  (* With a fault-injecting store the campaign may die mid-round (storage
+     crash, disk full). Recover from the byte image a real disk would
+     present, re-attach the journal, and resume the same crowd on the
+     recovered engine: answers made durable before the crash are never
+     asked again. *)
+  let rec drive attempts engine =
+    try
+      let sim =
+        Crowd.Simulator.run ~seed ~progress ?lease ?quorum ?policy ~stop
+          ~workers:sim_workers engine
+      in
+      Option.iter Cylog.Journal.sync (Cylog.Engine.durable_journal engine);
+      (engine, sim)
+    with (Cylog.Storage.Crashed | Cylog.Storage.No_space) as exn -> (
+      match (sim_store, jdir) with
+      | Some store, Some dir when attempts < 5 ->
+          let image =
+            if Cylog.Storage.Sim.crashed !store then
+              Cylog.Storage.Sim.after_crash !store
+            else
+              (* ENOSPC: nothing is lost, but the budget is lifted so the
+                 reopened journal can keep appending. *)
+              Cylog.Storage.Sim.copy !store
+          in
+          store := image;
+          let engine, stats =
+            Cylog.Engine.recover ~storage:(Cylog.Storage.Sim.storage image) dir
+          in
+          (match sink with Some s -> Cylog.Engine.set_sink engine s | None -> ());
+          recoveries := !recoveries @ [ stats ];
+          drive (attempts + 1) engine
+      | _ -> raise exn)
   in
+  let engine, sim = drive 0 engine in
   let db = Cylog.Engine.database engine in
   {
     variant;
@@ -123,6 +177,7 @@ let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
       List.map (fun (p, s) -> (str p, int_of s)) (Cylog.Engine.payoffs engine);
     sim;
     engine;
+    recoveries = !recoveries;
   }
 
 let completion o =

@@ -17,6 +17,9 @@ type outcome = {
   payoffs : (string * int) list;  (** accumulated score per worker *)
   sim : Crowd.Simulator.outcome;
   engine : Cylog.Engine.t;  (** final engine state, for further queries *)
+  recoveries : Cylog.Engine.recovery_stats list;
+      (** one entry per crash the campaign survived (storage faults
+          only), in order *)
 }
 
 val default_workers : Programs.variant -> Crowd.Worker.profile list
@@ -29,7 +32,9 @@ val run :
   ?workers:Crowd.Worker.profile list -> ?use_delta:bool -> ?use_planner:bool ->
   ?lease:Cylog.Lease.config -> ?quorum:int ->
   ?policy:Cylog.Engine.quorum_policy -> ?faults:Crowd.Faults.fault list ->
-  ?sink:Cylog.Telemetry.Sink.t -> Programs.variant -> outcome
+  ?sink:Cylog.Telemetry.Sink.t -> ?journal:string ->
+  ?journal_config:Cylog.Journal.config ->
+  ?storage_faults:Crowd.Faults.storage_fault list -> Programs.variant -> outcome
 (** Run a variant to termination (all (tweet, attribute) pairs agreed) on
     the standard corpus (463 tweets) with the default crowd. [use_delta]
     and [use_planner] are passed through to {!Cylog.Engine.load} —
@@ -42,7 +47,18 @@ val run :
     under the same [seed]. [sink] installs a tracing sink on the engine
     before the campaign starts (see {!Cylog.Telemetry.Sink}); the
     engine's metrics registry is reachable afterwards through
-    [outcome.engine]. *)
+    [outcome.engine].
+
+    [journal] runs the campaign with a durable WAL in that directory
+    ({!Cylog.Engine.load}'s [?journal]); [journal_config] tunes it.
+    [storage_faults] additionally swaps the journal's storage for the
+    fault-injecting in-memory simulator under the given profile (seeded
+    by the same [seed] as the crowd; see {!Crowd.Faults.storage_plan}) —
+    when the storage crashes or fills mid-campaign, the runner recovers
+    from the surviving byte image via {!Cylog.Engine.recover} and
+    resumes the same crowd on the recovered engine, recording one
+    {!Cylog.Engine.recovery_stats} per crash in [outcome.recoveries].
+    Worker faults and storage faults compose in one run. *)
 
 val completion : outcome -> float
 (** Fraction of (tweet, attribute) pairs with an agreed value — 1.0 on a

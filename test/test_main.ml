@@ -4,4 +4,5 @@ let () =
     (Test_reldb.suite @ Test_regex.suite @ Test_cylog.suite @ Test_lint.suite
    @ Test_game.suite @ Test_tweets.suite @ Test_crowd.suite
    @ Test_tweetpecker.suite @ Test_turing.suite @ Test_quality.suite
-   @ Test_differential.suite @ Test_robustness.suite @ Test_telemetry.suite)
+   @ Test_differential.suite @ Test_robustness.suite @ Test_telemetry.suite
+   @ Test_durability.suite)

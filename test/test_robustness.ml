@@ -544,11 +544,11 @@ let engine_trace engine =
 
 let test_snapshot_rejects_garbage () =
   (match Engine.restore_string "not a snapshot" with
-  | exception Engine.Runtime_error _ -> ()
-  | _ -> Alcotest.fail "bad header must raise Runtime_error");
+  | exception Engine.Snapshot_error Engine.Not_a_snapshot -> ()
+  | _ -> Alcotest.fail "bad magic must raise Snapshot_error Not_a_snapshot");
   match Engine.restore_string "CYLOG-SNAPSHOT/1\ncorrupt" with
-  | exception Engine.Runtime_error _ -> ()
-  | _ -> Alcotest.fail "corrupt payload must raise Runtime_error"
+  | exception Engine.Snapshot_error (Engine.Unsupported_version 1) -> ()
+  | _ -> Alcotest.fail "a v1 checkpoint must raise Snapshot_error (Unsupported_version 1)"
 
 let test_snapshot_restore_midway () =
   (* Checkpoint with tasks still pending, keep answering on the restored
