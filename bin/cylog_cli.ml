@@ -157,10 +157,10 @@ let finish_journal engine =
       Cylog.Journal.close j;
       let s = Cylog.Journal.stats j in
       Format.printf
-        "journal %s: %d appends, %d fsyncs, %d rotations, %d compactions, %d live \
-         segment(s)@."
-        (Cylog.Journal.dir j) s.appends s.fsyncs s.rotations s.compactions
-        (List.length s.segments)
+        "journal %s: %d appends, %d fsyncs (%d dir), %d rotations, %d compactions, \
+         %d live segment(s)@."
+        (Cylog.Journal.dir j) s.appends s.fsyncs s.dir_fsyncs s.rotations
+        s.compactions (List.length s.segments)
 
 let run_cmd interactive max_steps checkpoint metrics_out trace_out journal path =
   let program = or_die (parse_file path) in

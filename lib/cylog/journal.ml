@@ -93,41 +93,52 @@ type parse_end =
   | Bad_version of { offset : int; version : int }
   | Bad_kind of { offset : int; byte : int }
 
-let parse_records contents =
+(* One record starting at [pos]: the parsed record and the next offset,
+   or how the run ends there. Base selection during recovery probes only
+   the first record of a candidate segment, so the step is exposed
+   separately from the full scan. *)
+type parse_step = Record of record * int | Run_end of parse_end
+
+let parse_record contents pos =
   let len = String.length contents in
-  let rec go pos acc =
-    if pos = len then (List.rev acc, Clean)
-    else if len - pos < 8 then
-      (List.rev acc, Torn { offset = pos; reason = "incomplete record frame" })
+  if pos = len then Run_end Clean
+  else if len - pos < 8 then
+    Run_end (Torn { offset = pos; reason = "incomplete record frame" })
+  else
+    let rlen = get_u32le contents pos in
+    if rlen < 2 then
+      Run_end (Torn { offset = pos; reason = "impossible record length" })
+    else if pos + 8 + rlen > len then
+      Run_end (Torn { offset = pos; reason = "record extends past end of segment" })
     else
-      let rlen = get_u32le contents pos in
-      if rlen < 2 then
-        (List.rev acc, Torn { offset = pos; reason = "impossible record length" })
-      else if pos + 8 + rlen > len then
-        (List.rev acc, Torn { offset = pos; reason = "record extends past end of segment" })
+      let stored = get_u32le contents (pos + 4) in
+      let actual = crc_int (Storage.crc32_sub contents ~pos:(pos + 8) ~len:rlen) in
+      if stored <> actual then
+        Run_end (Torn { offset = pos; reason = "checksum mismatch" })
       else
-        let stored = get_u32le contents (pos + 4) in
-        let actual = crc_int (Storage.crc32_sub contents ~pos:(pos + 8) ~len:rlen) in
-        if stored <> actual then
-          (List.rev acc, Torn { offset = pos; reason = "checksum mismatch" })
+        let version = Char.code contents.[pos + 8] in
+        if version <> record_version then
+          Run_end (Bad_version { offset = pos; version })
         else
-          let version = Char.code contents.[pos + 8] in
-          if version <> record_version then
-            (List.rev acc, Bad_version { offset = pos; version })
-          else
-            let kind =
-              match Char.code contents.[pos + 9] with
-              | 0 -> Some Genesis
-              | 1 -> Some Entry
-              | 2 -> Some Snapshot
-              | _ -> None
-            in
-            match kind with
-            | None ->
-                (List.rev acc, Bad_kind { offset = pos; byte = Char.code contents.[pos + 9] })
-            | Some kind ->
-                let payload = String.sub contents (pos + 10) (rlen - 2) in
-                go (pos + 8 + rlen) ({ kind; payload } :: acc)
+          let kind =
+            match Char.code contents.[pos + 9] with
+            | 0 -> Some Genesis
+            | 1 -> Some Entry
+            | 2 -> Some Snapshot
+            | _ -> None
+          in
+          match kind with
+          | None ->
+              Run_end (Bad_kind { offset = pos; byte = Char.code contents.[pos + 9] })
+          | Some kind ->
+              let payload = String.sub contents (pos + 10) (rlen - 2) in
+              Record ({ kind; payload }, pos + 8 + rlen)
+
+let parse_records contents =
+  let rec go pos acc =
+    match parse_record contents pos with
+    | Record (r, next) -> go next (r :: acc)
+    | Run_end ending -> (List.rev acc, ending)
   in
   go header_len []
 
@@ -144,6 +155,7 @@ type t = {
   mutable live_segments : int list;  (* ascending; last = seg *)
   mutable n_appends : int;
   mutable n_fsyncs : int;
+  mutable n_dir_fsyncs : int;
   mutable n_rotations : int;
   mutable n_compactions : int;
   mutable tel : (Telemetry.t * (unit -> int)) option;
@@ -183,6 +195,16 @@ let fsync_now t =
   t.n_fsyncs <- t.n_fsyncs + 1;
   count t "journal.fsyncs"
 
+(* File fsyncs cover data only: whenever the journal creates, renames or
+   deletes a segment, the directory entry itself must be made durable,
+   or a crash can lose a freshly rotated segment — or worse, persist the
+   compaction deletes while losing the rename of their replacement. *)
+let fsync_dir t =
+  let module St = (val t.storage) in
+  St.fsync_dir t.jdir;
+  t.n_dir_fsyncs <- t.n_dir_fsyncs + 1;
+  count t "journal.dir_fsyncs"
+
 let sync t = if t.unsynced > 0 then fsync_now t
 
 let after_append t =
@@ -202,6 +224,9 @@ let rotate t =
   St.close (seg_path t t.seg);
   t.seg <- t.seg + 1;
   St.append (seg_path t t.seg) (segment_header t.seg);
+  (* The successor's directory entry must survive a crash before any
+     record is acknowledged into it. *)
+  fsync_dir t;
   t.seg_bytes <- header_len;
   t.live_segments <- t.live_segments @ [ t.seg ];
   t.n_rotations <- t.n_rotations + 1;
@@ -229,9 +254,13 @@ let compact t snapshot =
   t.n_fsyncs <- t.n_fsyncs + 1;
   count t "journal.fsyncs";
   St.close tmp;
-  (* Commit point: after this rename the new segment is the recovery base
-     whatever else happens; before it, the old segments still are. *)
+  (* Commit point: after this rename *and* the directory fsync that makes
+     it durable, the new segment is the recovery base whatever else
+     happens; before that, the old segments still are. The directory must
+     be synced before any deletion, or a crash could persist the unlinks
+     of the old base while losing the rename of its replacement. *)
   St.rename tmp (seg_path t target);
+  fsync_dir t;
   let old = t.live_segments in
   t.seg <- target;
   t.seg_bytes <- St.size (seg_path t target);
@@ -243,6 +272,10 @@ let compact t snapshot =
       St.close (seg_path t i);
       St.delete (seg_path t i))
     old;
+  (* Make the unlinks durable too — a crash between them and the next
+     directory sync would only resurrect superseded segments (harmless
+     for recovery), but bounding that window keeps disk usage honest. *)
+  fsync_dir t;
   t.n_compactions <- t.n_compactions + 1;
   count t "journal.compactions";
   span t "journal-compact" (fun () ->
@@ -261,6 +294,7 @@ let wants_compaction t =
 type stats = {
   appends : int;
   fsyncs : int;
+  dir_fsyncs : int;
   rotations : int;
   compactions : int;
   entries_since_snapshot : int;
@@ -272,6 +306,7 @@ let stats t =
   {
     appends = t.n_appends;
     fsyncs = t.n_fsyncs;
+    dir_fsyncs = t.n_dir_fsyncs;
     rotations = t.n_rotations;
     compactions = t.n_compactions;
     entries_since_snapshot = t.since_snapshot;
@@ -293,6 +328,7 @@ let make ?(config = default_config) ?(storage = (module Storage.Posix : Storage.
     live_segments = [];
     n_appends = 0;
     n_fsyncs = 0;
+    n_dir_fsyncs = 0;
     n_rotations = 0;
     n_compactions = 0;
     tel = None;
@@ -307,8 +343,11 @@ let create ?config ?storage ~genesis dir =
   let bytes = segment_header 0 ^ encode Genesis genesis in
   St.append (seg_path t 0) bytes;
   (* Genesis durability is unconditional: a journal that exists can be
-     recovered, whatever the fsync policy says about later entries. *)
+     recovered, whatever the fsync policy says about later entries. That
+     takes both the data fsync and a directory fsync — without the
+     latter, segment 0's entry itself can vanish on power loss. *)
   St.fsync (seg_path t 0);
+  fsync_dir t;
   t.seg_bytes <- String.length bytes;
   t.live_segments <- [ 0 ];
   t.n_appends <- 1;
@@ -356,13 +395,15 @@ let recover ?config ?storage dir =
   in
   drop_headerless ();
   (* The recovery base is the greatest segment opening with a durable
-     Genesis/Snapshot record; anything older is superseded. *)
+     Genesis/Snapshot record; anything older is superseded. Only the
+     first record of a candidate is probed — the full scan comes later,
+     once, per surviving segment. *)
   let first_record_kind index =
     let contents = St.read_file (seg_path t index) in
     if not (header_valid contents index) then None
-    else match parse_records contents with
-      | { kind; _ } :: _, _ -> Some kind
-      | [], _ -> None
+    else match parse_record contents header_len with
+      | Record (r, _) -> Some r.kind
+      | Run_end _ -> None
   in
   let base =
     match
@@ -384,7 +425,10 @@ let recover ?config ?storage dir =
       if i <> base + k then raise (Error (Missing_segment { dir; index = base + k })))
     segs;
   let last = List.nth segs (List.length segs - 1) in
-  let records = ref [] in
+  (* Per-segment record runs, collected newest-first and concatenated
+     once at the end — appending to the accumulated list per segment
+     would make recovery quadratic in journal length. *)
+  let seg_records = ref [] in
   let tail_bytes = ref 0 in
   List.iter
     (fun index ->
@@ -411,16 +455,20 @@ let recover ?config ?storage dir =
           end
           else raise (Error (Corrupt_record { segment = path; offset; reason })));
       if index = last then tail_bytes := St.size path;
-      records := !records @ recs)
+      seg_records := recs :: !seg_records)
     segs;
+  let records = List.concat (List.rev !seg_records) in
+  (* Recovery's own mutations — dropped staging files, deleted headerless
+     or superseded segments, the truncated tail — become durable here. *)
+  fsync_dir t;
   t.seg <- last;
   t.seg_bytes <- !tail_bytes;
   t.live_segments <- segs;
   t.since_snapshot <-
-    List.length (List.filter (fun r -> r.kind = Entry) !records);
+    List.length (List.filter (fun r -> r.kind = Entry) records);
   ( t,
     {
-      records = !records;
+      records;
       base_segment = base;
       segments_scanned = List.length segs;
       truncated_bytes = !truncated;

@@ -92,7 +92,8 @@ val create :
   string -> t
 (** [create ~genesis dir] starts a fresh journal in [dir] (created if
     needed): segment 0 is written with a [Genesis] record carrying
-    [genesis] and fsynced before the call returns, whatever the fsync
+    [genesis] and made durable — data fsync plus a directory fsync for
+    the entry itself — before the call returns, whatever the fsync
     policy. Default storage is {!Storage.Posix}.
     @raise Error ([Journal_exists]) when [dir] already holds segments —
     recover instead of overwriting a journal. *)
@@ -100,15 +101,17 @@ val create :
 val append : t -> string -> unit
 (** Durably log one journal entry (per the fsync policy), rotating to a
     fresh segment first when the current one is over
-    [config.segment_bytes]. Rotation always fsyncs the outgoing segment,
-    so only the final segment of a journal can ever hold torn bytes. *)
+    [config.segment_bytes]. Rotation always fsyncs the outgoing segment
+    — so only the final segment of a journal can ever hold torn bytes —
+    and syncs the directory so the successor's entry survives a crash. *)
 
 val compact : t -> string -> unit
 (** Fold the live engine state [snapshot] into a new segment, then delete
     all older ones, making restore cost proportional to live state rather
     than journal length. Crash-safe: the snapshot is staged in a [.tmp]
-    file, fsynced, and atomically renamed before any deletion — a crash
-    anywhere leaves either the old segments intact or a valid new base. *)
+    file, fsynced, atomically renamed, and the rename made durable with a
+    directory fsync before any deletion — a crash anywhere leaves either
+    the old segments intact or a valid new base. *)
 
 val sync : t -> unit
 (** Force an fsync of the current segment regardless of policy. *)
@@ -153,6 +156,8 @@ val recover :
 type stats = {
   appends : int;
   fsyncs : int;
+  dir_fsyncs : int;
+      (** directory syncs making segment creation/rename/delete durable *)
   rotations : int;
   compactions : int;
   entries_since_snapshot : int;
@@ -166,7 +171,7 @@ val config : t -> config
 
 val set_telemetry : t -> Telemetry.t -> clock:(unit -> int) -> unit
 (** Route instrumentation to an engine's telemetry: counters
-    [journal.appends], [journal.fsyncs], [journal.segments.rotated],
-    [journal.compactions] and point spans [journal-append] (traced runs
-    only), [journal-rotate], [journal-compact], stamped with the engine's
-    logical clock. *)
+    [journal.appends], [journal.fsyncs], [journal.dir_fsyncs],
+    [journal.segments.rotated], [journal.compactions] and point spans
+    [journal-append] (traced runs only), [journal-rotate],
+    [journal-compact], stamped with the engine's logical clock. *)

@@ -9,6 +9,7 @@ module type S = sig
   val read_file : string -> string
   val append : string -> string -> unit
   val fsync : string -> unit
+  val fsync_dir : string -> unit
   val truncate : string -> int -> unit
   val delete : string -> unit
   val rename : string -> string -> unit
@@ -93,6 +94,19 @@ module Posix : S = struct
 
   let fsync path = Unix.fsync (fd path)
 
+  (* fsync on a file covers its data, not its directory entry: segment
+     creation, the compaction rename and segment deletion are durable
+     only once the directory itself is synced. Some filesystems refuse
+     fsync on a directory descriptor (EINVAL); there the entry metadata
+     is as durable as that filesystem can make it. *)
+  let fsync_dir dir =
+    let fd = Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try Unix.fsync fd
+        with Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) -> ())
+
   let close path =
     match Hashtbl.find_opt handles path with
     | Some fd ->
@@ -131,7 +145,10 @@ module Sim = struct
     { crash_at_op = None; tail = Drop_unsynced; no_space_after = None;
       delayed_fsync = 0.0; seed = 0 }
 
-  type file = { mutable data : Buffer.t; mutable synced : int }
+  (* [entry_durable]: the directory entry naming this file survived an
+     fsync_dir. Data durability ([synced]) is tracked separately, as
+     POSIX separates them. *)
+  type file = { mutable data : Buffer.t; mutable synced : int; mutable entry_durable : bool }
 
   type t = {
     files : (string, file) Hashtbl.t;
@@ -161,29 +178,35 @@ module Sim = struct
 
   let garbage_bytes = "\xff\xde\xad\xbe\xef\xff\x00\x7f"
 
-  (* The byte image a disk presents after the crash: every file keeps its
-     fsynced prefix; only the in-flight file (the append racing the
-     crash, if any) keeps part of its unsynced region, per the plan's
-     [tail] mode. *)
+  (* The byte image a disk presents after the crash, under adversarial
+     metadata writeback: entry *removals* (delete, rename-away) are
+     treated as already durable, while entry *additions* are durable
+     only once fsync_dir runs — so a file created or renamed into place
+     since the last directory sync vanishes entirely, whatever its data
+     fsyncs say. Every surviving file keeps its fsynced prefix; only the
+     in-flight file (the append racing the crash, if any) keeps part of
+     its unsynced region, per the plan's [tail] mode. *)
   let build_crash_image t ~in_flight =
     Hashtbl.fold
       (fun path f acc ->
-        let all = Buffer.contents f.data in
-        let synced = String.sub all 0 (min f.synced (String.length all)) in
-        let surviving =
-          match in_flight with
-          | Some (p, extra) when String.equal p path ->
-              let unsynced =
-                String.sub all f.synced (String.length all - f.synced) ^ extra
-              in
-              let keep n = String.sub unsynced 0 (min n (String.length unsynced)) in
-              (match t.plan.tail with
-              | Drop_unsynced -> synced
-              | Torn n -> synced ^ keep n
-              | Garbage n -> synced ^ keep n ^ garbage_bytes)
-          | _ -> synced
-        in
-        (path, surviving) :: acc)
+        if not f.entry_durable then acc
+        else
+          let all = Buffer.contents f.data in
+          let synced = String.sub all 0 (min f.synced (String.length all)) in
+          let surviving =
+            match in_flight with
+            | Some (p, extra) when String.equal p path ->
+                let unsynced =
+                  String.sub all f.synced (String.length all - f.synced) ^ extra
+                in
+                let keep n = String.sub unsynced 0 (min n (String.length unsynced)) in
+                (match t.plan.tail with
+                | Drop_unsynced -> synced
+                | Torn n -> synced ^ keep n
+                | Garbage n -> synced ^ keep n ^ garbage_bytes)
+            | _ -> synced
+          in
+          (path, surviving) :: acc)
       t.files []
 
   (* Count one operation; fire the crash when the countdown hits.
@@ -211,7 +234,8 @@ module Sim = struct
       (fun (path, contents) ->
         let data = Buffer.create (String.length contents + 64) in
         Buffer.add_string data contents;
-        Hashtbl.replace fresh.files path { data; synced = String.length contents })
+        Hashtbl.replace fresh.files path
+          { data; synced = String.length contents; entry_durable = true })
       t.crash_image;
     Hashtbl.iter (fun d () -> Hashtbl.replace fresh.dirs d ()) t.dirs;
     fresh
@@ -223,7 +247,8 @@ module Sim = struct
         let contents = Buffer.contents f.data in
         let data = Buffer.create (String.length contents + 64) in
         Buffer.add_string data contents;
-        Hashtbl.replace fresh.files path { data; synced = String.length contents })
+        Hashtbl.replace fresh.files path
+          { data; synced = String.length contents; entry_durable = true })
       t.files;
     Hashtbl.iter (fun d () -> Hashtbl.replace fresh.dirs d ()) t.dirs;
     fresh
@@ -266,7 +291,7 @@ module Sim = struct
           match Hashtbl.find_opt t.files path with
           | Some f -> f
           | None ->
-              let f = { data = Buffer.create 256; synced = 0 } in
+              let f = { data = Buffer.create 256; synced = 0; entry_durable = false } in
               Hashtbl.replace t.files path f;
               f
         in
@@ -279,6 +304,15 @@ module Sim = struct
         if not (t.plan.delayed_fsync > 0.0
                 && Random.State.float t.rng 1.0 < t.plan.delayed_fsync)
         then f.synced <- Buffer.length f.data
+
+      (* Commit the directory's current entry set: pending entry
+         additions (creates and rename targets) become durable. *)
+      let fsync_dir dirpath =
+        op t;
+        Hashtbl.iter
+          (fun p f ->
+            if String.equal (Filename.dirname p) dirpath then f.entry_durable <- true)
+          t.files
 
       let truncate path len =
         op t;
@@ -297,8 +331,12 @@ module Sim = struct
         op t;
         let f = find t src in
         Hashtbl.remove t.files src;
-        (* A rename commits atomically with its source's bytes: the tmp
-           file is always fsynced before compaction renames it. *)
+        (* The bytes travel with the inode, but the [dst] entry is new
+           metadata — durable only after fsync_dir. Adversarial
+           writeback: a crash before that sync loses the file outright
+           (the removal of [src] counts as durable, the addition of
+           [dst] does not). *)
+        f.entry_durable <- false;
         Hashtbl.replace t.files dst f
 
       let close _ = ()

@@ -45,7 +45,15 @@ module type S = sig
       fault injection. *)
 
   val fsync : string -> unit
-  (** Flush the file's buffered bytes to stable storage. *)
+  (** Flush the file's buffered bytes to stable storage. Covers the
+      file's {e data} only — see {!fsync_dir} for the directory entry. *)
+
+  val fsync_dir : string -> unit
+  (** Flush the directory itself, making entry metadata — file creation,
+      {!rename}, {!delete} — durable. A file {!fsync} does not cover the
+      directory entry: on power loss a freshly created or renamed file
+      whose directory was never synced can vanish entirely, and an
+      unsynced deletion can resurrect. *)
 
   val truncate : string -> int -> unit
   (** Cut the file to the given length — how recovery drops a torn tail. *)
@@ -71,7 +79,19 @@ module Posix : S
 (** Real files via [Unix]: append-mode descriptors cached per path,
     [Unix.fsync] for durability, [Sys.rename] for atomic replace. *)
 
-(** In-memory storage with deterministic fault injection. *)
+(** In-memory storage with deterministic fault injection.
+
+    Data and metadata durability are modelled separately, as POSIX
+    separates them: {!S.fsync} makes a file's bytes durable, but its
+    directory {e entry} is durable only once {!S.fsync_dir} runs. The
+    crash image takes the adversarial reading of metadata writeback
+    (real disks reorder it): entry {e removals} — deletes, the
+    rename-away of a source — count as instantly durable, while entry
+    {e additions} — creates, rename targets — survive only if a
+    [fsync_dir] covered them. So a crash can persist the unlink of an
+    old segment while losing the rename of its replacement, exactly the
+    failure a missing directory sync invites; this is what makes such a
+    bug detectable by the crash-point harness. *)
 module Sim : sig
   (** What survives of the {e unsynced} region of the file being appended
       when the crash fires. Fsynced bytes always survive; unsynced bytes
@@ -87,7 +107,8 @@ module Sim : sig
   type plan = {
     crash_at_op : int option;
         (** die when the running operation count (appends, fsyncs,
-            truncates, deletes, renames) reaches this value *)
+            directory fsyncs, truncates, deletes, renames) reaches this
+            value *)
     tail : tail;  (** what the crash leaves of the in-flight file *)
     no_space_after : int option;
         (** total append-byte budget; the append that exceeds it writes

@@ -155,8 +155,13 @@ let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
               Cylog.Storage.Sim.copy !store
           in
           store := image;
+          (* Keep the caller's journal config across the reopen — without
+             it the recovered journal would silently revert to
+             [Journal.default_config] (e.g. compaction disabled) for the
+             rest of the campaign. *)
           let engine, stats =
-            Cylog.Engine.recover ~storage:(Cylog.Storage.Sim.storage image) dir
+            Cylog.Engine.recover ?config:journal_config
+              ~storage:(Cylog.Storage.Sim.storage image) dir
           in
           (match sink with Some s -> Cylog.Engine.set_sink engine s | None -> ());
           recoveries := !recoveries @ [ stats ];
