@@ -556,6 +556,35 @@ let run_bench () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Shared: telemetry snapshot embedded in every BENCH_*.json           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each BENCH record carries the telemetry counters behind its headline
+   numbers — plan-cache traffic, journal appends/fsyncs, delta-evaluation
+   rounds — so a regression in the measured seconds can be traced to the
+   mechanism without re-running under a sink. *)
+let telemetry_snapshot_prefixes = [ "planner."; "journal."; "eval." ]
+
+let telemetry_snapshot m =
+  let keep k =
+    List.exists
+      (fun p ->
+        String.length k >= String.length p
+        && String.equal (String.sub k 0 (String.length p)) p)
+      telemetry_snapshot_prefixes
+  in
+  let rows =
+    List.sort compare
+      (List.filter (fun (k, _) -> keep k) (Cylog.Telemetry.Metrics.counters m))
+  in
+  Printf.sprintf "{ %s }"
+    (String.concat ", "
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\": %d" (Cylog.Telemetry.json_escape k) v)
+          rows))
+
+(* ------------------------------------------------------------------ *)
 (* Joins: cost-based planning + compound-key indexes, scaling study    *)
 (* ------------------------------------------------------------------ *)
 
@@ -587,6 +616,7 @@ type joins_run = {
   j_steps : int;
   j_cache_hits : int;
   j_cache_misses : int;
+  j_telemetry : string;
   j_out : Reldb.Tuple.t list;
   j_trace : (int * string option * (string * Reldb.Value.t) list * bool) list;
 }
@@ -633,7 +663,9 @@ let joins_run ?(metrics = true) ~scale ~use_planner () =
       (fun (e : Cylog.Engine.event) -> (e.statement, e.label, e.valuation, e.fired))
       (Cylog.Engine.events engine)
   in
-  { j_seconds; j_rows_scanned; j_steps; j_cache_hits; j_cache_misses; j_out; j_trace }
+  let j_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine) in
+  { j_seconds; j_rows_scanned; j_steps; j_cache_hits; j_cache_misses; j_telemetry;
+    j_out; j_trace }
 
 type joins_row = { scale : int; naive : joins_run; planned : joins_run }
 
@@ -667,8 +699,9 @@ let joins_json rows =
       let run label (m : joins_run) =
         Printf.sprintf
           "      \"%s\": { \"seconds\": %.6f, \"rows_scanned\": %d, \"steps\": %d, \
-           \"plan_cache_hits\": %d, \"plan_cache_misses\": %d }"
+           \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"telemetry\": %s }"
           label m.j_seconds m.j_rows_scanned m.j_steps m.j_cache_hits m.j_cache_misses
+          m.j_telemetry
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -754,6 +787,7 @@ type inc_run = {
   i_rows_first : int;
   i_rows_last : int;
   i_out : int;
+  i_telemetry : string;
 }
 
 let incremental_run ~preload ~supplies ~semi () =
@@ -810,6 +844,7 @@ let incremental_run ~preload ~supplies ~semi () =
       (match Reldb.Database.find db "Out" with
       | Some rel -> Reldb.Relation.cardinal rel
       | None -> 0);
+    i_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine);
   }
 
 let inc_mean_rows r = float_of_int r.i_supply_rows /. float_of_int (max 1 r.i_supplies)
@@ -852,9 +887,9 @@ let incremental_json ~supplies rows =
           "      \"%s\": { \"load_seconds\": %.6f, \"supply_seconds_total\": %.6f, \
            \"supply_rows_total\": %d, \"rows_per_supply_mean\": %.2f, \
            \"seconds_per_supply_mean\": %.8f, \"rows_first_supply\": %d, \
-           \"rows_last_supply\": %d, \"out_rows\": %d }"
+           \"rows_last_supply\": %d, \"out_rows\": %d, \"telemetry\": %s }"
           label m.i_load_seconds m.i_supply_seconds m.i_supply_rows (inc_mean_rows m)
-          (inc_mean_seconds m) m.i_rows_first m.i_rows_last m.i_out
+          (inc_mean_seconds m) m.i_rows_first m.i_rows_last m.i_out m.i_telemetry
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -968,6 +1003,7 @@ type quality_run = {
   q_escalated : int;
   q_rounds : int;
   q_reliability : (string * float * int) list;
+  q_telemetry : string;
 }
 
 let quality_campaign ~label ~seed ~items ?quorum ?policy () =
@@ -1019,6 +1055,7 @@ let quality_campaign ~label ~seed ~items ?quorum ?policy () =
     q_escalated = counter "quorum.escalated";
     q_rounds = outcome.rounds;
     q_reliability = Cylog.Engine.reliability_table engine;
+    q_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine);
   }
 
 let quality_policy =
@@ -1056,7 +1093,8 @@ let quality_json ~seed runs =
            "    { \"policy\": \"%s\", \"items\": %d, \"resolved\": %d, \
             \"correct\": %d, \"accuracy\": %.4f, \"answers\": %d, \
             \"early_stopped\": %d, \"escalated\": %d, \"rounds\": %d,\n\
-           \      \"reliability\": { %s } }%s\n"
+           \      \"reliability\": { %s },\n\
+           \      \"telemetry\": %s }%s\n"
            r.q_label r.q_items r.q_resolved r.q_correct (quality_accuracy r)
            r.q_answers r.q_early_stopped r.q_escalated r.q_rounds
            (String.concat ", "
@@ -1065,6 +1103,7 @@ let quality_json ~seed runs =
                    Printf.sprintf "\"%s\": { \"mean\": %.4f, \"observations\": %d }"
                      w rel n)
                  r.q_reliability))
+           r.q_telemetry
            (if i = List.length runs - 1 then "" else ",")))
     runs;
   Buffer.add_string buf "  ]\n}\n";
@@ -1176,6 +1215,7 @@ type dur_recovery_run = {
   r_write_seconds : float;
   r_recover_seconds : float;
   r_identical : bool;
+  r_telemetry : string;
 }
 
 (* A labelling campaign of [tasks] journaled supplies: bulk state goes in
@@ -1231,6 +1271,7 @@ let dur_campaign ?sim ~tasks ~compact () =
     r_write_seconds;
     r_recover_seconds;
     r_identical;
+    r_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine);
   }
 
 let pp_dur_policy_run r =
@@ -1271,9 +1312,10 @@ let durability_json policies recoveries =
            "    { \"tasks\": %d, \"compacted\": %b, \"records_replayed\": %d, \
             \"base_segment\": %d, \"segments_scanned\": %d, \
             \"write_seconds\": %.6f, \"recover_seconds\": %.6f, \
-            \"identical_results\": %b }%s\n"
+            \"identical_results\": %b, \"telemetry\": %s }%s\n"
            r.r_tasks r.r_compacted r.r_records_replayed r.r_base_segment
            r.r_segments_scanned r.r_write_seconds r.r_recover_seconds r.r_identical
+           r.r_telemetry
            (if i = List.length recoveries - 1 then "" else ",")))
     recoveries;
   Buffer.add_string buf "  ]\n}\n";
@@ -1366,6 +1408,211 @@ let run_durability_smoke () =
   | failures ->
       List.iter (fun what -> Format.printf "  FAIL: %s@." what) failures;
       exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Monitor: campaign observability — latencies, series, watchdogs      *)
+(* ------------------------------------------------------------------ *)
+
+(* A faulted adaptive labelling campaign under the campaign monitor:
+   [items] undesignated tasks, five workers wrapped in the drop fault
+   profile, lease runtime on, adaptive quorum, one monitor sample per
+   round. The budget-capped variant arms [max_budget] and must stop via
+   the journaled [Alert_fired] within one round of the crossing; the
+   journaled variant (Sim storage) is recovered afterwards and the
+   monitor recounted from the recovered event log. *)
+
+let monitor_policy engine ~worker:_ ~rng ~round:_ =
+  match Cylog.Engine.pending engine with
+  | [] -> Crowd.Simulator.Pass
+  | pending ->
+      let o = List.nth pending (Random.State.int rng (List.length pending)) in
+      let label = [| "cat"; "dog"; "bird" |].(Random.State.int rng 3) in
+      Crowd.Simulator.Answer
+        ( o.Cylog.Engine.id,
+          [ ("label", Reldb.Value.String label) ],
+          Crowd.Simulator.Enter_value )
+
+let monitor_campaign ?budget ?store ?(monitored = true) ~seed ~items () =
+  let engine = Cylog.Engine.load (Cylog.Parser.parse_exn (quality_src items)) in
+  (match store with
+  | Some s ->
+      Cylog.Engine.journal_start
+        ~storage:(Cylog.Storage.Sim.storage s)
+        engine "journal"
+  | None -> ());
+  let config = { Cylog.Monitor.default_config with max_budget = budget } in
+  let workers =
+    List.map
+      (fun w -> (Reldb.Value.String w, monitor_policy))
+      [ "w1"; "w2"; "w3"; "w4"; "w5" ]
+  in
+  let workers =
+    Crowd.Faults.inject ~seed (List.assoc "drop" Crowd.Faults.profiles) workers
+  in
+  let outcome =
+    Crowd.Simulator.run ~seed ~max_rounds:400 ~lease:Cylog.Lease.default_config
+      ~policy:quality_policy
+      ?monitor:(if monitored then Some config else None)
+      ~stop:(fun e ->
+        Cylog.Engine.pending e = [] && Cylog.Engine.run e |> snd = `Quiescent)
+      ~workers engine
+  in
+  (engine, config, outcome)
+
+let stop_name = function
+  | `Stopped -> "stopped"
+  | `Stalled -> "stalled"
+  | `Max_rounds -> "max-rounds"
+  | `Alert _ -> "alert"
+
+let monitor_e2e mon p =
+  match List.assoc_opt "lifecycle.end_to_end" (Cylog.Monitor.histograms mon) with
+  | Some h -> Cylog.Telemetry.Metrics.quantile h p
+  | None -> 0.0
+
+let budget_firings mon =
+  List.filter
+    (fun (f : Cylog.Monitor.firing) ->
+      match f.alert with Cylog.Event.Budget_exceeded _ -> true | _ -> false)
+    (Cylog.Monitor.firings mon)
+
+(* First series round whose spent exceeds the budget — the watchdog must
+   have fired on that very sample (it checks before the point is pushed),
+   so the campaign stops within one round of the crossing. *)
+let budget_crossing mon budget =
+  List.find_map
+    (fun (p : Cylog.Monitor.point) ->
+      if p.p_spent > budget then Some p.p_round else None)
+    (Cylog.Monitor.points mon)
+
+type monitor_checks = {
+  c_fired_once : bool;
+  c_stopped_via_alert : bool;
+  c_within_one_round : bool;
+  c_recount : bool;
+  c_recovered : bool;
+}
+
+let monitor_budget_run ~seed ~items ~budget =
+  let store = Cylog.Storage.Sim.create () in
+  let engine, config, outcome = monitor_campaign ~budget ~store ~seed ~items () in
+  Option.iter Cylog.Journal.close (Cylog.Engine.durable_journal engine);
+  let mon = Option.get (Cylog.Engine.monitor engine) in
+  let live = Cylog.Monitor.view mon in
+  let recount =
+    Cylog.Monitor.view (Cylog.Monitor.of_events config (Cylog.Engine.events engine))
+  in
+  let recovered, _ =
+    Cylog.Engine.recover ~storage:(Cylog.Storage.Sim.storage store) "journal"
+  in
+  let recovered_view =
+    match Cylog.Engine.monitor recovered with
+    | Some m -> Some (Cylog.Monitor.view m)
+    | None -> None
+  in
+  let firings = budget_firings mon in
+  let checks =
+    {
+      c_fired_once = List.length firings = 1;
+      c_stopped_via_alert =
+        (match outcome.stop_reason with `Alert _ -> true | _ -> false);
+      c_within_one_round =
+        (match (firings, budget_crossing mon budget) with
+        | [ f ], Some crossing -> f.at_round <= crossing + 1
+        | _ -> false);
+      c_recount = recount = live;
+      c_recovered = recovered_view = Some live;
+    }
+  in
+  (engine, mon, outcome, checks)
+
+let monitor_check_failures c =
+  List.filter_map
+    (fun (what, ok) -> if ok then None else Some what)
+    [ ("budget alert did not fire exactly once", c.c_fired_once);
+      ("campaign did not stop via the alert", c.c_stopped_via_alert);
+      ("alert fired more than one round after the budget crossing",
+       c.c_within_one_round);
+      ("event-log recount disagrees with the live monitor", c.c_recount);
+      ("recovered monitor disagrees with the live monitor", c.c_recovered) ]
+
+let monitor_json_report ~seed ~items ~budget (engine, mon, outcome)
+    (engine_b, mon_b, outcome_b, checks) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"monitor\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d, \"items\": %d,\n" seed items);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"campaign\": {\n\
+       \    \"rounds\": %d, \"stop\": \"%s\",\n\
+       \    \"e2e_p50\": %.2f, \"e2e_p95\": %.2f, \"e2e_p99\": %.2f,\n\
+       \    \"monitor\": %s,\n\
+       \    \"telemetry\": %s\n\
+       \  },\n"
+       outcome.Crowd.Simulator.rounds
+       (stop_name outcome.Crowd.Simulator.stop_reason)
+       (monitor_e2e mon 0.5) (monitor_e2e mon 0.95) (monitor_e2e mon 0.99)
+       (Cylog.Monitor.to_json mon)
+       (telemetry_snapshot (Cylog.Engine.metrics engine)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"budget_capped\": {\n\
+       \    \"budget\": %d, \"rounds\": %d, \"stop\": \"%s\",\n\
+       \    \"crossing_round\": %d, \"alert_round\": %d,\n\
+       \    \"alert_fired_once\": %b, \"stopped_via_alert\": %b, \
+        \"stopped_within_one_round\": %b,\n\
+       \    \"recount_agrees\": %b, \"recovered_agrees\": %b,\n\
+       \    \"monitor\": %s,\n\
+       \    \"telemetry\": %s\n\
+       \  }\n}\n"
+       budget outcome_b.Crowd.Simulator.rounds
+       (stop_name outcome_b.Crowd.Simulator.stop_reason)
+       (Option.value (budget_crossing mon_b budget) ~default:(-1))
+       (match budget_firings mon_b with
+       | f :: _ -> f.at_round
+       | [] -> -1)
+       checks.c_fired_once checks.c_stopped_via_alert checks.c_within_one_round
+       checks.c_recount checks.c_recovered
+       (Cylog.Monitor.to_json mon_b)
+       (telemetry_snapshot (Cylog.Engine.metrics engine_b)));
+  Buffer.contents buf
+
+let pp_monitor_run label mon (outcome : Crowd.Simulator.outcome) =
+  Format.printf
+    "  %-14s %3d rounds (%s)   %3d samples   spent %4d   answers %4d   \
+     e2e p50/p95/p99 %.1f/%.1f/%.1f   alerts %d@."
+    label outcome.rounds (stop_name outcome.stop_reason)
+    (Cylog.Monitor.samples mon) (Cylog.Monitor.spent mon)
+    (Cylog.Monitor.answers mon) (monitor_e2e mon 0.5) (monitor_e2e mon 0.95)
+    (monitor_e2e mon 0.99)
+    (List.length (Cylog.Monitor.firings mon))
+
+let run_monitor () =
+  section "Monitor: faulted adaptive campaign — latencies, series, watchdogs";
+  let seed = 7 and items = 40 in
+  let budget = 60 in
+  let engine, _, outcome = monitor_campaign ~seed ~items () in
+  let mon = Option.get (Cylog.Engine.monitor engine) in
+  pp_monitor_run "free-running" mon outcome;
+  let ((_, mon_b, outcome_b, checks) as capped) =
+    monitor_budget_run ~seed ~items ~budget
+  in
+  pp_monitor_run "budget-capped" mon_b outcome_b;
+  (match budget_firings mon_b with
+  | f :: _ ->
+      Format.printf "  budget %d crossed at round %d, alert at round %d (%s)@."
+        budget
+        (Option.value (budget_crossing mon_b budget) ~default:(-1))
+        f.at_round
+        (Cylog.Event.alert_to_string f.alert)
+  | [] -> Format.printf "  budget %d never crossed@." budget);
+  let out = open_out "BENCH_monitor.json" in
+  output_string out (monitor_json_report ~seed ~items ~budget (engine, mon, outcome) capped);
+  close_out out;
+  Format.printf "  wrote BENCH_monitor.json@.";
+  List.iter
+    (fun what -> Format.printf "  NOTE: %s@." what)
+    (monitor_check_failures checks)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: JSON-output smoke test and null-sink overhead gate       *)
@@ -1547,7 +1794,64 @@ let run_telemetry_overhead () =
     Format.printf "  FAIL: instrumentation overhead above 2%% (and 0.05s)@.";
     exit 1
   end;
-  Format.printf "  ok: overhead within tolerance (<=2%% or <=0.05s)@."
+  Format.printf "  ok: overhead within tolerance (<=2%% or <=0.05s)@.";
+  (* Monitor sampling rides the same budget: the identical seeded faulted
+     campaign with and without the monitor installed, null sink. *)
+  let best_campaign monitored =
+    List.fold_left
+      (fun acc () ->
+        let _, seconds =
+          time (fun () -> monitor_campaign ~monitored ~seed:7 ~items:20 ())
+        in
+        Float.min acc seconds)
+      Float.infinity [ (); (); () ]
+  in
+  ignore (monitor_campaign ~seed:7 ~items:20 ()) (* warm-up *);
+  let m_on = best_campaign true in
+  let m_off = best_campaign false in
+  let m_delta = m_on -. m_off in
+  let m_pct = 100.0 *. m_delta /. Float.max 1e-9 m_off in
+  Format.printf "  monitor on: %.4fs   off: %.4fs   delta %+.4fs (%+.1f%%)@." m_on
+    m_off m_delta m_pct;
+  if m_delta > 0.05 && m_pct > 2.0 then begin
+    Format.printf "  FAIL: monitor sampling overhead above 2%% (and 0.05s)@.";
+    exit 1
+  end;
+  Format.printf "  ok: monitor sampling within tolerance (<=2%% or <=0.05s)@."
+
+(* The monitor regression gate, wired into [dune runtest] via the
+   [monitor-smoke] alias: the budget-capped faulted campaign must fire
+   the budget alert exactly once, stop via the journaled alert within
+   one round of the crossing, produce parseable JSON, and recount
+   byte-identically from the event log — live, and after journal
+   recovery. *)
+let run_monitor_smoke () =
+  section "Monitor smoke: budget watchdog on the seeded faulted campaign";
+  let (_, mon, outcome, checks) = monitor_budget_run ~seed:7 ~items:30 ~budget:30 in
+  pp_monitor_run "budget-capped" mon outcome;
+  let failures = monitor_check_failures checks in
+  let failures =
+    if json_parses (Cylog.Monitor.to_json mon) then failures
+    else failures @ [ "monitor JSON does not parse" ]
+  in
+  let jsonl_ok =
+    List.for_all json_parses
+      (List.filter
+         (fun l -> String.trim l <> "")
+         (String.split_on_char '\n' (Cylog.Monitor.to_jsonl mon)))
+  in
+  let failures =
+    if jsonl_ok then failures
+    else failures @ [ "a monitor JSONL line does not parse" ]
+  in
+  match failures with
+  | [] ->
+      Format.printf
+        "  ok: alert fired once, campaign stopped on it, JSON parses, recount \
+         and recovery agree@."
+  | failures ->
+      List.iter (fun what -> Format.printf "  FAIL: %s@." what) failures;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -1564,6 +1868,7 @@ let experiments =
     ("telemetry-smoke", run_telemetry_smoke);
     ("telemetry-overhead", run_telemetry_overhead);
     ("durability", run_durability); ("durability-smoke", run_durability_smoke);
+    ("monitor", run_monitor); ("monitor-smoke", run_monitor_smoke);
     ("bench", run_bench) ]
 
 let () =

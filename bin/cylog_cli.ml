@@ -148,6 +148,32 @@ let with_telemetry_outputs metrics_out trace_out engine k =
       Option.iter close_out_noerr trace_oc)
     k
 
+(* Install --monitor-out around a driver invocation: a default campaign
+   monitor is installed up front (unless the engine already carries one,
+   e.g. recovered from a journal that installed it), one final sample is
+   taken when the driver returns, and the dashboard is written as JSON —
+   or as JSON lines when the path ends in .jsonl. *)
+let with_monitor_output monitor_out engine k =
+  (match monitor_out with
+  | Some _ when Cylog.Engine.monitor engine = None ->
+      Cylog.Engine.set_monitor engine (Some Cylog.Monitor.default_config)
+  | _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match monitor_out with
+      | Some path ->
+          ignore (Cylog.Engine.monitor_sample engine ~round:0);
+          let oc = open_out path in
+          (match Cylog.Engine.monitor engine with
+          | Some mon when Filename.check_suffix path ".jsonl" ->
+              output_string oc (Cylog.Monitor.to_jsonl mon)
+          | _ ->
+              output_string oc (Cylog.Engine.monitor_json engine);
+              output_char oc '\n');
+          close_out oc
+      | None -> ())
+    k
+
 (* Flush the WAL and report what it did — the run subcommands' epilogue
    whenever a journal is attached. *)
 let finish_journal engine =
@@ -162,11 +188,13 @@ let finish_journal engine =
         (Cylog.Journal.dir j) s.appends s.fsyncs s.dir_fsyncs s.rotations
         s.compactions (List.length s.segments)
 
-let run_cmd interactive max_steps checkpoint metrics_out trace_out journal path =
+let run_cmd interactive max_steps checkpoint metrics_out trace_out monitor_out
+    journal path =
   let program = or_die (parse_file path) in
   let engine = load_or_die path ?journal program in
   with_telemetry_outputs metrics_out trace_out engine (fun () ->
-      drive_engine interactive max_steps checkpoint engine);
+      with_monitor_output monitor_out engine (fun () ->
+          drive_engine interactive max_steps checkpoint engine));
   finish_journal engine
 
 let resume_cmd interactive max_steps checkpoint metrics_out trace_out path =
@@ -301,8 +329,11 @@ let repl_help () =
     \  :events [FILTER]     page the journal; FILTER is a kind (fired,\n\
     \                       filtered, human, machine, insert, update,\n\
     \                       delete, payoff, open, vote, dead, early-stop,\n\
-    \                       escalated), a rule label, or a worker name\n\
+    \                       escalated, resolve, sample, alert), a rule\n\
+    \                       label, or a worker name\n\
     \  :stats               dump the metrics registry\n\
+    \  :monitor             sample and show the campaign monitor\n\
+    \                       (cost/latency/quality series, alerts)\n\
     \  :quality             dump worker reliability and task posteriors (JSON)\n\
     \  :explain             show plans, leases and quorum state\n\
     \  :check               lint the program (preloaded + typed statements)\n\
@@ -386,7 +417,10 @@ let repl_cmd file =
                 | Vote_recorded _ -> [ "vote" ]
                 | Dead_lettered _ -> [ "dead" ]
                 | Adaptive_resolved { escalated; _ } ->
-                    [ (if escalated then "escalated" else "early-stop") ])
+                    [ (if escalated then "escalated" else "early-stop") ]
+                | Resolved _ -> [ "resolve" ]
+                | Sampled _ -> [ "sample" ]
+                | Alert_fired _ -> [ "alert" ])
               e.effects
         in
         let selected =
@@ -399,6 +433,17 @@ let repl_cmd file =
         `Continue
     | [ ":stats" ] ->
         Format.printf "%a" Cylog.Telemetry.Metrics.pp (Cylog.Engine.metrics engine);
+        `Continue
+    | [ ":monitor" ] ->
+        (* First use installs a default monitor; the install backfills
+           from the event log, so lifecycle history is complete even
+           mid-session. Each :monitor takes a fresh sample. *)
+        if Cylog.Engine.monitor engine = None then
+          Cylog.Engine.set_monitor engine (Some Cylog.Monitor.default_config);
+        ignore (Cylog.Engine.monitor_sample engine ~round:0);
+        (match Cylog.Engine.monitor engine with
+        | Some mon -> Format.printf "%a" Cylog.Monitor.pp mon
+        | None -> ());
         `Continue
     | [ ":quality" ] ->
         print_endline (Cylog.Pretty.quality_json engine);
@@ -519,6 +564,16 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Stream tracing spans to $(docv) as JSON lines while running.")
 
+let monitor_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "monitor-out" ] ~docv:"FILE"
+        ~doc:"Install a campaign monitor and write its dashboard (lifecycle \
+              latency quantiles, cost/latency/quality series, alerts) to \
+              $(docv) as JSON when the run finishes — or as JSON lines when \
+              $(docv) ends in .jsonl.")
+
 let journal_arg =
   Arg.(
     value
@@ -550,7 +605,8 @@ let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Execute a CyLog program")
       Term.(
         const run_cmd $ interactive_flag $ max_steps_arg $ checkpoint_arg
-        $ metrics_out_arg $ trace_out_arg $ journal_arg $ file_arg);
+        $ metrics_out_arg $ trace_out_arg $ monitor_out_arg $ journal_arg
+        $ file_arg);
     Cmd.v
       (Cmd.info "resume" ~doc:"Resume a run from a snapshot written by --checkpoint")
       Term.(

@@ -116,6 +116,76 @@ let adaptive_arg =
               to the fallback majority at the vote cap (--quorum K, default 5). \
               Implies redundant assignment.")
 
+(* --slo accepts a comma-separated watchdog spec, e.g.
+   "p99=100,agreement=60,deadletter=25,stall=8" — each key arms one
+   monitor threshold. *)
+let slo_keys = [ "p99"; "agreement"; "deadletter"; "stall" ]
+
+let slo_conv =
+  let parse s =
+    let parts =
+      List.filter
+        (fun p -> String.trim p <> "")
+        (String.split_on_char ',' s)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          match String.index_opt part '=' with
+          | Some i -> (
+              let key = String.lowercase_ascii (String.trim (String.sub part 0 i)) in
+              let v =
+                String.trim (String.sub part (i + 1) (String.length part - i - 1))
+              in
+              match (List.mem key slo_keys, int_of_string_opt v) with
+              | true, Some n -> go ((key, n) :: acc) rest
+              | false, _ ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf "unknown SLO key %S (%s)" key
+                         (String.concat "|" slo_keys)))
+              | _, None ->
+                  Error (`Msg (Printf.sprintf "SLO value %S is not an integer" v)))
+          | None ->
+              Error (`Msg (Printf.sprintf "SLO clause %S is not key=value" part)))
+    in
+    go [] parts
+  in
+  let print ppf slo =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) slo))
+  in
+  Arg.conv (parse, print)
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (some slo_conv) None
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:"Arm campaign-monitor watchdogs from a comma-separated spec: \
+              p99=N (end-to-end latency ceiling in clock ticks), agreement=N \
+              (quorum agreement floor, percent), deadletter=N (dead-letter \
+              ceiling, percent of retired tasks), stall=N (consecutive \
+              no-progress samples). Any firing stops the campaign.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Stop the campaign once monitored spend (payoff awards plus \
+              per-answer cost) exceeds $(docv).")
+
+let monitor_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "monitor-out" ] ~docv:"FILE"
+        ~doc:"Write the campaign monitor (lifecycle latencies, per-round \
+              cost/latency/quality series, alerts) to $(docv) after the run — \
+              JSON, or JSON lines if $(docv) ends in .jsonl. Installs the \
+              default monitor when no --budget/--slo is given.")
+
 let print_outcome o =
   let q = Tweetpecker.Metrics.row_a o in
   Format.printf "variant            %s@." (Tweetpecker.Programs.variant_name o.Tweetpecker.Runner.variant);
@@ -163,8 +233,23 @@ let print_outcome o =
         dead
 
 let run_cmd variant n seed export faults lease quorum adaptive metrics_out trace_out
-    quality_out events journal storage_faults =
+    quality_out events journal storage_faults budget slo monitor_out =
   let lease = if lease then Some Cylog.Lease.default_config else None in
+  let slo = Option.value slo ~default:[] in
+  let monitor =
+    if budget = None && slo = [] && monitor_out = None then None
+    else
+      let find k = List.assoc_opt k slo in
+      Some
+        {
+          Cylog.Monitor.default_config with
+          max_budget = budget;
+          max_p99_latency = find "p99";
+          min_agreement_pct = find "agreement";
+          max_dead_letter_pct = find "deadletter";
+          stall_samples = find "stall";
+        }
+  in
   let policy =
     Option.map
       (fun tau ->
@@ -181,8 +266,25 @@ let run_cmd variant n seed export faults lease quorum adaptive metrics_out trace
       ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
       (fun () ->
         Tweetpecker.Runner.run ~seed ~corpus:(corpus n) ?faults ?lease ?quorum
-          ?policy ?sink ?journal ?storage_faults variant)
+          ?policy ?monitor ?sink ?journal ?storage_faults variant)
   in
+  (match o.sim.stop_reason with
+  | `Alert f ->
+      Format.printf "ALERT              round %d: %s — campaign stopped@."
+        f.Cylog.Monitor.at_round
+        (Cylog.Event.alert_to_string f.alert)
+  | _ -> ());
+  (match monitor_out with
+  | Some path ->
+      let oc = open_out path in
+      (match Cylog.Engine.monitor o.engine with
+      | Some mon when Filename.check_suffix path ".jsonl" ->
+          output_string oc (Cylog.Monitor.to_jsonl mon)
+      | _ ->
+          output_string oc (Cylog.Engine.monitor_json o.engine);
+          output_char oc '\n');
+      close_out oc
+  | None -> ());
   (match o.recoveries with
   | [] -> ()
   | rs ->
@@ -303,7 +405,8 @@ let cmds =
       Term.(
         const run_cmd $ variant_arg $ tweets_arg $ seed_arg $ export_arg $ faults_arg
         $ lease_flag $ quorum_arg $ adaptive_arg $ metrics_out_arg $ trace_out_arg
-        $ quality_out_arg $ events_arg $ journal_arg $ storage_faults_arg);
+        $ quality_out_arg $ events_arg $ journal_arg $ storage_faults_arg
+        $ budget_arg $ slo_arg $ monitor_out_arg);
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
       Term.(const table1_cmd $ tweets_arg $ seed_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")

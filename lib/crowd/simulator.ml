@@ -23,7 +23,8 @@ type worker_stat = { routed : int; answered : int; early_stop_credit : int }
 type outcome = {
   log : log_entry list;
   rounds : int;
-  stop_reason : [ `Stopped | `Stalled | `Max_rounds ];
+  stop_reason :
+    [ `Stopped | `Stalled | `Max_rounds | `Alert of Cylog.Monitor.firing ];
   rejections : (Reldb.Value.t * int) list;
   capped_runs : int;
   dead_letters : (Cylog.Engine.open_tuple * Cylog.Lease.reason) list;
@@ -115,12 +116,38 @@ let install_quorum ?policy ?quorum engine =
         (Some { Cylog.Engine.k; relations = None; aggregate = majority_aggregate })
   | None, None -> ()
 
+(* Round-boundary monitor sampling, shared by both campaign loops: take
+   the sample (a journaled event — the series point and any watchdog
+   verdicts ride in the event log), then apply the caller's reaction to
+   each alert that fired. Returns the firing that should stop the
+   campaign, if any; [`Pause] sets [pause_next] so the next round skips
+   the worker turns (a cooldown round — the machine and lease reclaim
+   still run). *)
+let sample_monitor ~on_alert ~pause_next engine n =
+  if Cylog.Engine.monitor engine = None then None
+  else begin
+    let firings = Cylog.Engine.monitor_sample engine ~round:n in
+    let stop_f = ref None in
+    List.iter
+      (fun (f : Cylog.Monitor.firing) ->
+        match on_alert f with
+        | `Stop -> if !stop_f = None then stop_f := Some f
+        | `Pause -> pause_next := true
+        | `Warn -> ())
+      firings;
+    !stop_f
+  end
+
 let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?quorum
-    ?policy ~stop ~workers engine =
+    ?policy ?monitor ?(on_alert = fun _ -> `Stop) ~stop ~workers engine =
   (match lease with
   | Some _ -> Cylog.Engine.set_lease_config engine lease
   | None -> ());
   install_quorum ?policy ?quorum engine;
+  (match monitor with
+  | Some _ -> Cylog.Engine.set_monitor engine monitor
+  | None -> ());
+  let pause_next = ref false in
   let leased = lease <> None in
   let rng = Random.State.make [| seed |] in
   let tel = Cylog.Engine.telemetry engine in
@@ -192,6 +219,9 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
       in
       if leased then ignore (Cylog.Engine.reclaim engine ~now:n);
       let acted = ref false in
+      let paused = !pause_next in
+      pause_next := false;
+      if not paused then
       List.iter
         (fun (worker, policy) ->
           if not (stop engine) then begin
@@ -237,12 +267,15 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
                 end
           end)
         (shuffle rng workers);
+      let alert_stop = sample_monitor ~on_alert ~pause_next engine n in
       let verdict =
         if stop engine then `Stop
-        else begin
-          if !acted then idle_rounds := 0 else incr idle_rounds;
-          if !idle_rounds >= 5 then `Stall else `Next
-        end
+        else
+          match alert_stop with
+          | Some f -> `Alert f
+          | None ->
+              if !acted then idle_rounds := 0 else incr idle_rounds;
+              if !idle_rounds >= 5 then `Stall else `Next
       in
       Cylog.Telemetry.exit tel rspan
         ~attrs:[ ("acted", string_of_bool !acted) ]
@@ -250,6 +283,7 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
       match verdict with
       | `Stop -> `Stopped
       | `Stall -> `Stalled
+      | `Alert f -> `Alert f
       | `Next -> rounds (n + 1)
     end
   in
@@ -262,7 +296,8 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
           match stop_reason with
           | `Stopped -> "stopped"
           | `Stalled -> "stalled"
-          | `Max_rounds -> "max-rounds" ) ]
+          | `Max_rounds -> "max-rounds"
+          | `Alert _ -> "alert" ) ]
     ~clock:(Cylog.Engine.clock engine);
   let rejections =
     Hashtbl.fold (fun w n acc -> (w, n) :: acc) rejected []
@@ -290,11 +325,16 @@ let run ?(seed = 42) ?(max_rounds = 10_000) ?(progress = fun _ -> 0.0) ?lease ?q
    labels — the synthetic crowd of the quality bench and tests.
    Existence questions are out of scope and are never routed. *)
 let run_routed ?(seed = 42) ?(max_rounds = 10_000) ?lease ?quorum ?policy
+    ?monitor ?(on_alert = fun _ -> `Stop)
     ?(router = Quality.Router.default_config) ~truth ~workers engine =
   (match lease with
   | Some _ -> Cylog.Engine.set_lease_config engine lease
   | None -> ());
   install_quorum ?policy ?quorum engine;
+  (match monitor with
+  | Some _ -> Cylog.Engine.set_monitor engine monitor
+  | None -> ());
+  let pause_next = ref false in
   let leased = lease <> None in
   let rng = Random.State.make [| seed |] in
   let tel = Cylog.Engine.telemetry engine in
@@ -356,6 +396,9 @@ let run_routed ?(seed = 42) ?(max_rounds = 10_000) ?lease ?quorum ?policy
       rounds_done := n;
       if leased then ignore (Cylog.Engine.reclaim engine ~now:n);
       let acted = ref false in
+      let paused = !pause_next in
+      pause_next := false;
+      if not paused then
       List.iter
         (fun ((worker : Reldb.Value.t), profile) ->
           let reliability = Cylog.Engine.worker_reliability engine worker in
@@ -405,10 +448,13 @@ let run_routed ?(seed = 42) ?(max_rounds = 10_000) ?lease ?quorum ?policy
                 | Error _ -> reject worker
               end)
         (shuffle rng workers);
+      let alert_stop = sample_monitor ~on_alert ~pause_next engine n in
       if !acted then idle_rounds := 0 else incr idle_rounds;
       if routable () = [] then `Stopped
-      else if !idle_rounds >= 5 then `Stalled
-      else rounds (n + 1)
+      else
+        match alert_stop with
+        | Some f -> `Alert f
+        | None -> if !idle_rounds >= 5 then `Stalled else rounds (n + 1)
     end
   in
   let stop_reason = rounds 1 in
@@ -420,7 +466,8 @@ let run_routed ?(seed = 42) ?(max_rounds = 10_000) ?lease ?quorum ?policy
           match stop_reason with
           | `Stopped -> "stopped"
           | `Stalled -> "stalled"
-          | `Max_rounds -> "max-rounds" ) ]
+          | `Max_rounds -> "max-rounds"
+          | `Alert _ -> "alert" ) ]
     ~clock:(Cylog.Engine.clock engine);
   let rejections =
     Hashtbl.fold (fun w n acc -> (w, n) :: acc) rejected []

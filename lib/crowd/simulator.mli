@@ -51,9 +51,13 @@ type worker_stat = {
 type outcome = {
   log : log_entry list;  (** chronological *)
   rounds : int;  (** rounds actually executed (not the last logged round) *)
-  stop_reason : [ `Stopped | `Stalled | `Max_rounds ];
+  stop_reason :
+    [ `Stopped | `Stalled | `Max_rounds | `Alert of Cylog.Monitor.firing ];
       (** [`Stopped]: the stop condition held; [`Stalled]: every worker
-          passed on a full round; [`Max_rounds]: safety bound hit *)
+          passed on a full round; [`Max_rounds]: safety bound hit;
+          [`Alert f]: a campaign-monitor watchdog fired and the [on_alert]
+          reaction asked to stop (the firing carries the alert and the
+          round it tripped on) *)
   rejections : (Reldb.Value.t * int) list;
       (** rejected [supply]/[answer_existence]/[assign] attempts per
           worker (sorted by worker) — garbage answers, stale ids, lease
@@ -77,6 +81,8 @@ val run :
   ?seed:int -> ?max_rounds:int -> ?progress:(Cylog.Engine.t -> float) ->
   ?lease:Cylog.Lease.config -> ?quorum:int ->
   ?policy:Cylog.Engine.quorum_policy ->
+  ?monitor:Cylog.Monitor.config ->
+  ?on_alert:(Cylog.Monitor.firing -> [ `Warn | `Pause | `Stop ]) ->
   stop:(Cylog.Engine.t -> bool) ->
   workers:(Reldb.Value.t * policy) list ->
   Cylog.Engine.t -> outcome
@@ -93,12 +99,25 @@ val run :
     assignment: undesignated one-shot tasks resolve by
     {!majority_aggregate} over [k] answers. [policy] installs any
     {!Cylog.Engine.quorum_policy} (notably [Adaptive]) with the same
-    aggregate, and wins over [quorum] when both are given. *)
+    aggregate, and wins over [quorum] when both are given.
+
+    [monitor] installs the campaign monitor ({!Cylog.Engine.set_monitor})
+    before the first round; with or without it, whenever a monitor is
+    installed on the engine the simulator takes one
+    {!Cylog.Engine.monitor_sample} at the end of every round, so the
+    series has one point per round and the watchdogs are checked at round
+    granularity. Each alert that fires is passed to [on_alert]
+    (default: every alert stops the campaign): [`Stop] ends the campaign
+    with [`Alert f]; [`Pause] makes the next round a cooldown — lease
+    reclaim and the machine still run but no worker takes a turn;
+    [`Warn] carries on (the firing is already journaled and counted). *)
 
 val run_routed :
   ?seed:int -> ?max_rounds:int ->
   ?lease:Cylog.Lease.config -> ?quorum:int ->
   ?policy:Cylog.Engine.quorum_policy ->
+  ?monitor:Cylog.Monitor.config ->
+  ?on_alert:(Cylog.Monitor.firing -> [ `Warn | `Pause | `Stop ]) ->
   ?router:Quality.Router.config ->
   truth:(Cylog.Engine.open_tuple -> (string * Reldb.Value.t) list) ->
   workers:(Reldb.Value.t * Worker.profile) list ->
@@ -115,4 +134,5 @@ val run_routed :
     Existence questions are never routed. Stops when no value questions
     remain pending ([`Stopped]), after five consecutive idle rounds
     ([`Stalled] — e.g. every worker is below the floor), or at
-    [max_rounds]. [lease]/[quorum]/[policy] behave as in {!run}. *)
+    [max_rounds]. [lease]/[quorum]/[policy]/[monitor]/[on_alert] behave
+    as in {!run}. *)

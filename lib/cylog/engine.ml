@@ -1,4 +1,4 @@
-type open_id = int
+type open_id = Event.open_id
 
 type origin = Main | Game_path of string | Game_payoff of string
 
@@ -15,7 +15,10 @@ type open_tuple = {
   created_at : int;
 }
 
-type effect =
+(* The event vocabulary lives in {!Event} (a leaf module, so the campaign
+   monitor can fold over it from below); re-exported here with type
+   equations so [Engine.Inserted] etc. keep working unchanged. *)
+type effect = Event.effect =
   | Inserted of string * Reldb.Tuple.t
   | Updated of string * Reldb.Tuple.t
   | Deleted of string * int
@@ -25,8 +28,11 @@ type effect =
   | Vote_recorded of open_id * int
   | Dead_lettered of open_id * Lease.reason
   | Adaptive_resolved of { open_id : open_id; posterior_pct : int; escalated : bool }
+  | Resolved of open_id
+  | Sampled of { round : int }
+  | Alert_fired of { round : int; alert : Event.alert }
 
-type event = {
+type event = Event.event = {
   clock : int;
   statement : int;
   label : string option;
@@ -143,6 +149,8 @@ type jentry =
   | J_add_statement of Ast.statement
   | J_set_lease of Lease.config option
   | J_set_quorum of (quorum_policy * string list option) option
+  | J_set_monitor of Monitor.config option
+  | J_sample of int  (* monitor round-boundary sample *)
 
 (* Fold state for deriving metrics from the event journal: each open id's
    creation clock (for the age-at-dead-letter histogram) and the value
@@ -259,6 +267,10 @@ type t = {
   task_spans : (open_id, Telemetry.handle) Hashtbl.t;
       (* span id of each pending task's "task" span (tracing only), so
          lease/vote/resolve spans can parent to it across steps *)
+  mutable monitor : Monitor.t option;
+      (* campaign monitor; derived state — [set_monitor] backfills it
+         from [events] and restore/recovery rebuild it the same way,
+         never from serialised bytes *)
   mutable wal : Journal.t option;  (* durable WAL sink; None = volatile *)
   mutable wal_compact_pending : bool;
       (* a compaction was requested mid-entry; it runs at the start of
@@ -569,6 +581,7 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
     tel = Telemetry.create ();
     counting = fresh_count_state ();
     task_spans = Hashtbl.create 16;
+    monitor = None;
     wal = None;
     wal_compact_pending = false;
     }
@@ -697,6 +710,15 @@ let count_event st m (ev : event) =
              from the journal like every other quorum metric. *)
           M.incr m (if escalated then "quorum.escalated" else "quorum.early_stopped");
           M.observe m "quorum.posterior_at_resolution" posterior_pct
+      | Resolved _ ->
+          incr others;
+          M.incr m "open.resolved"
+      | Sampled _ -> M.incr m "monitor.samples"
+      | Alert_fired { alert; _ } ->
+          (* Like [Adaptive_resolved], the verdict rides in the event:
+             the recount reads alerts back instead of re-deciding them. *)
+          M.incr m "monitor.alerts";
+          M.incr m ("monitor.alerts." ^ Event.alert_key alert)
       | No_effect -> incr others)
     ev.effects;
   match !voted_id with
@@ -752,6 +774,7 @@ let journal_derived_prefixes =
     "open.";
     "payoff.";
     "quorum.";
+    "monitor.";
   ]
 
 let journal_derived name =
@@ -1002,10 +1025,15 @@ let record_event t event =
   t.events <- event :: t.events;
   let m = Telemetry.metrics t.tel in
   (* Guarded here (not only inside [incr]) so the disabled path never
-     allocates the per-rule / per-worker key strings. Toggling metrics
-     mid-run therefore voids journal-derivability; recount with
-     [metrics_of_events] instead. *)
-  if Telemetry.Metrics.enabled m then count_event t.counting m event
+     allocates the per-rule / per-worker key strings — the monitor's
+     lifecycle recording shelters behind the same single boolean test.
+     Toggling metrics mid-run therefore voids journal-derivability (for
+     counters and monitor state alike); recount with [metrics_of_events]
+     or [Monitor.of_events] instead. *)
+  if Telemetry.Metrics.enabled m then begin
+    count_event t.counting m event;
+    match t.monitor with Some mon -> Monitor.observe mon event | None -> ()
+  end
 
 let check_tail t env tail =
   let rec loop env = function
@@ -1419,6 +1447,62 @@ let quorum_of t =
     t.quorum
 
 let quorum_policy_of t = Option.map (fun qs -> qs.qs_policy) t.quorum
+
+(* --- Campaign monitor -------------------------------------------------------- *)
+
+let set_monitor t cfg =
+  journal t (J_set_monitor cfg);
+  (* Backfill from the whole event log, so the live monitor always equals
+     [Monitor.of_events cfg (events t)] no matter when it was installed —
+     and so snapshot replay and crash recovery (which re-run or re-derive
+     this entry) land on identical state. *)
+  t.monitor <- Option.map (fun c -> Monitor.of_events c (events t)) cfg
+
+let monitor t = t.monitor
+
+let monitor_json t =
+  match t.monitor with Some mon -> Monitor.to_json mon | None -> "null"
+
+(* A round-boundary sample: journal-first like every mutation, then run
+   the watchdogs and record one event whose [Sampled]/[Alert_fired]
+   effects carry the whole verdict — the event log, not the monitor's
+   memory, is the source of truth (the recount fold reads the firings
+   back). With the metrics kill switch off the sample is journaled but no
+   event is recorded — the same "toggling voids derivability" caveat the
+   counter recount carries. *)
+let monitor_sample t ~round =
+  journal t (J_sample round);
+  match t.monitor with
+  | None -> []
+  | Some mon ->
+      if not (Telemetry.Metrics.enabled (Telemetry.metrics t.tel)) then []
+      else begin
+        let alerts = Monitor.check mon in
+        t.clock <- t.clock + 1;
+        let effects =
+          Sampled { round }
+          :: List.map (fun alert -> Alert_fired { round; alert }) alerts
+        in
+        record_event t
+          {
+            clock = t.clock;
+            statement = -1;
+            label = Some "monitor";
+            valuation = [];
+            fired = false;
+            effects;
+            by_human = None;
+          };
+        if Telemetry.tracing t.tel then
+          Telemetry.emit t.tel "monitor-sample"
+            ~attrs:
+              [ ("round", string_of_int round);
+                ("alerts", string_of_int (List.length alerts)) ]
+            ~clock:t.clock;
+        List.map
+          (fun alert -> { Monitor.at_round = round; at_clock = t.clock; alert })
+          alerts
+      end
 
 (* Quorum applies to undesignated, non-repeatable tasks: several workers
    answer the same open tuple and an aggregation policy picks the value.
@@ -1863,8 +1947,20 @@ let supply_checked t id ~worker values =
               | None ->
                   let bound = Reldb.Tuple.to_list o.bound @ values in
                   let effect = insert_tuple t o.relation bound in
-                  if o.repeatable then release_lease t o worker else resolve t id;
-                  Ok (human_event t o worker [ effect ] values))
+                  (* The [Resolved] marker makes non-quorum retirement
+                     visible to event folds (the campaign monitor's
+                     lifecycle tracing); quorum resolutions keep their
+                     historical shape and are recognised by the final
+                     [Vote_recorded] riding with other effects. Standing
+                     (repeatable) tasks never retire. *)
+                  if o.repeatable then begin
+                    release_lease t o worker;
+                    Ok (human_event t o worker [ effect ] values)
+                  end
+                  else begin
+                    resolve t id;
+                    Ok (human_event t o worker [ effect; Resolved o.id ] values)
+                  end)
       end
 
 (* Engine-local outcome counters for human answers. Accepted answers are
@@ -1988,7 +2084,7 @@ let answer_existence_checked t id ~worker yes =
               else [ No_effect ]
             in
             resolve t id;
-            Ok (human_event t o worker effects []))
+            Ok (human_event t o worker (effects @ [ Resolved o.id ]) []))
 
 let answer_existence t id ~worker yes =
   journal t (J_answer (id, worker, yes));
@@ -2264,6 +2360,8 @@ let replay_entry t = function
   | J_add_statement s -> add_statement t s
   | J_set_lease cfg -> set_lease_config t cfg
   | J_set_quorum q -> install_quorum t q ~aggregate:default_aggregate
+  | J_set_monitor cfg -> set_monitor t cfg
+  | J_sample round -> ignore (monitor_sample t ~round)
 
 (* Replay one entry, substituting the unserialisable aggregate closure
    when the entry installs a quorum policy — the policy itself (Fixed or
@@ -2356,6 +2454,14 @@ let restore_state ?builtins ?aggregate (p : state_payload) =
   let tel = Telemetry.create () in
   let counting = fresh_count_state () in
   List.iter (count_event counting (Telemetry.metrics tel)) p.st_events;
+  (* The monitor is derived state: the last installed config is in the
+     journal (like added statements above) and its state is the fold of
+     the restored events — byte-identical to the crashed engine's. *)
+  let monitor_config =
+    List.fold_left
+      (fun acc e -> match e with J_set_monitor c -> c | _ -> acc)
+      None p.st_journal
+  in
   {
     db = p.st_db;
     builtins;
@@ -2388,6 +2494,7 @@ let restore_state ?builtins ?aggregate (p : state_payload) =
     tel;
     counting;
     task_spans = Hashtbl.create 16;
+    monitor = Option.map (fun c -> Monitor.of_events c p.st_events) monitor_config;
     wal = None;
     wal_compact_pending = false;
   }

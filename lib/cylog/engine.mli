@@ -44,7 +44,11 @@ type open_tuple = {
   created_at : int;  (** engine clock at creation *)
 }
 
-type effect =
+(** The event vocabulary is defined in {!Cylog.Event} (a leaf module, so
+    the campaign monitor can fold over the log from below the engine) and
+    re-exported here with type equations: [Engine.Inserted] and
+    [Event.Inserted] are the same constructor. *)
+type effect = Event.effect =
   | Inserted of string * Reldb.Tuple.t
   | Updated of string * Reldb.Tuple.t
   | Deleted of string * int  (** relation, how many tuples *)
@@ -63,10 +67,21 @@ type effect =
           event as the final [Vote_recorded] and the insertion, so every
           adaptive metric recounts from the journal (see
           {!metrics_of_events}). *)
+  | Resolved of open_id
+      (** a non-quorum task left the pending pool by answer — the marker
+          that makes non-quorum retirement visible to event folds (the
+          monitor's lifecycle tracing). Quorum resolutions keep their
+          historical shape: a [Vote_recorded] riding with other effects. *)
+  | Sampled of { round : int }
+      (** a {!monitor_sample} round-boundary sample *)
+  | Alert_fired of { round : int; alert : Event.alert }
+      (** a monitor watchdog fired; the alert carries observed value and
+          limit, so the recount fold reads it back instead of re-deciding
+          (the [Adaptive_resolved] precedent) *)
 
-type event = {
+type event = Event.event = {
   clock : int;
-  statement : int;
+  statement : int;  (** [-1] for monitor sample events *)
   label : string option;
   valuation : (string * Reldb.Value.t) list;
   fired : bool;  (** false: a trailing filter rejected the instance *)
@@ -377,6 +392,36 @@ val journal_derived : string -> bool
 (** Whether a metric name is recomputable from {!events} (as opposed to
     engine-local operational counters such as planner cache hits, lease
     refusals or rejected answers, which leave no event). *)
+
+(** {1 Campaign monitor}
+
+    The cost/latency/quality dashboard of a running campaign — see
+    {!Cylog.Monitor} for the series and alert catalogue. The monitor is
+    {e derived} state: installing one backfills it by folding the whole
+    event log, snapshots never serialise it, and restore/recovery rebuild
+    it from the replayed events — so
+    [Monitor.view (Option.get (monitor t))] always equals
+    [Monitor.view (Monitor.of_events cfg (events t))]. *)
+
+val set_monitor : t -> Monitor.config option -> unit
+(** Install (or remove, with [None]) the campaign monitor. Journaled;
+    installation mid-campaign still reports full history (the event log
+    is folded from the start). *)
+
+val monitor : t -> Monitor.t option
+
+val monitor_json : t -> string
+(** {!Cylog.Monitor.to_json} of the installed monitor; ["null"] when none
+    is installed. *)
+
+val monitor_sample : t -> round:int -> Monitor.firing list
+(** Take a round-boundary sample: run the armed watchdogs, then record
+    one journaled event whose [Sampled]/[Alert_fired] effects carry the
+    series point and any verdicts — the crowd simulator calls this once
+    per round. Returns the alerts that fired {e this} sample (each alert
+    kind fires at most once per campaign) so the caller can warn, pause
+    or stop. No-op returning [[]] without an installed monitor or with
+    the metrics registry disabled. *)
 
 val explain : t -> string
 (** Render the engine's current evaluation evidence: per rule the

@@ -1,0 +1,69 @@
+(* The engine's event vocabulary, extracted below Engine so layers that
+   fold over the event log (the campaign monitor, recount checks) can sit
+   between Telemetry and Engine without a dependency cycle. Engine
+   re-exports every type here with an equation, so [Engine.Inserted] and
+   [Event.Inserted] are the same constructor. *)
+
+type open_id = int
+
+(* A watchdog verdict. Each constructor carries the observed value and
+   the configured limit, so the journalled event is self-contained: the
+   recount fold reads the firing from the event instead of re-deciding
+   (the [Adaptive_resolved] evidence-in-event precedent). *)
+type alert =
+  | Budget_exceeded of { spent : int; budget : int }
+  | Latency_breached of { p99 : int; limit : int }
+  | Agreement_low of { pct : int; floor : int }
+  | Dead_letters_high of { pct : int; ceiling : int }
+  | Stalled of { samples : int; limit : int }
+
+let alert_key = function
+  | Budget_exceeded _ -> "budget"
+  | Latency_breached _ -> "latency"
+  | Agreement_low _ -> "agreement"
+  | Dead_letters_high _ -> "dead_letter"
+  | Stalled _ -> "stall"
+
+(* (observed, limit) — the two numbers every alert is a comparison of. *)
+let alert_numbers = function
+  | Budget_exceeded { spent; budget } -> (spent, budget)
+  | Latency_breached { p99; limit } -> (p99, limit)
+  | Agreement_low { pct; floor } -> (pct, floor)
+  | Dead_letters_high { pct; ceiling } -> (pct, ceiling)
+  | Stalled { samples; limit } -> (samples, limit)
+
+let alert_to_string = function
+  | Budget_exceeded { spent; budget } ->
+      Printf.sprintf "budget exceeded: spent %d > budget %d" spent budget
+  | Latency_breached { p99; limit } ->
+      Printf.sprintf "p99 task latency breached: %d > %d" p99 limit
+  | Agreement_low { pct; floor } ->
+      Printf.sprintf "agreement rate low: %d%% < %d%%" pct floor
+  | Dead_letters_high { pct; ceiling } ->
+      Printf.sprintf "dead-letter rate high: %d%% > %d%%" pct ceiling
+  | Stalled { samples; limit } ->
+      Printf.sprintf "campaign stalled: %d idle samples >= %d" samples limit
+
+type effect =
+  | Inserted of string * Reldb.Tuple.t
+  | Updated of string * Reldb.Tuple.t
+  | Deleted of string * int
+  | Awarded of (Reldb.Value.t * Reldb.Value.t) list
+  | Open_created of open_id
+  | No_effect
+  | Vote_recorded of open_id * int
+  | Dead_lettered of open_id * Lease.reason
+  | Adaptive_resolved of { open_id : open_id; posterior_pct : int; escalated : bool }
+  | Resolved of open_id
+  | Sampled of { round : int }
+  | Alert_fired of { round : int; alert : alert }
+
+type event = {
+  clock : int;
+  statement : int;
+  label : string option;
+  valuation : (string * Reldb.Value.t) list;
+  fired : bool;
+  effects : effect list;
+  by_human : Reldb.Value.t option;
+}

@@ -11,7 +11,11 @@
     The module is pure bookkeeping over caller-supplied logical time
     (engine clock, simulator round — any monotone counter): it never
     touches the database or the open-tuple pool. {!Cylog.Engine} embeds
-    one instance and drives it from [assign]/[reclaim]/[supply]. *)
+    one instance and drives it from [assign]/[reclaim]/[supply].
+
+    Dead-lettering here is {e per-task} policy; the campaign-level view
+    — what fraction of tasks go that way, and pulling the brake when
+    too many do — belongs to the {!Cylog.Monitor} watchdogs. *)
 
 type reason =
   | Timed_out  (** the retry budget was exhausted by expired leases *)

@@ -168,6 +168,10 @@ let pp_effect ppf (eff : Engine.effect) =
       Format.fprintf ppf "%s #%d (posterior %d%%)"
         (if escalated then "escalated" else "early-stop")
         open_id posterior_pct
+  | Engine.Resolved id -> Format.fprintf ppf "resolved #%d" id
+  | Engine.Sampled { round } -> Format.fprintf ppf "sample (round %d)" round
+  | Engine.Alert_fired { round; alert } ->
+      Format.fprintf ppf "ALERT (round %d) %s" round (Event.alert_to_string alert)
 
 let pp_event ppf (e : Engine.event) =
   let rule =

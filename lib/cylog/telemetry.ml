@@ -114,6 +114,33 @@ module Metrics = struct
   let histograms t = sorted_of_tbl t.hs freeze
   let histogram t name = Option.map freeze (Hashtbl.find_opt t.hs name)
 
+  (* Interpolated quantile over the fixed buckets: find the bucket holding
+     rank [q * count] and interpolate linearly inside it. The overflow
+     bucket has no upper bound, so a quantile landing there reports the
+     last bound — a lower bound on the true value. *)
+  let quantile (h : histogram) q =
+    if h.count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int h.count in
+      let n = Array.length h.bounds in
+      let rec go i cum =
+        if i > n then float_of_int h.bounds.(n - 1)
+        else
+          let c = h.counts.(i) in
+          let cum' = cum +. float_of_int c in
+          if c > 0 && target <= cum' then
+            if i = n then float_of_int h.bounds.(n - 1)
+            else
+              let lo = if i = 0 then 0.0 else float_of_int h.bounds.(i - 1) in
+              let hi = float_of_int h.bounds.(i) in
+              let frac = Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int c)) in
+              lo +. ((hi -. lo) *. frac)
+          else go (i + 1) cum'
+      in
+      go 0 0.0
+    end
+
   let equal a b =
     counters a = counters b && gauges a = gauges b && histograms a = histograms b
 
@@ -156,8 +183,10 @@ module Metrics = struct
     section "histograms" (histograms t) (fun h ->
         if h.count = 0 then "count=0"
         else
-          Printf.sprintf "count=%d sum=%d avg=%.1f" h.count h.sum
-            (float_of_int h.sum /. float_of_int h.count))
+          Printf.sprintf "count=%d sum=%d avg=%.1f p50=%.1f p95=%.1f p99=%.1f"
+            h.count h.sum
+            (float_of_int h.sum /. float_of_int h.count)
+            (quantile h 0.50) (quantile h 0.95) (quantile h 0.99))
 end
 
 type span = {

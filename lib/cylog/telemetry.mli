@@ -69,6 +69,15 @@ module Metrics : sig
   (** One histogram by name; [None] when nothing was ever observed
       under it. *)
 
+  val quantile : histogram -> float -> float
+  (** [quantile h q] is the interpolated [q]-quantile ([0. <= q <= 1.],
+      clamped) of the samples [h] bucketed: the bucket containing rank
+      [q * count] is found and the value interpolated linearly within its
+      bounds. Samples in the overflow bucket report the last bound — a
+      lower bound on the true quantile. [0.] when the histogram is empty.
+      The bucket wire format is unchanged; this is a read-side accessor
+      (how [:stats] and the campaign monitor print p50/p95/p99). *)
+
   val equal : t -> t -> bool
   (** Same counters, gauges and histograms (names and values). *)
 

@@ -80,7 +80,8 @@ let collect_extracts db =
         (Reldb.Relation.tuples rel)
 
 let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
-    ?policy ?faults ?sink ?journal ?journal_config ?storage_faults variant =
+    ?policy ?monitor ?on_alert ?faults ?sink ?journal ?journal_config
+    ?storage_faults variant =
   let corpus = match corpus with Some c -> c | None -> Tweets.Generator.corpus () in
   let workers = match workers with Some w -> w | None -> default_workers variant in
   let names = List.map (fun (w : Crowd.Worker.profile) -> w.name) workers in
@@ -138,8 +139,8 @@ let run ?(seed = 7) ?corpus ?workers ?use_delta ?use_planner ?lease ?quorum
   let rec drive attempts engine =
     try
       let sim =
-        Crowd.Simulator.run ~seed ~progress ?lease ?quorum ?policy ~stop
-          ~workers:sim_workers engine
+        Crowd.Simulator.run ~seed ~progress ?lease ?quorum ?policy ?monitor
+          ?on_alert ~stop ~workers:sim_workers engine
       in
       Option.iter Cylog.Journal.sync (Cylog.Engine.durable_journal engine);
       (engine, sim)

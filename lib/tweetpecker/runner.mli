@@ -31,7 +31,10 @@ val run :
   ?seed:int -> ?corpus:Tweets.Generator.tweet list ->
   ?workers:Crowd.Worker.profile list -> ?use_delta:bool -> ?use_planner:bool ->
   ?lease:Cylog.Lease.config -> ?quorum:int ->
-  ?policy:Cylog.Engine.quorum_policy -> ?faults:Crowd.Faults.fault list ->
+  ?policy:Cylog.Engine.quorum_policy ->
+  ?monitor:Cylog.Monitor.config ->
+  ?on_alert:(Cylog.Monitor.firing -> [ `Warn | `Pause | `Stop ]) ->
+  ?faults:Crowd.Faults.fault list ->
   ?sink:Cylog.Telemetry.Sink.t -> ?journal:string ->
   ?journal_config:Cylog.Journal.config ->
   ?storage_faults:Crowd.Faults.storage_fault list -> Programs.variant -> outcome
@@ -43,8 +46,10 @@ val run :
     differential testing of semi-naive evaluation and the planner. [lease], [quorum] and [policy] are passed
     through to {!Crowd.Simulator.run} (lease runtime, redundant
     assignment, and adaptive quorum policies — [policy] wins over
-    [quorum]); [faults] wraps every worker with {!Crowd.Faults.inject}
-    under the same [seed]. [sink] installs a tracing sink on the engine
+    [quorum]); [monitor] and [on_alert] install the campaign monitor and
+    its alert reactions (see {!Crowd.Simulator.run} — by default any
+    watchdog firing stops the campaign with [`Alert]); [faults] wraps
+    every worker with {!Crowd.Faults.inject} under the same [seed]. [sink] installs a tracing sink on the engine
     before the campaign starts (see {!Cylog.Telemetry.Sink}); the
     engine's metrics registry is reachable afterwards through
     [outcome.engine].
