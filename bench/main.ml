@@ -584,6 +584,14 @@ let telemetry_snapshot m =
             Printf.sprintf "\"%s\": %d" (Cylog.Telemetry.json_escape k) v)
           rows))
 
+(* The run's static budget certificate rides next to the telemetry in the
+   artifact: a bound regression (a relation going unbounded, a task bound
+   jumping) shows up in the JSON diff like a counter regression does. *)
+let certificate_snapshot engine =
+  match Cylog.Engine.certificate engine with
+  | Some c -> Cylog.Analysis.certificate_json c
+  | None -> "null"
+
 (* ------------------------------------------------------------------ *)
 (* Joins: cost-based planning + compound-key indexes, scaling study    *)
 (* ------------------------------------------------------------------ *)
@@ -617,6 +625,7 @@ type joins_run = {
   j_cache_hits : int;
   j_cache_misses : int;
   j_telemetry : string;
+  j_certificate : string;
   j_out : Reldb.Tuple.t list;
   j_trace : (int * string option * (string * Reldb.Value.t) list * bool) list;
 }
@@ -664,8 +673,9 @@ let joins_run ?(metrics = true) ~scale ~use_planner () =
       (Cylog.Engine.events engine)
   in
   let j_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine) in
+  let j_certificate = certificate_snapshot engine in
   { j_seconds; j_rows_scanned; j_steps; j_cache_hits; j_cache_misses; j_telemetry;
-    j_out; j_trace }
+    j_certificate; j_out; j_trace }
 
 type joins_row = { scale : int; naive : joins_run; planned : joins_run }
 
@@ -699,9 +709,10 @@ let joins_json rows =
       let run label (m : joins_run) =
         Printf.sprintf
           "      \"%s\": { \"seconds\": %.6f, \"rows_scanned\": %d, \"steps\": %d, \
-           \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"telemetry\": %s }"
+           \"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \"telemetry\": %s, \
+           \"certificate\": %s }"
           label m.j_seconds m.j_rows_scanned m.j_steps m.j_cache_hits m.j_cache_misses
-          m.j_telemetry
+          m.j_telemetry m.j_certificate
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -788,6 +799,7 @@ type inc_run = {
   i_rows_last : int;
   i_out : int;
   i_telemetry : string;
+  i_certificate : string;
 }
 
 let incremental_run ~preload ~supplies ~semi () =
@@ -845,6 +857,7 @@ let incremental_run ~preload ~supplies ~semi () =
       | Some rel -> Reldb.Relation.cardinal rel
       | None -> 0);
     i_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine);
+    i_certificate = certificate_snapshot engine;
   }
 
 let inc_mean_rows r = float_of_int r.i_supply_rows /. float_of_int (max 1 r.i_supplies)
@@ -887,9 +900,11 @@ let incremental_json ~supplies rows =
           "      \"%s\": { \"load_seconds\": %.6f, \"supply_seconds_total\": %.6f, \
            \"supply_rows_total\": %d, \"rows_per_supply_mean\": %.2f, \
            \"seconds_per_supply_mean\": %.8f, \"rows_first_supply\": %d, \
-           \"rows_last_supply\": %d, \"out_rows\": %d, \"telemetry\": %s }"
+           \"rows_last_supply\": %d, \"out_rows\": %d, \"telemetry\": %s, \
+           \"certificate\": %s }"
           label m.i_load_seconds m.i_supply_seconds m.i_supply_rows (inc_mean_rows m)
           (inc_mean_seconds m) m.i_rows_first m.i_rows_last m.i_out m.i_telemetry
+          m.i_certificate
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -1004,6 +1019,7 @@ type quality_run = {
   q_rounds : int;
   q_reliability : (string * float * int) list;
   q_telemetry : string;
+  q_certificate : string;
 }
 
 let quality_campaign ~label ~seed ~items ?quorum ?policy () =
@@ -1056,6 +1072,7 @@ let quality_campaign ~label ~seed ~items ?quorum ?policy () =
     q_rounds = outcome.rounds;
     q_reliability = Cylog.Engine.reliability_table engine;
     q_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine);
+    q_certificate = certificate_snapshot engine;
   }
 
 let quality_policy =
@@ -1094,7 +1111,8 @@ let quality_json ~seed runs =
             \"correct\": %d, \"accuracy\": %.4f, \"answers\": %d, \
             \"early_stopped\": %d, \"escalated\": %d, \"rounds\": %d,\n\
            \      \"reliability\": { %s },\n\
-           \      \"telemetry\": %s }%s\n"
+           \      \"telemetry\": %s,\n\
+           \      \"certificate\": %s }%s\n"
            r.q_label r.q_items r.q_resolved r.q_correct (quality_accuracy r)
            r.q_answers r.q_early_stopped r.q_escalated r.q_rounds
            (String.concat ", "
@@ -1103,7 +1121,7 @@ let quality_json ~seed runs =
                    Printf.sprintf "\"%s\": { \"mean\": %.4f, \"observations\": %d }"
                      w rel n)
                  r.q_reliability))
-           r.q_telemetry
+           r.q_telemetry r.q_certificate
            (if i = List.length runs - 1 then "" else ",")))
     runs;
   Buffer.add_string buf "  ]\n}\n";
@@ -1216,6 +1234,7 @@ type dur_recovery_run = {
   r_recover_seconds : float;
   r_identical : bool;
   r_telemetry : string;
+  r_certificate : string;
 }
 
 (* A labelling campaign of [tasks] journaled supplies: bulk state goes in
@@ -1272,6 +1291,7 @@ let dur_campaign ?sim ~tasks ~compact () =
     r_recover_seconds;
     r_identical;
     r_telemetry = telemetry_snapshot (Cylog.Engine.metrics engine);
+    r_certificate = certificate_snapshot engine;
   }
 
 let pp_dur_policy_run r =
@@ -1312,10 +1332,10 @@ let durability_json policies recoveries =
            "    { \"tasks\": %d, \"compacted\": %b, \"records_replayed\": %d, \
             \"base_segment\": %d, \"segments_scanned\": %d, \
             \"write_seconds\": %.6f, \"recover_seconds\": %.6f, \
-            \"identical_results\": %b, \"telemetry\": %s }%s\n"
+            \"identical_results\": %b, \"telemetry\": %s, \"certificate\": %s }%s\n"
            r.r_tasks r.r_compacted r.r_records_replayed r.r_base_segment
            r.r_segments_scanned r.r_write_seconds r.r_recover_seconds r.r_identical
-           r.r_telemetry
+           r.r_telemetry r.r_certificate
            (if i = List.length recoveries - 1 then "" else ",")))
     recoveries;
   Buffer.add_string buf "  ]\n}\n";
@@ -1547,13 +1567,15 @@ let monitor_json_report ~seed ~items ~budget (engine, mon, outcome)
        \    \"rounds\": %d, \"stop\": \"%s\",\n\
        \    \"e2e_p50\": %.2f, \"e2e_p95\": %.2f, \"e2e_p99\": %.2f,\n\
        \    \"monitor\": %s,\n\
-       \    \"telemetry\": %s\n\
+       \    \"telemetry\": %s,\n\
+       \    \"certificate\": %s\n\
        \  },\n"
        outcome.Crowd.Simulator.rounds
        (stop_name outcome.Crowd.Simulator.stop_reason)
        (monitor_e2e mon 0.5) (monitor_e2e mon 0.95) (monitor_e2e mon 0.99)
        (Cylog.Monitor.to_json mon)
-       (telemetry_snapshot (Cylog.Engine.metrics engine)));
+       (telemetry_snapshot (Cylog.Engine.metrics engine))
+       (certificate_snapshot engine));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"budget_capped\": {\n\
@@ -1563,7 +1585,8 @@ let monitor_json_report ~seed ~items ~budget (engine, mon, outcome)
         \"stopped_within_one_round\": %b,\n\
        \    \"recount_agrees\": %b, \"recovered_agrees\": %b,\n\
        \    \"monitor\": %s,\n\
-       \    \"telemetry\": %s\n\
+       \    \"telemetry\": %s,\n\
+       \    \"certificate\": %s\n\
        \  }\n}\n"
        budget outcome_b.Crowd.Simulator.rounds
        (stop_name outcome_b.Crowd.Simulator.stop_reason)
@@ -1574,7 +1597,8 @@ let monitor_json_report ~seed ~items ~budget (engine, mon, outcome)
        checks.c_fired_once checks.c_stopped_via_alert checks.c_within_one_round
        checks.c_recount checks.c_recovered
        (Cylog.Monitor.to_json mon_b)
-       (telemetry_snapshot (Cylog.Engine.metrics engine_b)));
+       (telemetry_snapshot (Cylog.Engine.metrics engine_b))
+       (certificate_snapshot engine_b));
   Buffer.contents buf
 
 let pp_monitor_run label mon (outcome : Crowd.Simulator.outcome) =

@@ -4,6 +4,7 @@
      run FILE       load a program, run the machine, answer open tuples
                     interactively on stdin, print the database at fixpoint
      check FILE     parse and statically check a program (Cylog.Lint)
+     analyze FILE   print the static budget certificate (Cylog.Analysis)
      graph FILE     print the rule precedence graph (Figure 14 style)
      classify FILE  print the game class (G_N or G_star) of the program
      pretty FILE    parse and pretty-print the program *)
@@ -209,6 +210,9 @@ let resume_cmd interactive max_steps checkpoint metrics_out trace_out path =
             exit 1
         | Cylog.Engine.Runtime_error m ->
             prerr_endline (path ^ ": " ^ m);
+            exit 1
+        | Cylog.Lint.Rejected diags ->
+            List.iter (fun d -> prerr_endline (Cylog.Lint.render ~file:path d)) diags;
             exit 1)
   in
   Format.printf "restored %s (clock %d, %d events)@." path (Cylog.Engine.clock engine)
@@ -224,6 +228,9 @@ let recover_cmd interactive max_steps checkpoint metrics_out trace_out dir =
         exit 1
     | Cylog.Engine.Snapshot_error reason ->
         prerr_endline (dir ^ ": " ^ Cylog.Engine.snapshot_reason_to_string reason);
+        exit 1
+    | Cylog.Lint.Rejected diags ->
+        List.iter (fun d -> prerr_endline (Cylog.Lint.render ~file:dir d)) diags;
         exit 1
   in
   Format.printf
@@ -296,6 +303,40 @@ let check_cmd format warnings path =
       | _ -> ());
       if Cylog.Lint.has_errors diags then exit 1
 
+(* --- analyze ------------------------------------------------------------- *)
+
+(* Exit 1 only for the unbounded-task-emission class: an open statement
+   whose answer bound is unbounded through a cycle. Standing tasks and
+   bounded-by-input certificates are warnings (surfaced by [check]) and
+   keep exit 0, so pipelines can still read the certificate. *)
+let analyze_cmd format votes path =
+  match Cylog.Parser.parse (read_file path) with
+  | Error e ->
+      (match format with
+      | `Json -> print_endline (Cylog.Lint.render_json ~file:path [ parse_error_diagnostic e ])
+      | `Text -> print_endline (Cylog.Lint.render ~file:path (parse_error_diagnostic e)));
+      exit 1
+  | Ok program ->
+      let policy =
+        if votes <= 1 then Cylog.Analysis.no_policy
+        else { Cylog.Analysis.votes; scope = None }
+      in
+      let cert = Cylog.Analysis.analyze ~policy program in
+      (match format with
+      | `Json -> print_endline (Cylog.Analysis.certificate_json cert)
+      | `Text -> print_string (Cylog.Analysis.certificate_to_string cert));
+      let unbounded_emission =
+        List.exists
+          (fun (tb : Cylog.Analysis.task_bound) ->
+            match tb.tb_answers with
+            | Cylog.Analysis.Unbounded
+                (Cylog.Analysis.Open_cycle _ | Cylog.Analysis.Value_cycle _) ->
+                true
+            | _ -> false)
+          cert.cert_tasks
+      in
+      if unbounded_emission then exit 1
+
 let graph_cmd path =
   let program = or_die (parse_file path) in
   let engine = load_or_die path program in
@@ -337,6 +378,8 @@ let repl_help () =
     \  :quality             dump worker reliability and task posteriors (JSON)\n\
     \  :explain             show plans, leases and quorum state\n\
     \  :check               lint the program (preloaded + typed statements)\n\
+    \  :analyze             print the static budget certificate (cardinality\n\
+    \                       bounds and per-open-statement task bounds)\n\
     \  :dead                show dead-lettered tasks\n\
     \  :snapshot FILE       checkpoint the session to FILE\n\
     \  :help                this message\n\
@@ -465,6 +508,18 @@ let repl_cmd file =
               (fun d -> print_endline (Cylog.Lint.render ~file:base_file d))
               diags);
         `Continue
+    | [ ":analyze" ] ->
+        (* Like [:check], the certificate covers the preloaded source plus
+           everything typed at the prompt, not the desugared forms. *)
+        let program =
+          {
+            base_program with
+            Cylog.Ast.statements = base_program.Cylog.Ast.statements @ List.rev !typed;
+          }
+        in
+        print_string
+          (Cylog.Analysis.certificate_to_string (Cylog.Analysis.analyze program));
+        `Continue
     | [ ":dead" ] ->
         (match Cylog.Engine.dead_letters engine with
         | [] -> print_endline "no dead-lettered tasks"
@@ -592,6 +647,13 @@ let format_arg =
         ~doc:"Diagnostic output format: $(b,text) (one line per diagnostic) or \
               $(b,json) (one array).")
 
+let votes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "votes" ] ~docv:"N"
+        ~doc:"Charge $(docv) answers per undesignated task — the quorum's \
+              redundant-assignment factor. Default 1 (one answer per task).")
+
 let warn_arg =
   Arg.(
     value
@@ -632,6 +694,12 @@ let cmds =
          ~doc:"Statically check a CyLog program (safety, stratification, schemas, \
                liveness, games)")
       Term.(const check_cmd $ format_arg $ warn_arg $ file_arg);
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Compute the static budget certificate: per-relation cardinality \
+               bounds and per-open-statement task-emission bounds. Exits 1 when \
+               an open statement can issue unboundedly many tasks.")
+      Term.(const analyze_cmd $ format_arg $ votes_arg $ file_arg);
     Cmd.v (Cmd.info "graph" ~doc:"Print the rule precedence graph")
       Term.(const graph_cmd $ file_arg);
     Cmd.v (Cmd.info "classify" ~doc:"Print the game class (G_N / G_*)")

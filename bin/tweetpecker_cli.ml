@@ -357,6 +357,26 @@ let table1_cmd n seed =
       | Some c -> Printf.sprintf "%.2f%%" (100.0 *. c)
       | None -> "-")
 
+(* Static budget certificate of a variant's generated program: what the
+   campaign can spend before a single task is issued. The charged policy
+   mirrors the quorum flag ([--quorum K] charges K answers per
+   undesignated task). *)
+let analyze_cmd variant n quorum =
+  let c = corpus n in
+  let workers =
+    List.map
+      (fun (w : Crowd.Worker.profile) -> w.name)
+      (Tweetpecker.Runner.default_workers variant)
+  in
+  let program = Tweetpecker.Programs.program variant ~corpus:c ~workers in
+  let policy =
+    match quorum with
+    | Some k when k > 1 -> { Cylog.Analysis.votes = k; scope = None }
+    | _ -> Cylog.Analysis.no_policy
+  in
+  print_string
+    (Cylog.Analysis.certificate_to_string (Cylog.Analysis.analyze ~policy program))
+
 let source_cmd variant n =
   let c = corpus n in
   print_string
@@ -409,6 +429,12 @@ let cmds =
         $ budget_arg $ slo_arg $ monitor_out_arg);
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 across all four variants")
       Term.(const table1_cmd $ tweets_arg $ seed_arg);
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Print the static budget certificate of a variant's generated \
+               program (per-relation cardinality bounds, per-open-statement \
+               task bounds).")
+      Term.(const analyze_cmd $ variant_arg $ tweets_arg $ quorum_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")
       Term.(const source_cmd $ variant_arg $ tweets_arg) ]
 

@@ -276,6 +276,12 @@ type t = {
       (* a compaction was requested mid-entry; it runs at the start of
          the NEXT journaled entry, when the requesting one is fully
          applied (see [wal_append]) *)
+  use_analysis : bool;  (* budget-certificate cross-check on/off *)
+  mutable analysis_cache : (Analysis.certificate * int option) option;
+      (* the program's certificate under the installed quorum policy and
+         its finite total-answer bound (None = not statically finite);
+         derived state — recomputed on demand, invalidated by
+         [add_statement] and [install_quorum], never serialised *)
 }
 
 (* --- Durable journal (WAL) -------------------------------------------------- *)
@@ -534,7 +540,7 @@ let make_info ~use_delta ((s : Ast.statement), origin) =
   }
 
 let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
-    ?journal ?journal_config (program : Ast.program) =
+    ?(analysis = true) ?journal ?journal_config (program : Ast.program) =
   (match lint with
   | `Off -> ()
   | `Strict | `Warn -> (
@@ -584,6 +590,8 @@ let load ?builtins ?(use_delta = true) ?(use_planner = true) ?(lint = `Strict)
     monitor = None;
     wal = None;
     wal_compact_pending = false;
+    use_analysis = analysis;
+    analysis_cache = None;
     }
   in
   (match journal with
@@ -639,7 +647,8 @@ let add_statement t (s : Ast.statement) =
   (* New /update or /delete targets need no special handling: delta
      statements reading the affected relations watch their destruction
      counters and re-derive themselves when a mutation actually lands. *)
-  t.infos <- Array.append t.infos [| make_info ~use_delta:t.use_delta (s, Main) |]
+  t.infos <- Array.append t.infos [| make_info ~use_delta:t.use_delta (s, Main) |];
+  t.analysis_cache <- None
 
 let builtins t = t.builtins
 let clock t = t.clock
@@ -1019,6 +1028,72 @@ let apply_head t idx info env (head : Ast.head) =
           else update_tuple t atom.pred bound
       | Ast.Delete -> delete_tuples t atom.pred bound)
 
+(* --- Budget certificate (Analysis) ----------------------------------------- *)
+
+let analysis_policy t =
+  match t.quorum with
+  | None -> Analysis.no_policy
+  | Some qs ->
+      { Analysis.votes = policy_cap qs.qs_policy; scope = qs.qs_relations }
+
+(* The program as the analysis should see it now: the loaded source plus
+   every statement added incrementally since (the [Main]-origin infos are
+   exactly those, unrewritten; game rules re-desugar from the decls). *)
+let analysis_program t =
+  let main =
+    List.filter_map
+      (fun i -> match i.origin with Main -> Some i.stmt | _ -> None)
+      (Array.to_list t.infos)
+  in
+  { t.program with Ast.statements = main }
+
+let compute_certificate ?live_counts t =
+  Analysis.analyze ~policy:(analysis_policy t) ?live_counts (analysis_program t)
+
+let certificate t =
+  if not t.use_analysis then None
+  else
+    match t.analysis_cache with
+    | Some (c, _) -> Some c
+    | None ->
+        let c = compute_certificate t in
+        t.analysis_cache <- Some (c, Analysis.finite c.Analysis.cert_total_answers);
+        Some c
+
+(* Runtime cross-check: accepted answers must never exceed the certified
+   bound. The static certificate cannot see rows the host inserts through
+   the API, so an apparent breach first recomputes with the live database
+   sizes joined into the seeds ([live_counts]) and only counts a
+   violation if the refreshed bound is still exceeded — amortised, since
+   the refreshed bound is cached and the recompute (which rebuilds the
+   O(n^3) precedence closure) runs only when the cached bound is passed,
+   not per answer. [analysis.*] counters are engine-local, deliberately
+   outside [journal_derived_prefixes]: a recount over events does not
+   re-run the cross-check. *)
+let analysis_check t =
+  if t.use_analysis then
+    match (certificate t, t.analysis_cache) with
+    | Some _, Some (c, Some bound) ->
+        let m = Telemetry.metrics t.tel in
+        let accepted = Telemetry.Metrics.counter m "answers.accepted" in
+        if accepted > bound then begin
+          Telemetry.Metrics.incr m "analysis.bound.recomputes";
+          let live_counts =
+            List.map
+              (fun rel ->
+                (Reldb.Relation.name rel, List.length (Reldb.Relation.tuples rel)))
+              (Reldb.Database.relations t.db)
+          in
+          let c' = compute_certificate ~live_counts t in
+          let bound' = Analysis.finite c'.Analysis.cert_total_answers in
+          t.analysis_cache <- Some (c, bound');
+          match bound' with
+          | Some b when accepted > b ->
+              Telemetry.Metrics.incr m "analysis.bound.violations"
+          | _ -> ()
+        end
+    | _ -> ()
+
 (* --- Stepping ------------------------------------------------------------- *)
 
 let record_event t event =
@@ -1032,7 +1107,8 @@ let record_event t event =
      or [Monitor.of_events] instead. *)
   if Telemetry.Metrics.enabled m then begin
     count_event t.counting m event;
-    match t.monitor with Some mon -> Monitor.observe mon event | None -> ()
+    (match t.monitor with Some mon -> Monitor.observe mon event | None -> ());
+    if event.by_human <> None then analysis_check t
   end
 
 let check_tail t env tail =
@@ -1419,7 +1495,9 @@ let install_quorum t entry ~aggregate =
     Option.map
       (fun (policy, relations) ->
         { qs_policy = policy; qs_relations = relations; qs_aggregate = aggregate })
-      entry
+      entry;
+  (* The certificate charges per-task answers from the quorum policy. *)
+  t.analysis_cache <- None
 
 let check_policy = function
   | Fixed _ -> ()
@@ -1450,13 +1528,53 @@ let quorum_policy_of t = Option.map (fun qs -> qs.qs_policy) t.quorum
 
 (* --- Campaign monitor -------------------------------------------------------- *)
 
-let set_monitor t cfg =
+(* Default the monitor's spend ceiling from the budget certificate: the
+   bound is answers × cost_per_answer, so it only translates to budget
+   units when no payoff statement can add spend on top. Filled BEFORE
+   journaling, so replay and recovery re-install the already-filled
+   config (the fill is a no-op on a non-None field) and land on identical
+   monitor state. *)
+let certify_monitor_config t cfg =
+  match cfg with
+  | Some c
+    when t.use_analysis && c.Monitor.certified_bound = None
+         && c.Monitor.max_budget = None ->
+      let has_payoff =
+        Array.exists
+          (fun i ->
+            List.exists
+              (fun (h : Ast.head) ->
+                match h.Ast.head with
+                | Ast.Head_payoff _ -> true
+                | Ast.Head_atom _ -> false)
+              i.stmt.Ast.heads)
+          t.infos
+      in
+      if has_payoff then cfg
+      else
+        Option.bind (certificate t) (fun cert ->
+            Analysis.finite cert.Analysis.cert_total_answers)
+        |> Option.fold ~none:cfg ~some:(fun b ->
+               Some
+                 {
+                   c with
+                   Monitor.certified_bound = Some (b * c.Monitor.cost_per_answer);
+                 })
+  | _ -> cfg
+
+(* Replay path: install the journaled config verbatim — the fill (if
+   any) already happened before the entry was journaled, so re-running it
+   here could diverge when the restoring engine's analysis flag differs
+   from the original's. *)
+let set_monitor_exact t cfg =
   journal t (J_set_monitor cfg);
   (* Backfill from the whole event log, so the live monitor always equals
      [Monitor.of_events cfg (events t)] no matter when it was installed —
      and so snapshot replay and crash recovery (which re-run or re-derive
      this entry) land on identical state. *)
   t.monitor <- Option.map (fun c -> Monitor.of_events c (events t)) cfg
+
+let set_monitor t cfg = set_monitor_exact t (certify_monitor_config t cfg)
 
 let monitor t = t.monitor
 
@@ -2107,6 +2225,33 @@ let pp_explain fmt t =
   Format.fprintf fmt "EXPLAIN  (clock %d, %d statements, planner %s)@." t.clock
     (Array.length t.infos)
     (if t.use_planner then "on" else "off");
+  (* Static task bounds, paired with each rule's open heads in order per
+     relation (the certificate lists bounds in statement order, so the
+     queues line up with the traversal below). *)
+  let cert = certificate t in
+  let bounds_by_rel : (string, Analysis.task_bound Queue.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (match cert with
+  | Some c ->
+      List.iter
+        (fun (tb : Analysis.task_bound) ->
+          let q =
+            match Hashtbl.find_opt bounds_by_rel tb.Analysis.tb_relation with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.add bounds_by_rel tb.Analysis.tb_relation q;
+                q
+          in
+          Queue.push tb q)
+        c.Analysis.cert_tasks
+  | None -> ());
+  let next_bound rel =
+    match Hashtbl.find_opt bounds_by_rel rel with
+    | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+    | _ -> None
+  in
   Array.iteri
     (fun i info ->
       let key = plan_key t info in
@@ -2176,7 +2321,23 @@ let pp_explain fmt t =
             (List.length ds.pending));
       if info.tail <> [] then
         Format.fprintf fmt "  tail: %d filter(s) checked after the join@."
-          (List.length info.tail))
+          (List.length info.tail);
+      (* Static bound next to the planner's dynamic [est N of M]. *)
+      List.iter
+        (fun (h : Ast.head) ->
+          match h.Ast.head with
+          | Ast.Head_atom { atom; kind = Ast.Open _ } -> (
+              match next_bound atom.Ast.pred with
+              | Some tb ->
+                  Format.fprintf fmt
+                    "  static: %s instances %s, per-instance %s, answers %s@."
+                    tb.Analysis.tb_relation
+                    (Analysis.card_to_string tb.Analysis.tb_instances)
+                    (Analysis.card_to_string tb.Analysis.tb_multiplier)
+                    (Analysis.card_to_string tb.Analysis.tb_answers)
+              | None -> ())
+          | Ast.Head_atom _ | Ast.Head_payoff _ -> ())
+        info.stmt.Ast.heads)
     t.infos;
   (match t.leases with
   | None -> Format.fprintf fmt "@.leases: off@."
@@ -2209,6 +2370,13 @@ let pp_explain fmt t =
               Format.fprintf fmt "  %-10s %.3f  (%d observations)@." w r n)
             (reliability_table t)
       | _ -> ());
+  (match cert with
+  | None -> Format.fprintf fmt "budget certificate: off@."
+  | Some c ->
+      Format.fprintf fmt "budget certificate: total tasks %s, answers %s  (%s)@."
+        (Analysis.card_to_string c.Analysis.cert_total_tasks)
+        (Analysis.card_to_string c.Analysis.cert_total_answers)
+        c.Analysis.cert_policy);
   let pend = pending t in
   Format.fprintf fmt "pending tasks: %d  (dead letters: %d)@." (List.length pend)
     (List.length t.dead);
@@ -2360,7 +2528,7 @@ let replay_entry t = function
   | J_add_statement s -> add_statement t s
   | J_set_lease cfg -> set_lease_config t cfg
   | J_set_quorum q -> install_quorum t q ~aggregate:default_aggregate
-  | J_set_monitor cfg -> set_monitor t cfg
+  | J_set_monitor cfg -> set_monitor_exact t cfg
   | J_sample round -> ignore (monitor_sample t ~round)
 
 (* Replay one entry, substituting the unserialisable aggregate closure
@@ -2372,9 +2540,12 @@ let replay_entry_with ~aggregate t = function
   | entry -> replay_entry t entry
 
 let restore_payload ?builtins ?aggregate (p : snapshot_payload) =
+  (* The program was admitted when the snapshot was taken; restore must
+     not re-litigate lint policy (the restoring host may have stricter
+     defaults than the one that accepted it). *)
   let t =
-    load ?builtins ~use_delta:p.snap_use_delta ~use_planner:p.snap_use_planner
-      p.snap_program
+    load ?builtins ~lint:`Off ~use_delta:p.snap_use_delta
+      ~use_planner:p.snap_use_planner p.snap_program
   in
   List.iter (replay_entry_with ~aggregate t) p.snap_journal;
   t
@@ -2497,6 +2668,10 @@ let restore_state ?builtins ?aggregate (p : state_payload) =
     monitor = Option.map (fun c -> Monitor.of_events c p.st_events) monitor_config;
     wal = None;
     wal_compact_pending = false;
+    (* The certificate is derived state: recovery keeps the default
+       cross-check on and recomputes it from the restored program. *)
+    use_analysis = true;
+    analysis_cache = None;
   }
 
 type recovery_stats = {

@@ -144,6 +144,7 @@ val default_aggregate : aggregate
 
 val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
   ?use_planner:bool -> ?lint:[ `Strict | `Warn | `Off ] ->
+  ?analysis:bool ->
   ?journal:string -> ?journal_config:Journal.config -> Ast.program -> t
 (** Build an engine: declare schemas (inferring schemas of undeclared
     relations from usage), desugar game aspects into path/payoff statements,
@@ -164,6 +165,16 @@ val load : ?builtins:Builtin.registry -> ?use_delta:bool ->
     diagnostic through [Logs]; [`Off] skips the analysis entirely.
     Statements added later through {!add_statement} are not linted — the
     REPL's incremental path keeps its runtime checks.
+
+    [analysis] (default [true]) threads {!Analysis}'s budget certificate
+    into the engine: {!certificate} exposes it (recomputed under the
+    installed quorum policy, invalidated by {!add_statement} and quorum
+    changes), {!set_monitor} defaults the monitor's certified budget from
+    it, and every accepted answer cross-checks the accepted-answer count
+    against the certified bound, counting breaches in the engine-local
+    [analysis.bound.violations] counter (which soundness keeps at 0; an
+    apparent breach first refreshes the certificate with live database
+    cardinalities, so host inserts through the API never false-positive).
 
     [use_delta] (default [true]) enables seminaive (differential)
     evaluation for every statement with at least one positive body atom:
@@ -204,6 +215,13 @@ val add_statement : t -> Ast.statement -> unit
 
 val builtins : t -> Builtin.registry
 (** The builtin registry in use. *)
+
+val certificate : t -> Analysis.certificate option
+(** The program's budget certificate ({!Analysis.analyze} of the loaded
+    program plus incrementally added statements, charged under the
+    installed quorum policy), or [None] when the engine was loaded with
+    [~analysis:false]. Cached; recomputed after {!add_statement} or a
+    quorum change. *)
 
 val clock : t -> int
 (** Logical clock: one tick per machine step or human answer. *)

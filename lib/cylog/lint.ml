@@ -42,6 +42,10 @@ let all_codes =
     ("game-no-path", Warning, "game declares no path rules");
     ("game-never-fires", Warning, "no path rule of the game can ever fire");
     ("game-dead-open", Warning, "/open head in a game rule that can never fire");
+    (* Budget analysis (Analysis module). *)
+    ("unbounded-task-emission", Error, "open statement can issue unboundedly many tasks");
+    ("budget-unknown", Warning, "open statement's task budget cannot be bounded statically");
+    ("statically-dead-open", Warning, "open statement whose body cardinality is provably 0");
   ]
 
 let default_severity code =
@@ -571,6 +575,47 @@ let check_games (p : Ast.program) =
     p.Ast.games;
   List.rev !out
 
+(* -- Budget analysis (A codes) -------------------------------------------- *)
+
+(* One diagnostic per open head whose certificate entry is not finite and
+   positive. The analysis itself is total, so this family never masks the
+   others. Standing opens and host-input-bounded opens are warnings — they
+   are legitimate crowd idioms (VRE's rule collection) that a campaign
+   server should cap with a runtime budget; true recursion through an open
+   relation is an error, with the witness cycle in the message. *)
+let check_analysis (p : Ast.program) =
+  let cert = Analysis.analyze p in
+  List.concat_map
+    (fun (t : Analysis.task_bound) ->
+      match t.Analysis.tb_answers with
+      | Analysis.Unbounded ((Analysis.Open_cycle _ | Analysis.Value_cycle _) as r) ->
+          [
+            diag ~span:t.tb_span "unbounded-task-emission"
+              "open statement %s on %s can issue unboundedly many tasks: %s"
+              t.tb_label t.tb_relation
+              (Analysis.card_to_string (Analysis.Unbounded r));
+          ]
+      | Analysis.Unbounded Analysis.Standing ->
+          [
+            diag ~span:t.tb_span "budget-unknown"
+              "open statement %s on %s is standing (fresh auto key per answer), so its budget needs a runtime cap"
+              t.tb_label t.tb_relation;
+          ]
+      | Analysis.Bounded_by_input ->
+          [
+            diag ~span:t.tb_span "budget-unknown"
+              "open statement %s on %s is bounded only by host-supplied input"
+              t.tb_label t.tb_relation;
+          ]
+      | Analysis.Zero ->
+          [
+            diag ~span:t.tb_span "statically-dead-open"
+              "open statement %s on %s has body cardinality 0 and can never issue a task"
+              t.tb_label t.tb_relation;
+          ]
+      | Analysis.Finite _ -> [])
+    cert.Analysis.cert_tasks
+
 (* -- Driver --------------------------------------------------------------- *)
 
 let compare_diag a b =
@@ -612,6 +657,7 @@ let check ?(overrides = []) (p : Ast.program) =
     @ check_schema_conformance p
     @ check_liveness p
     @ check_games p
+    @ check_analysis p
   in
   apply_overrides overrides (List.stable_sort compare_diag diags)
 

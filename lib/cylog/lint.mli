@@ -1,6 +1,6 @@
 (** Static analysis of CyLog programs.
 
-    [check] runs five families of source-located checks over a parsed
+    [check] runs six families of source-located checks over a parsed
     program, before any evaluation:
 
     - {b safety / range restriction}: every head variable, and every
@@ -20,10 +20,18 @@
       nothing populates;
     - {b game aspects}: payoff heads paying unbound variables or sitting
       outside game blocks, games without path rules, games whose path
-      rules can never fire, open heads in dead game rules.
+      rules can never fire, open heads in dead game rules;
+    - {b budget analysis} (the [A] codes): {!Analysis.analyze}'s budget
+      certificate, reported per open head — unbounded task emission
+      through recursion is an error with a witness cycle
+      ([unbounded-task-emission]); standing or host-input-bounded opens
+      warn that the budget needs a runtime cap ([budget-unknown]); an
+      open whose body cardinality is provably 0 warns
+      ([statically-dead-open]).
 
     Diagnostics carry the {!Ast.span} of the offending node. See
-    docs/LINT.md for the full catalogue with triggering examples. *)
+    docs/LINT.md for the full catalogue with triggering examples and
+    docs/ANALYSIS.md for the abstract domain behind the [A] codes. *)
 
 type severity = Error | Warning
 

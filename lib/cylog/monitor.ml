@@ -16,6 +16,11 @@ type config = {
   series_capacity : int;
   cost_per_answer : int;
   max_budget : int option;
+  certified_bound : int option;
+      (* the static budget certificate's total-answer bound in budget
+         units; [Engine.set_monitor] fills it from [Analysis] when no
+         explicit [max_budget] is given, and the budget watchdog falls
+         back to it *)
   max_p99_latency : int option;
   min_agreement_pct : int option;
   max_dead_letter_pct : int option;
@@ -27,6 +32,7 @@ let default_config =
     series_capacity = 256;
     cost_per_answer = 1;
     max_budget = None;
+    certified_bound = None;
     max_p99_latency = None;
     min_agreement_pct = None;
     max_dead_letter_pct = None;
@@ -167,7 +173,15 @@ let samples t = t.samples
 let check t =
   let out = ref [] in
   let fire key alert = if not (List.mem key t.latched) then out := alert :: !out in
-  (match t.config.max_budget with
+  (* An explicit budget wins; without one, the statically certified bound
+     is the spend ceiling — crossing it means either the analysis is
+     unsound or the host is spending outside the program. *)
+  let budget_limit =
+    match t.config.max_budget with
+    | Some _ as b -> b
+    | None -> t.config.certified_bound
+  in
+  (match budget_limit with
   | Some budget when spent t > budget ->
       fire "budget" (Event.Budget_exceeded { spent = spent t; budget })
   | _ -> ());
@@ -396,11 +410,12 @@ let pct_json v = if v < 0 then "null" else string_of_int v
 let config_json c =
   Printf.sprintf
     "{\"series_capacity\":%d,\"cost_per_answer\":%d,\"max_budget\":%s,\
-     \"max_p99_latency\":%s,\"min_agreement_pct\":%s,\"max_dead_letter_pct\":%s,\
-     \"stall_samples\":%s}"
+     \"certified_bound\":%s,\"max_p99_latency\":%s,\"min_agreement_pct\":%s,\
+     \"max_dead_letter_pct\":%s,\"stall_samples\":%s}"
     c.series_capacity c.cost_per_answer (opt_int c.max_budget)
-    (opt_int c.max_p99_latency) (opt_int c.min_agreement_pct)
-    (opt_int c.max_dead_letter_pct) (opt_int c.stall_samples)
+    (opt_int c.certified_bound) (opt_int c.max_p99_latency)
+    (opt_int c.min_agreement_pct) (opt_int c.max_dead_letter_pct)
+    (opt_int c.stall_samples)
 
 let point_json p =
   Printf.sprintf
@@ -483,8 +498,13 @@ let to_jsonl t =
 
 let pp fmt t =
   let pct v = if v < 0 then "-" else string_of_int v ^ "%" in
-  Format.fprintf fmt "monitor: %d samples, %d answers, spent %d@." t.samples
-    t.answers (spent t);
+  (match t.config.certified_bound with
+  | Some b ->
+      Format.fprintf fmt "monitor: %d samples, %d answers, spent %d / certified %d@."
+        t.samples t.answers (spent t) b
+  | None ->
+      Format.fprintf fmt "monitor: %d samples, %d answers, spent %d@." t.samples
+        t.answers (spent t));
   Format.fprintf fmt "  tasks: %d resolved, %d dead-lettered, %d pending@."
     t.resolved t.dead (pending t);
   Format.fprintf fmt "  quality: agreement %s, posterior %s, dead-letter %d%%@."

@@ -37,6 +37,13 @@ type config = {
       (** budget units charged per accepted answer, on top of positive
           payoff awards (default 1) *)
   max_budget : int option;  (** fire [Budget_exceeded] when spent exceeds *)
+  certified_bound : int option;
+      (** the static budget certificate's total spend bound
+          ({!Cylog.Analysis}, in budget units); filled by
+          [Engine.set_monitor] when the certificate is finite and no
+          explicit [max_budget] is armed — the budget watchdog falls back
+          to it, so an admission-checked campaign is budget-fenced even
+          without manual configuration *)
   max_p99_latency : int option;
       (** fire [Latency_breached] when the end-to-end p99 exceeds this
           many clock ticks *)

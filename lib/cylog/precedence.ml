@@ -112,6 +112,61 @@ let stratified g =
   in
   loop 0
 
+(* Tarjan over the direct edges. [positive_only] keeps an edge only when
+   the consuming statement reads the carrying relation through a positive
+   body atom — negation tests emptiness and carries no cardinality, so the
+   abstract interpreter ({!Analysis}) must not see cycles through it. *)
+let sccs ?(positive_only = false) g =
+  let n = size g in
+  let keep e =
+    (not positive_only)
+    || List.exists
+         (fun (l : Ast.literal) ->
+           match l.Ast.lit with
+           | Ast.Pos a -> String.equal a.Ast.pred e.via
+           | Ast.Neg _ | Ast.Cmp _ | Ast.Call _ -> false)
+         g.statements.(e.dst).Ast.body
+  in
+  let succs = Array.make n [] in
+  List.iter
+    (fun e -> if keep e then succs.(e.src) <- e.dst :: succs.(e.src))
+    (List.rev g.edges);
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and next = ref 0 and out = ref [] in
+  let rec strong v =
+    index.(v) <- !next;
+    low.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      succs.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := List.sort compare (pop []) :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  (* Tarjan pops consumers before their producers; the prepends above
+     reverse that, so the result lists producers first. *)
+  !out
+
 let vertex_name g i =
   let preds = Ast.statement_preds g.statements.(i) in
   let name = match preds with [] -> "Payoff" | p :: _ -> p in

@@ -79,6 +79,18 @@ val negation_violations : t -> violation list
     negated relation are reported; update/delete writers are the paper's
     fill-if-absent idiom and remain legal (Figure 16). *)
 
+val sccs : ?positive_only:bool -> t -> int list list
+(** Strongly connected components of the direct-edge graph, each sorted
+    ascending, listed in dependency order: a component appears before
+    every component that reads its output. With [positive_only] (default
+    false) an edge counts only when the consuming statement reads the
+    carrying relation through a {e positive} body atom — cardinality
+    flows through positive reads only, so this is the recursion notion
+    {!Analysis} widens over. Self-edges are never recorded by {!build};
+    callers that care about single-statement recursion (a statement
+    positively reading a relation it writes) must test for it
+    themselves. *)
+
 val vertex_name : t -> int -> string
 (** Display name of a vertex, [R_q] style (relation name and 1-based
     priority), as in Figure 14. *)

@@ -256,7 +256,9 @@ let with_open_rule (program : Ast.program) =
   { program with Ast.statements = program.statements @ [ ask; echo ] }
 
 let drive_with_canonical_human ~use_delta ?use_planner program =
-  let engine = Engine.load ~use_delta ?use_planner program in
+  (* [with_open_rule]'s Ask/Echo pair is a deliberate open cycle, which
+     strict linting now rejects as unbounded-task-emission. *)
+  let engine = Engine.load ~lint:`Off ~use_delta ?use_planner program in
   ignore (Engine.run engine ~max_steps:20_000);
   let rec answer rounds =
     if rounds > 500 then ()
@@ -599,7 +601,8 @@ let prop_semantics_delta_equals_naive_with_humans =
    trace exactly, and re-snapshotting it must give back the same bytes
    (the replayed journal is the journal). *)
 let drive_engine_with_canonical_human program =
-  let engine = Engine.load program in
+  (* Deliberate open cycle in [with_open_rule]; see above. *)
+  let engine = Engine.load ~lint:`Off program in
   ignore (Engine.run engine ~max_steps:20_000);
   let rec answer rounds =
     if rounds > 500 then ()
