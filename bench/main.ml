@@ -1878,6 +1878,263 @@ let run_monitor_smoke () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the sharded multi-campaign server                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One fleet run: generated labeling campaigns partitioned over [shards]
+   engine shards, driven to completion by the simulated crowd through the
+   server's task-queue API. Ops are the requests the shards actually
+   pumped (leases, answers, reclaims, samples); latency percentiles are
+   exact order statistics over the per-request service times. *)
+type serve_run = {
+  sv_shards : int;
+  sv_campaigns : int;
+  sv_items : int;
+  sv_workers : int;
+  sv_journaled : bool;
+  sv_ops : int;
+  sv_elapsed : float;
+  sv_ops_per_s : float;
+  sv_p50_ns : float;
+  sv_p95_ns : float;
+  sv_p99_ns : float;
+  sv_answers : int;
+  sv_resolved : int;
+  sv_stopped : bool;
+}
+
+let serve_run ?journal ~shards ~campaigns ~items ~workers () =
+  let server =
+    match journal with
+    | None -> Server.create ~shards ()
+    | Some config ->
+        (* fault-free in-memory storage per shard: the journal write path
+           runs in full (CRC, rotation, compaction) without disk noise *)
+        let sims = Array.init shards (fun _ -> Cylog.Storage.Sim.create ()) in
+        Server.create ~journal_root:"serve-journal" ~journal_config:config
+          ~storage:(fun i -> Cylog.Storage.Sim.storage sims.(i))
+          ~shards ()
+  in
+  let config =
+    {
+      Crowd.Fleet_sim.default_config with
+      campaigns;
+      items;
+      workers;
+      max_rounds = 2000;
+    }
+  in
+  Crowd.Fleet_sim.open_campaigns server config;
+  let t0 = Unix.gettimeofday () in
+  let o = Crowd.Fleet_sim.run ~config server in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let view = Server.stats server in
+  let ops = view.Server.Fleet.requests in
+  {
+    sv_shards = shards;
+    sv_campaigns = campaigns;
+    sv_items = items;
+    sv_workers = workers;
+    sv_journaled = journal <> None;
+    sv_ops = ops;
+    sv_elapsed = elapsed;
+    sv_ops_per_s = (if elapsed > 0. then float_of_int ops /. elapsed else 0.);
+    sv_p50_ns = view.Server.Fleet.p50_ns;
+    sv_p95_ns = view.Server.Fleet.p95_ns;
+    sv_p99_ns = view.Server.Fleet.p99_ns;
+    sv_answers = o.answers;
+    sv_resolved = o.resolved;
+    sv_stopped = o.stop_reason = `Done;
+  }
+
+let pp_serve_run r =
+  Format.printf
+    "  %d shard(s)%s: %d ops in %.3fs = %9.0f ops/s   p50 %.0fns p95 %.0fns \
+     p99 %.0fns   (%d answers, %d resolved)@."
+    r.sv_shards
+    (if r.sv_journaled then " journaled" else "")
+    r.sv_ops r.sv_elapsed r.sv_ops_per_s r.sv_p50_ns r.sv_p95_ns r.sv_p99_ns
+    r.sv_answers r.sv_resolved
+
+let serve_json runs =
+  let run_json r =
+    Printf.sprintf
+      {|    { "shards": %d, "campaigns": %d, "items": %d, "workers": %d, "journaled": %b,
+      "ops": %d, "elapsed_s": %.6f, "ops_per_s": %.0f,
+      "latency_ns": { "p50": %.0f, "p95": %.0f, "p99": %.0f },
+      "answers": %d, "resolved": %d, "completed": %b }|}
+      r.sv_shards r.sv_campaigns r.sv_items r.sv_workers r.sv_journaled r.sv_ops
+      r.sv_elapsed r.sv_ops_per_s r.sv_p50_ns r.sv_p95_ns r.sv_p99_ns
+      r.sv_answers r.sv_resolved r.sv_stopped
+  in
+  Printf.sprintf "{\n  \"serve\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map run_json runs))
+
+(* Regression gates for both the full bench and the smoke: every run
+   completes with the exact quorum arithmetic (items × campaigns tasks,
+   ×3 votes), and the 8-shard fleet sustains the target throughput. *)
+let serve_check runs =
+  let failures = ref [] in
+  let note fmt = Format.kasprintf (fun s -> failures := !failures @ [ s ]) fmt in
+  List.iter
+    (fun r ->
+      let tasks = r.sv_campaigns * r.sv_items in
+      if not r.sv_stopped then
+        note "%d-shard run did not complete its campaigns" r.sv_shards;
+      if r.sv_resolved <> tasks then
+        note "%d-shard run resolved %d tasks, expected %d" r.sv_shards
+          r.sv_resolved tasks;
+      if r.sv_answers <> tasks * 3 then
+        note "%d-shard run accepted %d answers, expected %d" r.sv_shards
+          r.sv_answers (tasks * 3))
+    runs;
+  (match
+     List.find_opt (fun r -> r.sv_shards >= 8 && not r.sv_journaled) runs
+   with
+  | Some r when r.sv_ops_per_s < 1e4 ->
+      note "8-shard fleet at %.0f ops/s, below the 10^4 floor" r.sv_ops_per_s
+  | _ -> ());
+  !failures
+
+let run_serve () =
+  section "Serve: fleet throughput vs shard count (in-memory engines)";
+  let scaling =
+    List.map
+      (fun shards ->
+        serve_run ~shards ~campaigns:4 ~items:120 ~workers:24 ())
+      [ 1; 2; 4; 8 ]
+  in
+  List.iter pp_serve_run scaling;
+  section "Serve: durable fleet (segmented WAL per slot, batched fsync)";
+  let durable =
+    serve_run
+      ~journal:
+        {
+          Cylog.Journal.default_config with
+          fsync = Cylog.Journal.Every_n 8;
+          compact_every = Some 256;
+        }
+      ~shards:8 ~campaigns:4 ~items:120 ~workers:24 ()
+  in
+  pp_serve_run durable;
+  let runs = scaling @ [ durable ] in
+  let out = open_out "BENCH_serve.json" in
+  output_string out (serve_json runs);
+  close_out out;
+  Format.printf "  wrote BENCH_serve.json@.";
+  List.iter (fun what -> Format.printf "  NOTE: %s@." what) (serve_check runs)
+
+(* The serve regression gate, wired into [dune runtest] via the
+   [serve-smoke] alias: a small fixed-seed fleet on in-memory storage
+   must route every partitioned fact to its hash-owned shard, finish the
+   campaigns with exact quorum arithmetic, merge a sane fleet monitor,
+   and recover every shard's slot from its compacted journal to a
+   byte-identical trace with O(live state) replay. *)
+let run_serve_smoke () =
+  section "Serve smoke: routing, merged monitor and recovery on a seeded fleet";
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := !failures @ [ s ]) fmt in
+  let shards = 3 in
+  let sims = Array.init shards (fun _ -> Cylog.Storage.Sim.create ()) in
+  let server =
+    Server.create ~journal_root:"serve-journal"
+      ~journal_config:
+        {
+          Cylog.Journal.default_config with
+          fsync = Cylog.Journal.Every_n 4;
+          compact_every = Some 64;
+        }
+      ~storage:(fun i -> Cylog.Storage.Sim.storage sims.(i))
+      ~shards ()
+  in
+  let config =
+    { Crowd.Fleet_sim.default_config with campaigns = 2; items = 10; workers = 6 }
+  in
+  Crowd.Fleet_sim.open_campaigns server config;
+  (* every Item fact must sit exactly on the shard its key hashes to *)
+  let items_seen = ref 0 in
+  for k = 0 to config.campaigns - 1 do
+    let campaign = Crowd.Fleet_sim.campaign_name k in
+    for s = 0 to shards - 1 do
+      match Server.Shard.engine (Server.shard server s) ~campaign with
+      | None -> fail "shard %d has no engine for %s" s campaign
+      | Some e -> (
+          match Reldb.Database.find (Cylog.Engine.database e) "Item" with
+          | None -> ()
+          | Some rel ->
+              List.iter
+                (fun tuple ->
+                  match Reldb.Tuple.get tuple "id" with
+                  | Some (Reldb.Value.Int _ as id) ->
+                      incr items_seen;
+                      let expect =
+                        Server.Router.shard_of_values ~shards [ id ]
+                      in
+                      if expect <> s then
+                        fail "item %s of %s landed on shard %d, hash owns %d"
+                          (Reldb.Value.to_display id) campaign s expect
+                  | _ -> ())
+                (Reldb.Relation.tuples rel))
+    done
+  done;
+  if !items_seen <> config.campaigns * config.items then
+    fail "%d items across the fleet, expected %d (split lost or duplicated facts)"
+      !items_seen
+      (config.campaigns * config.items);
+  let o = Crowd.Fleet_sim.run ~config server in
+  let tasks = config.campaigns * config.items in
+  if o.stop_reason <> `Done then fail "fleet run did not complete";
+  if o.resolved <> tasks then fail "resolved %d tasks, expected %d" o.resolved tasks;
+  if o.answers <> tasks * config.quorum then
+    fail "accepted %d answers, expected %d" o.answers (tasks * config.quorum);
+  let view = Server.stats server in
+  if view.Server.Fleet.pending <> 0 then
+    fail "%d tasks still pending after completion" view.Server.Fleet.pending;
+  (match view.Server.Fleet.monitor with
+  | None -> fail "no merged fleet monitor"
+  | Some m ->
+      if m.Server.Fleet.f_answers <> o.answers then
+        fail "merged monitor counts %d answers, loop saw %d"
+          m.Server.Fleet.f_answers o.answers;
+      if m.Server.Fleet.f_retired <> tasks then
+        fail "merged monitor retired %d tasks, expected %d"
+          m.Server.Fleet.f_retired tasks;
+      if m.Server.Fleet.f_pending <> 0 then
+        fail "merged monitor reports %d pending" m.Server.Fleet.f_pending);
+  if not (json_parses (Server.Fleet.to_json view)) then
+    fail "fleet JSON does not parse";
+  (* recovery round-trip per shard: compact, recover, compare traces —
+     the replay after the snapshot must be O(live state), i.e. ~nothing
+     for a finished campaign *)
+  let campaign = Crowd.Fleet_sim.campaign_name 0 in
+  for s = 0 to shards - 1 do
+    match Server.Shard.engine (Server.shard server s) ~campaign with
+    | None -> fail "shard %d lost campaign %s" s campaign
+    | Some e -> (
+        let before = Cylog.Engine.journal_dump e in
+        Cylog.Engine.compact_journal e;
+        let stats = Server.recover_shard server s ~campaign () in
+        match Server.Shard.engine (Server.shard server s) ~campaign with
+        | None -> fail "shard %d lost campaign %s after recovery" s campaign
+        | Some e' ->
+            if Cylog.Engine.journal_dump e' <> before then
+              fail "shard %d: recovered trace differs from the live one" s;
+            if stats.Cylog.Engine.records_replayed > 2 then
+              fail
+                "shard %d: %d records replayed after compaction (live state \
+                 only should remain)"
+                s stats.Cylog.Engine.records_replayed)
+  done;
+  match !failures with
+  | [] ->
+      Format.printf
+        "  ok: facts routed by hash, campaigns completed, fleet view merged, \
+         every shard recovered byte-identically@."
+  | failures ->
+      List.iter (fun what -> Format.printf "  FAIL: %s@." what) failures;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1893,6 +2150,7 @@ let experiments =
     ("telemetry-overhead", run_telemetry_overhead);
     ("durability", run_durability); ("durability-smoke", run_durability_smoke);
     ("monitor", run_monitor); ("monitor-smoke", run_monitor_smoke);
+    ("serve", run_serve); ("serve-smoke", run_serve_smoke);
     ("bench", run_bench) ]
 
 let () =

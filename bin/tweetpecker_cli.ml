@@ -384,6 +384,105 @@ let source_cmd variant n =
        ~workers:(List.map (fun (w : Crowd.Worker.profile) -> w.name)
                    (Tweetpecker.Runner.default_workers variant)))
 
+(* The sharded campaign server: generated labeling campaigns partitioned
+   over N engine shards, driven by a simulated crowd through the
+   task-queue API, with the merged fleet view printed (or written) at the
+   end. *)
+let serve_cmd shards workers campaigns items seed quorum accuracy max_rounds
+    journal monitor_out =
+  let server =
+    Server.create ?journal_root:journal ~shards ()
+  in
+  let config =
+    {
+      Crowd.Fleet_sim.default_config with
+      seed;
+      workers;
+      campaigns;
+      items;
+      quorum;
+      accuracy;
+      max_rounds;
+    }
+  in
+  Crowd.Fleet_sim.open_campaigns server config;
+  let o = Crowd.Fleet_sim.run ~config server in
+  Format.printf "shards             %d@." shards;
+  Format.printf "campaigns          %d × %d items@." campaigns items;
+  Format.printf "workers            %d@." workers;
+  Format.printf "rounds             %d@." o.rounds;
+  Format.printf "stop               %s@."
+    (match o.stop_reason with
+    | `Done -> "done (all tasks retired)"
+    | `Stalled -> "stalled"
+    | `Max_rounds -> "max-rounds");
+  Format.printf "leases             %d@." o.leases;
+  Format.printf "answers            %d accepted, %d rejected@." o.answers
+    o.rejections;
+  Format.printf "resolutions        %d resolved, %d dead-lettered@." o.resolved
+    o.dead;
+  let view = Server.stats server in
+  Format.printf "%a" Server.Fleet.pp view;
+  match monitor_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Server.Fleet.to_json view);
+      output_char oc '\n';
+      close_out oc
+  | None -> ()
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"Engine shards in the fleet.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "workers" ] ~docv:"M" ~doc:"Simulated crowd size.")
+
+let campaigns_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "campaigns" ] ~docv:"K" ~doc:"Concurrent labeling campaigns.")
+
+let items_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "items" ] ~docv:"I" ~doc:"Label tasks per campaign.")
+
+let accuracy_arg =
+  Arg.(
+    value & opt float 0.85
+    & info [ "accuracy" ] ~docv:"P"
+        ~doc:"Probability a worker answers the true label.")
+
+let serve_quorum_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "quorum" ] ~docv:"K"
+        ~doc:"Votes per task (plurality aggregate); 1 turns quorum off.")
+
+let serve_rounds_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "max-rounds" ] ~docv:"N" ~doc:"Safety bound on rounds.")
+
+let serve_journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:"Journal every shard's campaigns under $(docv)/shard-NN/.")
+
+let serve_monitor_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "monitor-out" ] ~docv:"FILE"
+        ~doc:"Write the merged fleet view (monitor series, certificates, \
+              metrics, latency percentiles) to $(docv) as JSON.")
+
 let export_arg =
   Arg.(
     value
@@ -436,7 +535,15 @@ let cmds =
                task bounds).")
       Term.(const analyze_cmd $ variant_arg $ tweets_arg $ quorum_arg);
     Cmd.v (Cmd.info "source" ~doc:"Print the generated CyLog source of a variant")
-      Term.(const source_cmd $ variant_arg $ tweets_arg) ]
+      Term.(const source_cmd $ variant_arg $ tweets_arg);
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Run a sharded multi-campaign server under a simulated crowd \
+               and print the merged fleet view")
+      Term.(
+        const serve_cmd $ shards_arg $ workers_arg $ campaigns_arg $ items_arg
+        $ seed_arg $ serve_quorum_arg $ accuracy_arg $ serve_rounds_arg
+        $ serve_journal_arg $ serve_monitor_out_arg) ]
 
 let () =
   exit

@@ -1,0 +1,58 @@
+(** Multi-campaign crowd simulation against the sharded server.
+
+    Where {!Simulator} drives one bare engine, this loop drives a
+    {!Server.t} purely through its task-queue API — lease, supply,
+    resolve-poll — the way a real worker frontend would: M simulated
+    workers take turns each round asking the fleet for work on a
+    round-robin of K labeling campaigns, answer with seeded noisy labels
+    (plurality converges on the majority label), and the loop tracks
+    resolutions through {!Server.resolve_poll} cursors rather than
+    peeking at engine state. One seeded RNG makes the whole fleet run
+    deterministic — the serve smoke test replays it bit for bit. *)
+
+type config = {
+  seed : int;
+  workers : int;
+  campaigns : int;
+  items : int;  (** label tasks per campaign *)
+  accuracy : float;  (** P(a worker answers the true label) *)
+  quorum : int;  (** votes per task; <= 1 leaves quorum off *)
+  lease : Cylog.Lease.config option;
+  monitor : Cylog.Monitor.config option;
+  max_rounds : int;
+}
+
+val default_config : config
+(** seed 42, 8 workers, 2 campaigns × 24 items, accuracy 0.85, quorum 3,
+    default lease, a monitor with series capacity 512, 200 rounds. *)
+
+val campaign_name : int -> string
+(** ["campaign-<k>"]. *)
+
+val campaign_program : items:int -> offset:int -> Cylog.Ast.program
+(** The generated labeling campaign: [Item(id)] facts with ids starting
+    at [offset] (so campaigns do not collide), one open rule asking
+    [LabelOf(id, label)/open] per item, and a [LabelOf] view. *)
+
+val placements : Server.Router.placement list
+(** Partition [Item] by its [id] — the instance key the router hashes. *)
+
+val open_campaigns : Server.t -> config -> unit
+(** Open the [config.campaigns] generated campaigns on the server with
+    the config's lease/quorum/monitor settings. *)
+
+type outcome = {
+  rounds : int;
+  leases : int;  (** grants across the fleet *)
+  answers : int;  (** accepted answers *)
+  rejections : int;  (** rejected answers and failed leases *)
+  resolved : int;  (** resolutions seen through {!Server.resolve_poll} *)
+  dead : int;  (** dead-letterings seen through the poll *)
+  stop_reason : [ `Done | `Stalled | `Max_rounds ];
+}
+
+val run : ?config:config -> Server.t -> outcome
+(** Drive already-opened campaigns (see {!open_campaigns}) to completion:
+    stops when every campaign's pending pool is empty ([`Done]), after 5
+    consecutive rounds without an accepted answer ([`Stalled]), or at
+    [config.max_rounds]. *)

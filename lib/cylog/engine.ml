@@ -368,6 +368,16 @@ let journal_start ?config ?storage t dir =
 
 let durable_journal t = t.wal
 
+(* Between public calls the engine is always at a consistent cut (every
+   journaled entry's effects are fully applied), so compacting here is
+   safe in exactly the way the deferred path above is. *)
+let compact_journal t =
+  match t.wal with
+  | None -> ()
+  | Some j ->
+      t.wal_compact_pending <- false;
+      Journal.compact j (state_string t)
+
 let path_relation_name game = "Path@" ^ game
 
 (* --- Game-aspect desugaring -------------------------------------------- *)
@@ -653,6 +663,21 @@ let add_statement t (s : Ast.statement) =
 let builtins t = t.builtins
 let clock t = t.clock
 let events t = List.rev t.events
+let event_count t = List.length t.events
+
+(* [t.events] is newest-first: the events after cursor [after] are its
+   first [length - after] elements, re-reversed to chronological order —
+   the campaign server's resolve-poll cursor walks the log this way
+   without rescanning the prefix it has already consumed. *)
+let events_since t ~after =
+  let n = List.length t.events - after in
+  if n <= 0 then []
+  else
+    let rec take k acc = function
+      | e :: rest when k > 0 -> take (k - 1) (e :: acc) rest
+      | _ -> acc
+    in
+    take n [] t.events
 
 (* --- Telemetry --------------------------------------------------------------- *)
 

@@ -380,6 +380,15 @@ val payoff_of : t -> Reldb.Value.t -> Reldb.Value.t
 val events : t -> event list
 (** All events, chronological. *)
 
+val event_count : t -> int
+(** Number of events recorded so far — the cursor coordinate of
+    {!events_since}. *)
+
+val events_since : t -> after:int -> event list
+(** The events with index [>= after] (0-based, chronological) — an
+    incremental read of the log for polling consumers (the campaign
+    server's [resolve_poll]); [events_since t ~after:0 = events t]. *)
+
 (** {1 Telemetry}
 
     Every engine carries a {!Cylog.Telemetry.t}: a metrics registry that is
@@ -550,6 +559,13 @@ val attach_journal : t -> Journal.t -> unit
 
 val durable_journal : t -> Journal.t option
 (** The attached WAL, for syncing/closing and {!Journal.stats}. *)
+
+val compact_journal : t -> unit
+(** Fold the engine's current state into the attached WAL as a fresh base
+    snapshot immediately ({!Journal.compact}) — the operator's "checkpoint
+    now" verb (e.g. before handing a shard's journal to recovery), on top
+    of the automatic [compact_every] policy. No-op without an attached
+    journal. *)
 
 type recovery_stats = {
   base_segment : int;  (** segment whose snapshot seeded the state *)

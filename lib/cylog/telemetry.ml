@@ -144,6 +144,41 @@ module Metrics = struct
   let equal a b =
     counters a = counters b && gauges a = gauges b && histograms a = histograms b
 
+  (* Fold [src] into [into] under an optional name prefix. Counters and
+     gauges add; histogram cells add when the bucket bounds agree (they
+     always do in practice — everything uses [default_bounds]). Goes
+     through the public writers so a disabled target stays untouched. *)
+  let merge ?(prefix = "") ~into src =
+    let key k = if prefix = "" then k else prefix ^ k in
+    List.iter (fun (k, v) -> incr into ~by:v (key k)) (counters src);
+    List.iter
+      (fun (k, v) ->
+        let k = key k in
+        let base = match gauge into k with Some g -> g | None -> 0 in
+        set_gauge into k (base + v))
+      (gauges src);
+    if into.on then
+      List.iter
+        (fun (k, (h : histogram)) ->
+          let k = key k in
+          match Hashtbl.find_opt into.hs k with
+          | None ->
+              Hashtbl.add into.hs k
+                {
+                  h_bounds = Array.copy h.bounds;
+                  h_counts = Array.copy h.counts;
+                  h_sum = h.sum;
+                  h_count = h.count;
+                }
+          | Some cell when cell.h_bounds = h.bounds ->
+              Array.iteri
+                (fun i c -> cell.h_counts.(i) <- cell.h_counts.(i) + c)
+                h.counts;
+              cell.h_sum <- cell.h_sum + h.sum;
+              cell.h_count <- cell.h_count + h.count
+          | Some _ -> ())
+        (histograms src)
+
   let to_json t =
     let buf = Buffer.create 512 in
     let obj_of pairs emit =

@@ -81,6 +81,21 @@ module Metrics : sig
   val equal : t -> t -> bool
   (** Same counters, gauges and histograms (names and values). *)
 
+  val merge : ?prefix:string -> into:t -> t -> unit
+  (** Fold one registry into another — the fleet scatter-gather primitive.
+      Registries have always been instantiable (one per engine), so N
+      engine shards in one process never interleave counters; [merge] is
+      how an observer combines them into one view without collisions.
+      Counters are summed, gauges are summed, and histograms with equal
+      bucket bounds are summed cell by cell (a histogram whose bounds
+      disagree with an existing one under the same name is skipped —
+      every registry in this codebase uses the default bounds). [prefix]
+      namespaces every metric on the way in (e.g. ["shard3."]), so a
+      per-shard view and an unprefixed fleet total can coexist in the
+      same target. The source is never mutated; merging into a disabled
+      registry is a no-op, and the single-registry write path is
+      untouched. *)
+
   val to_json : t -> string
   (** The whole registry as one JSON object:
       [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)

@@ -1,0 +1,76 @@
+open Cylog
+
+type placement = { relation : string; key_attrs : string list }
+
+(* 32-bit FNV-1a, folded byte by byte and masked so the accumulator stays
+   inside OCaml's native int on every platform. The canonical rendering
+   and the per-position separator make the hash a pure function of the
+   key values — any process routing the same instance key picks the same
+   shard. *)
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+let fnv_mask = 0xFFFFFFFF
+
+let hash_string h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime land fnv_mask)
+    s;
+  !h
+
+let hash_values vs =
+  List.fold_left
+    (fun h v ->
+      let h = hash_string h (Reldb.Value.to_string v) in
+      (h lxor 0x1F) * fnv_prime land fnv_mask)
+    fnv_offset vs
+
+let shard_of_values ~shards vs =
+  if shards <= 1 then 0 else hash_values vs mod shards
+
+let placement_of placements rel =
+  List.find_opt (fun p -> p.relation = rel) placements
+
+let fact_key placements (st : Ast.statement) =
+  if not (Ast.statement_is_fact st) then None
+  else
+    match st.heads with
+    | [ { head = Head_atom { atom; kind = Assert }; _ } ] -> (
+        match placement_of placements atom.pred with
+        | None -> None
+        | Some p ->
+            let const_of attr =
+              List.find_map
+                (fun (a : Ast.arg) ->
+                  if a.attr = attr then
+                    match a.bind with
+                    | Bound (Const v) -> Some v
+                    | _ -> None
+                  else None)
+                atom.args
+            in
+            let rec keys = function
+              | [] -> Some []
+              | attr :: rest -> (
+                  match (const_of attr, keys rest) with
+                  | Some v, Some vs -> Some (v :: vs)
+                  | _ -> None)
+            in
+            keys p.key_attrs)
+    | _ -> None
+
+let shard_of_fact ~shards placements st =
+  Option.map (shard_of_values ~shards) (fact_key placements st)
+
+let split_program ~shards placements (program : Ast.program) =
+  let shards = max 1 shards in
+  Array.init shards (fun i ->
+      let statements =
+        List.filter
+          (fun st ->
+            match shard_of_fact ~shards placements st with
+            | None -> true
+            | Some owner -> owner = i)
+          program.statements
+      in
+      { program with statements })

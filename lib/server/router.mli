@@ -1,0 +1,50 @@
+(** Deterministic request routing: shard keys from Skolem-term key values.
+
+    The game aspect hands the campaign server its natural partition: a
+    game instance is identified by the values of its Skolem-function
+    parameters, and instances are independent sub-campaigns (Webdamlog's
+    relation/instance-ownership model, specialised to games). This module
+    derives a shard index from any list of key values by hashing their
+    canonical rendering, and splits a program's base facts across N
+    shards by ownership while replicating everything else (rules, game
+    aspects, schemas, views) — so each shard's engine evaluates exactly
+    the sub-campaign whose instances it owns.
+
+    Everything here is pure and deterministic: the same key values map to
+    the same shard in every process, on every run — the property the
+    routing differential tests pin down. *)
+
+type placement = {
+  relation : string;  (** a partitioned fact relation *)
+  key_attrs : string list;
+      (** the attributes forming the instance key (typically the game's
+          Skolem parameters, e.g. the tweet id of a (tweet, attr)
+          instance) *)
+}
+
+val hash_values : Reldb.Value.t list -> int
+(** FNV-1a (32-bit) over the canonical {!Reldb.Value.to_string} rendering
+    of the values, with a separator between positions so [["ab"; "c"]]
+    and [["a"; "bc"]] differ. Always non-negative. *)
+
+val shard_of_values : shards:int -> Reldb.Value.t list -> int
+(** [hash_values vs mod shards]; shard 0 when [shards <= 1]. *)
+
+val fact_key : placement list -> Cylog.Ast.statement -> Reldb.Value.t list option
+(** When the statement is a ground fact (empty body, single assert head)
+    of a partitioned relation whose key attributes are all bound to
+    constants, the key values in [key_attrs] order; [None] otherwise —
+    such statements are replicated to every shard. *)
+
+val shard_of_fact :
+  shards:int -> placement list -> Cylog.Ast.statement -> int option
+(** The owning shard of a partitioned fact; [None] for replicated
+    statements. *)
+
+val split_program :
+  shards:int -> placement list -> Cylog.Ast.program -> Cylog.Ast.program array
+(** One program per shard: statement order is preserved, partitioned
+    facts appear only in their owning shard's program, and every other
+    statement — plus schemas, games and views — is replicated. With
+    [shards = 1] the single split program is the input program (the
+    1-shard differential baseline). *)

@@ -1,0 +1,236 @@
+open Cylog
+
+type request =
+  | Lease of { worker : Reldb.Value.t; now : int }
+  | Supply of {
+      task : Engine.open_id;
+      worker : Reldb.Value.t;
+      values : (string * Reldb.Value.t) list;
+    }
+  | Answer of { task : Engine.open_id; worker : Reldb.Value.t; yes : bool }
+  | Decline of { task : Engine.open_id }
+  | Reclaim of { now : int }
+  | Sample of { round : int }
+
+type reply =
+  | Granted of Engine.open_tuple * string option
+  | No_task
+  | Answered of Engine.event
+  | Rejected of Engine.reject
+  | Declined
+  | Reclaimed of int
+  | Sampled of Monitor.firing list
+  | Crashed_shard
+
+type ticket = { mutable filled : reply option }
+
+let reply t = t.filled
+
+type slot = {
+  campaign : string;
+  mutable engine : Engine.t;
+  journal_dir : string option;
+  journal_config : Journal.config option;
+  mutable storage : (module Storage.S) option;
+  mutable crashed : bool;
+}
+
+type t = {
+  sid : int;
+  slots : (string, slot) Hashtbl.t;
+  mutable order : string list;  (* campaign names, reverse opening order *)
+  mailbox : (string * request * ticket) Queue.t;
+  shard_metrics : Telemetry.Metrics.t;
+  (* request service times in ns; growable, observability-only *)
+  mutable lat : int array;
+  mutable lat_n : int;
+}
+
+let create ~id =
+  {
+    sid = id;
+    slots = Hashtbl.create 7;
+    order = [];
+    mailbox = Queue.create ();
+    shard_metrics = Telemetry.Metrics.create ();
+    lat = Array.make 64 0;
+    lat_n = 0;
+  }
+
+let id t = t.sid
+let metrics t = t.shard_metrics
+
+let record_latency t ns =
+  if t.lat_n = Array.length t.lat then begin
+    let grown = Array.make (2 * t.lat_n) 0 in
+    Array.blit t.lat 0 grown 0 t.lat_n;
+    t.lat <- grown
+  end;
+  t.lat.(t.lat_n) <- ns;
+  t.lat_n <- t.lat_n + 1
+
+let latencies_ns t = Array.sub t.lat 0 t.lat_n
+
+let open_slot t ~campaign ?journal_dir ?journal_config ?storage ?lease ?policy
+    ?relations ?aggregate ?monitor program =
+  if Hashtbl.mem t.slots campaign then
+    failwith (Printf.sprintf "shard %d: campaign %S already open" t.sid campaign);
+  let engine = Engine.load program in
+  (match journal_dir with
+  | Some dir -> Engine.journal_start ?config:journal_config ?storage engine dir
+  | None -> ());
+  Option.iter (fun cfg -> Engine.set_lease_config engine (Some cfg)) lease;
+  Option.iter
+    (fun p -> Engine.set_quorum_policy engine ?relations ?aggregate p)
+    policy;
+  Option.iter (fun cfg -> Engine.set_monitor engine (Some cfg)) monitor;
+  ignore (Engine.run engine);
+  Hashtbl.add t.slots campaign
+    { campaign; engine; journal_dir; journal_config; storage; crashed = false };
+  t.order <- campaign :: t.order;
+  Telemetry.Metrics.incr t.shard_metrics "shard.campaigns_opened"
+
+let campaigns t = List.rev t.order
+let find t campaign = Hashtbl.find_opt t.slots campaign
+
+let engine t ~campaign = Option.map (fun s -> s.engine) (find t campaign)
+
+let slot_failed t ~campaign =
+  match find t campaign with Some s -> s.crashed | None -> false
+
+let failed t =
+  Hashtbl.fold (fun _ s acc -> acc || s.crashed) t.slots false
+
+let post t ~campaign req =
+  let ticket = { filled = None } in
+  Queue.add (campaign, req, ticket) t.mailbox;
+  ticket
+
+(* The lease step: the oldest pending task this worker may take — skipping
+   tasks they already voted on, and (under the lease runtime) tasks whose
+   lease slots are all held. The engine's own capacity rules decide; this
+   loop just walks candidates in age order. *)
+let grant_lease slot ~worker ~now =
+  let e = slot.engine in
+  let candidates =
+    List.filter
+      (fun (ot : Engine.open_tuple) ->
+        not (Engine.has_voted e ot.id ~worker))
+      (Engine.pending_for e worker)
+  in
+  let leases_on = Engine.lease_config e <> None in
+  let rec pick = function
+    | [] -> No_task
+    | (ot : Engine.open_tuple) :: rest ->
+        if not leases_on then Granted (ot, Engine.task_view e ot)
+        else (
+          match Engine.assign e ot.id ~worker ~now with
+          | Ok _ -> Granted (ot, Engine.task_view e ot)
+          | Error _ -> pick rest)
+  in
+  pick candidates
+
+let execute t slot req =
+  let m = t.shard_metrics in
+  match req with
+  | Lease { worker; now } -> (
+      match grant_lease slot ~worker ~now with
+      | Granted _ as r ->
+          Telemetry.Metrics.incr m "shard.leases_granted";
+          r
+      | r ->
+          Telemetry.Metrics.incr m "shard.leases_refused";
+          r)
+  | Supply { task; worker; values } -> (
+      match Engine.supply slot.engine task ~worker values with
+      | Ok ev ->
+          ignore (Engine.run slot.engine);
+          Telemetry.Metrics.incr m "shard.answers_accepted";
+          Answered ev
+      | Error rej ->
+          Telemetry.Metrics.incr m "shard.answers_rejected";
+          Rejected rej)
+  | Answer { task; worker; yes } -> (
+      match Engine.answer_existence slot.engine task ~worker yes with
+      | Ok ev ->
+          ignore (Engine.run slot.engine);
+          Telemetry.Metrics.incr m "shard.answers_accepted";
+          Answered ev
+      | Error rej ->
+          Telemetry.Metrics.incr m "shard.answers_rejected";
+          Rejected rej)
+  | Decline { task } ->
+      Engine.decline slot.engine task;
+      ignore (Engine.run slot.engine);
+      Declined
+  | Reclaim { now } ->
+      let expired = Engine.reclaim slot.engine ~now in
+      ignore (Engine.run slot.engine);
+      Reclaimed (List.length expired)
+  | Sample { round } -> Sampled (Engine.monitor_sample slot.engine ~round)
+
+let pump_one t =
+  match Queue.take_opt t.mailbox with
+  | None -> false
+  | Some (campaign, req, ticket) ->
+      Telemetry.Metrics.incr t.shard_metrics "shard.requests";
+      let answer =
+        match find t campaign with
+        | None -> Crashed_shard
+        | Some slot when slot.crashed -> Crashed_shard
+        | Some slot -> (
+            let t0 = Unix.gettimeofday () in
+            try
+              let r = execute t slot req in
+              record_latency t
+                (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+              r
+            with Storage.Crashed | Storage.No_space ->
+              slot.crashed <- true;
+              Telemetry.Metrics.incr t.shard_metrics "shard.crashes";
+              Crashed_shard)
+      in
+      ticket.filled <- Some answer;
+      true
+
+let pump t =
+  let n = ref 0 in
+  while pump_one t do
+    incr n
+  done;
+  !n
+
+let queue_length t = Queue.length t.mailbox
+
+let pending_total t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      if s.crashed then acc else acc + List.length (Engine.pending s.engine))
+    t.slots 0
+
+let recover_slot t ~campaign ?builtins ?aggregate ?storage () =
+  match find t campaign with
+  | None ->
+      failwith (Printf.sprintf "shard %d: unknown campaign %S" t.sid campaign)
+  | Some slot -> (
+      match slot.journal_dir with
+      | None ->
+          failwith
+            (Printf.sprintf "shard %d: campaign %S has no journal" t.sid
+               campaign)
+      | Some dir ->
+          (match storage with Some _ -> slot.storage <- storage | None -> ());
+          (* Keep the slot's journal config across reopen: recovery with a
+             different fsync/rotation policy would silently change the
+             durability contract of the resumed campaign. *)
+          (* No catch-up [run] here: the journal replay already reproduced
+             quiescence, and an extra run would journal a fresh entry —
+             breaking byte-equality with the pre-crash trace. *)
+          let engine, stats =
+            Engine.recover ?builtins ?aggregate ?config:slot.journal_config
+              ?storage:slot.storage dir
+          in
+          slot.engine <- engine;
+          slot.crashed <- false;
+          Telemetry.Metrics.incr t.shard_metrics "shard.recoveries";
+          stats)

@@ -5,4 +5,5 @@ let () =
    @ Test_game.suite @ Test_tweets.suite @ Test_crowd.suite
    @ Test_tweetpecker.suite @ Test_turing.suite @ Test_quality.suite
    @ Test_differential.suite @ Test_robustness.suite @ Test_telemetry.suite
-   @ Test_durability.suite @ Test_monitor.suite @ Test_analysis.suite)
+   @ Test_durability.suite @ Test_monitor.suite @ Test_analysis.suite
+   @ Test_server.suite)
